@@ -1,0 +1,137 @@
+//! Approximation-error metrics (§6.2.2).
+//!
+//! The paper measures approximation error "in the same manner as \[26\] by
+//! using the L_p norm": `L_p(r0 - r1) / L_p(r0)` where `r0` is the
+//! original analytic's result vector and `r1` the optimized one. Table 5
+//! uses L2 (PageRank), Table 6 uses L1 (SSSP).
+
+/// The L_p norm of a vector. Non-finite entries are skipped (SSSP leaves
+/// unreachable vertices at infinity in both result vectors; they carry no
+/// information about approximation quality).
+pub fn lp_norm(v: &[f64], p: f64) -> f64 {
+    assert!(p >= 1.0, "L_p norm requires p >= 1");
+    v.iter()
+        .filter(|x| x.is_finite())
+        .map(|x| x.abs().powf(p))
+        .sum::<f64>()
+        .powf(1.0 / p)
+}
+
+/// Normalized relative error `L_p(r0 - r1) / L_p(r0)`.
+///
+/// Entry pairs where either side is non-finite are skipped; if the
+/// reference norm is zero the result is 0 when the difference norm also
+/// is, and infinity otherwise.
+pub fn relative_error(r0: &[f64], r1: &[f64], p: f64) -> f64 {
+    assert_eq!(r0.len(), r1.len(), "result vectors must align");
+    let diffs: Vec<f64> = r0
+        .iter()
+        .zip(r1)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, b)| a - b)
+        .collect();
+    let base: Vec<f64> = r0
+        .iter()
+        .zip(r1)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, _)| *a)
+        .collect();
+    let num = lp_norm(&diffs, p);
+    let den = lp_norm(&base, p);
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num / den
+    }
+}
+
+/// Median of a value slice (non-finite entries skipped). Tables 5 and 6
+/// report result medians alongside the error so readers can judge scale.
+pub fn median(values: &[f64]) -> f64 {
+    let mut finite: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if finite.is_empty() {
+        return f64::NAN;
+    }
+    finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = finite.len() / 2;
+    if finite.len() % 2 == 1 {
+        finite[mid]
+    } else {
+        (finite[mid - 1] + finite[mid]) / 2.0
+    }
+}
+
+/// Fraction of entries that differ by more than `tol` (used for the WCC
+/// "the optimization is wrong" check, where labels are nominal).
+pub fn mismatch_fraction(r0: &[f64], r1: &[f64], tol: f64) -> f64 {
+    assert_eq!(r0.len(), r1.len());
+    if r0.is_empty() {
+        return 0.0;
+    }
+    let wrong = r0
+        .iter()
+        .zip(r1)
+        .filter(|(a, b)| (*a - *b).abs() > tol)
+        .count();
+    wrong as f64 / r0.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        assert!((lp_norm(&[3.0, 4.0], 2.0) - 5.0).abs() < 1e-12);
+        assert!((lp_norm(&[1.0, -2.0, 3.0], 1.0) - 6.0).abs() < 1e-12);
+        assert_eq!(lp_norm(&[], 2.0), 0.0);
+    }
+
+    #[test]
+    fn norm_skips_infinities() {
+        assert!((lp_norm(&[3.0, f64::INFINITY, 4.0], 2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(relative_error(&a, &a, 2.0), 0.0);
+        let b = [1.1, 2.0, 3.0];
+        let e = relative_error(&a, &b, 2.0);
+        assert!(e > 0.0 && e < 0.1);
+    }
+
+    #[test]
+    fn relative_error_with_unreachable() {
+        let a = [0.0, 1.0, f64::INFINITY];
+        let b = [0.0, 1.5, f64::INFINITY];
+        let e = relative_error(&a, &b, 1.0);
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_reference() {
+        assert_eq!(relative_error(&[0.0], &[0.0], 2.0), 0.0);
+        assert!(relative_error(&[0.0], &[1.0], 2.0).is_infinite());
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert!(median(&[]).is_nan());
+        assert_eq!(median(&[f64::INFINITY, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn mismatch_fraction_counts() {
+        let a = [0.0, 0.0, 1.0, 1.0];
+        let b = [0.0, 2.0, 1.0, 3.0];
+        assert_eq!(mismatch_fraction(&a, &b, 0.5), 0.5);
+        assert_eq!(mismatch_fraction(&[], &[], 0.1), 0.0);
+    }
+}

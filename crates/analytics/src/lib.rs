@@ -1,0 +1,27 @@
+//! The graph analytics evaluated in the paper, implemented as
+//! vertex-centric programs for the `ariadne-vc` engine.
+//!
+//! * [`pagerank`] — classic Giraph-style PageRank plus the delta-encoded
+//!   approximate variant the apt query (Query 1) discovers.
+//! * [`sssp`] — single-source shortest paths (Algorithm 2 of the paper's
+//!   appendix) plus its threshold-gated approximate variant.
+//! * [`wcc`] — weakly connected components by min-label propagation, plus
+//!   the "optimized" variant the paper shows is *unsafe* (§6.2.2).
+//! * [`als`] — alternating least squares on a bipartite ratings graph
+//!   (the MovieLens workload), built on a small dense [`linalg`] solver.
+//! * [`reference`](mod@reference) — sequential oracles (Dijkstra, power iteration,
+//!   union-find) used to validate the vertex-centric implementations.
+//! * [`error`] — the L_p-norm relative-error metrics of Tables 5 and 6.
+
+pub mod als;
+pub mod error;
+pub mod linalg;
+pub mod pagerank;
+pub mod reference;
+pub mod sssp;
+pub mod wcc;
+
+pub use als::{Als, AlsConfig};
+pub use pagerank::{DeltaPageRank, PageRank};
+pub use sssp::{ApproxSssp, Sssp};
+pub use wcc::{ApproxWcc, Wcc};

@@ -1,0 +1,215 @@
+//! Minimal dense linear algebra for ALS: symmetric positive-definite
+//! systems solved by Cholesky factorization.
+//!
+//! ALS solves one small (rank × rank) normal-equation system per vertex
+//! per superstep, so this module optimizes for small fixed sizes and zero
+//! allocation beyond the matrix itself.
+
+/// A small square matrix, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SquareMat {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl SquareMat {
+    /// The `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        SquareMat {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The `n x n` identity scaled by `lambda`.
+    pub fn scaled_identity(n: usize, lambda: f64) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = lambda;
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Accumulate the outer product `v * v^T` (rank-1 update).
+    pub fn add_outer(&mut self, v: &[f64]) {
+        assert_eq!(v.len(), self.n);
+        for (i, &vi) in v.iter().enumerate() {
+            let row = &mut self.data[i * self.n..(i + 1) * self.n];
+            for (cell, &vj) in row.iter_mut().zip(v) {
+                *cell += vi * vj;
+            }
+        }
+    }
+
+    /// In-place Cholesky factorization (lower triangular); returns false
+    /// if the matrix is not positive definite.
+    #[allow(clippy::needless_range_loop)] // index arithmetic over two axes
+    fn cholesky_in_place(&mut self) -> bool {
+        let n = self.n;
+        for j in 0..n {
+            let mut d = self[(j, j)];
+            for k in 0..j {
+                d -= self[(j, k)] * self[(j, k)];
+            }
+            if d <= 0.0 {
+                return false;
+            }
+            let d = d.sqrt();
+            self[(j, j)] = d;
+            for i in (j + 1)..n {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= self[(i, k)] * self[(j, k)];
+                }
+                self[(i, j)] = s / d;
+            }
+        }
+        // Zero the strict upper triangle for cleanliness.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                self[(i, j)] = 0.0;
+            }
+        }
+        true
+    }
+
+    /// Solve `A x = b` for symmetric positive-definite `A` (consumed).
+    /// Returns `None` if `A` is not positive definite.
+    pub fn cholesky_solve(mut self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.n);
+        if !self.cholesky_in_place() {
+            return None;
+        }
+        let n = self.n;
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                let lik = self[(i, k)];
+                y[i] -= lik * y[k];
+            }
+            y[i] /= self[(i, i)];
+        }
+        // Back substitution: L^T x = y.
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                let lki = self[(k, i)];
+                y[i] -= lki * y[k];
+            }
+            y[i] /= self[(i, i)];
+        }
+        Some(y)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for SquareMat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for SquareMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Dot product of equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `acc += scale * v`, elementwise.
+pub fn axpy(acc: &mut [f64], scale: f64, v: &[f64]) {
+    debug_assert_eq!(acc.len(), v.len());
+    for (a, &x) in acc.iter_mut().zip(v) {
+        *a += scale * x;
+    }
+}
+
+/// Euclidean distance between two vectors.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = SquareMat::scaled_identity(3, 1.0);
+        let x = a.cholesky_solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // A = [[4,2],[2,3]], b = [10, 8] -> x = [1.75, 1.5]
+        let mut a = SquareMat::zeros(2);
+        a[(0, 0)] = 4.0;
+        a[(0, 1)] = 2.0;
+        a[(1, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        let x = a.cholesky_solve(&[10.0, 8.0]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12, "{x:?}");
+        assert!((x[1] - 1.5).abs() < 1e-12, "{x:?}");
+    }
+
+    #[test]
+    fn non_positive_definite_rejected() {
+        let mut a = SquareMat::zeros(2);
+        a[(0, 0)] = 0.0;
+        a[(1, 1)] = 1.0;
+        assert!(a.cholesky_solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn outer_product_accumulation() {
+        let mut a = SquareMat::zeros(2);
+        a.add_outer(&[1.0, 2.0]);
+        a.add_outer(&[3.0, 0.0]);
+        assert_eq!(a[(0, 0)], 10.0);
+        assert_eq!(a[(0, 1)], 2.0);
+        assert_eq!(a[(1, 0)], 2.0);
+        assert_eq!(a[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn normal_equations_recover_least_squares() {
+        // Fit x in R^2 to rows m_i with targets r_i: x = argmin ||M x - r||.
+        let rows = [[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]];
+        let targets = [1.0, 2.0, 3.0];
+        let mut a = SquareMat::scaled_identity(2, 1e-9);
+        let mut b = vec![0.0; 2];
+        for (row, &t) in rows.iter().zip(&targets) {
+            a.add_outer(row);
+            axpy(&mut b, t, row);
+        }
+        let x = a.cholesky_solve(&b).unwrap();
+        // Exact solution of the normal equations is x = (1, 2).
+        assert!((x[0] - 1.0).abs() < 1e-6, "{x:?}");
+        assert!((x[1] - 2.0).abs() < 1e-6, "{x:?}");
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut acc = vec![1.0, 1.0];
+        axpy(&mut acc, 2.0, &[1.0, 3.0]);
+        assert_eq!(acc, vec![3.0, 7.0]);
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+}

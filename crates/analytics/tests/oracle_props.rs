@@ -1,0 +1,72 @@
+//! Property-based validation of the vertex-centric analytics against
+//! their sequential oracles, on arbitrary graphs.
+
+use ariadne_analytics::reference::{dijkstra, pagerank_power_iteration};
+use ariadne_analytics::{PageRank, Sssp, Wcc};
+use ariadne_graph::stats::weakly_connected_components;
+use ariadne_graph::{Csr, GraphBuilder, VertexId};
+use ariadne_vc::{Engine, EngineConfig};
+use proptest::prelude::*;
+
+fn arb_weighted_graph() -> impl Strategy<Value = Csr> {
+    (
+        2usize..40,
+        proptest::collection::vec((0u64..40, 0u64..40, 0.01f64..5.0), 1..150),
+    )
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new();
+            b.ensure_vertex(VertexId(n as u64 - 1));
+            for (s, d, w) in edges {
+                let (s, d) = (s % n as u64, d % n as u64);
+                if s != d {
+                    b.add_edge(VertexId(s), VertexId(d), w);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sssp_matches_dijkstra(g in arb_weighted_graph()) {
+        let vc = Engine::new(EngineConfig::sequential()).run(&Sssp::new(VertexId(0)), &g);
+        let oracle = dijkstra(&g, VertexId(0));
+        for (v, (a, b)) in vc.values.iter().zip(&oracle).enumerate() {
+            if a.is_finite() || b.is_finite() {
+                prop_assert!((a - b).abs() < 1e-9, "vertex {v}: vc {a} oracle {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_matches_union_find(g in arb_weighted_graph()) {
+        let vc = Engine::new(EngineConfig::sequential()).run(&Wcc, &g);
+        prop_assert_eq!(vc.values, weakly_connected_components(&g));
+    }
+
+    #[test]
+    fn pagerank_matches_power_iteration(g in arb_weighted_graph()) {
+        let pr = PageRank { supersteps: 15, ..Default::default() };
+        let vc = Engine::new(EngineConfig::sequential()).run(&pr, &g);
+        let oracle = pagerank_power_iteration(&g, 0.85, 15);
+        for (a, b) in vc.values.iter().zip(&oracle) {
+            prop_assert!((a - b).abs() < 1e-9, "vc {a} oracle {b}");
+        }
+    }
+
+    #[test]
+    fn pagerank_total_mass_bounded(g in arb_weighted_graph()) {
+        // With dangling vertices mass leaks, so total <= n; and ranks
+        // stay at least the teleport floor.
+        let pr = PageRank { supersteps: 20, ..Default::default() };
+        let vc = Engine::new(EngineConfig::sequential()).run(&pr, &g);
+        let n = g.num_vertices() as f64;
+        let total: f64 = vc.values.iter().sum();
+        prop_assert!(total <= n + 1e-6, "total {total} > n {n}");
+        for &r in &vc.values {
+            prop_assert!(r >= 0.15 - 1e-9 || r == 1.0, "rank {r} below floor");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! * message **combiners** (provenance capture must disable them — what
+//!   does that cost the analytic?);
+//! * engine **thread count** (the BSP engine's parallel speedup);
+//! * store **spill budget** (in-memory vs spill-to-disk capture).
+
+use ariadne::CaptureSpec;
+use ariadne_analytics::{PageRank, Wcc};
+use ariadne_bench::{ExperimentConfig, Workloads};
+use ariadne_provenance::StoreConfig;
+use ariadne_vc::{Engine, EngineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_combiner(c: &mut Criterion) {
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    let g = &w.crawls[0].graph;
+    let pr = PageRank {
+        supersteps: 8,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("ablation_combiner");
+    group.sample_size(10);
+    group.bench_function("pagerank_with_combiner", |b| {
+        let engine = Engine::new(EngineConfig::default());
+        b.iter(|| black_box(engine.run(&pr, g).metrics.total_messages()))
+    });
+    group.bench_function("pagerank_without_combiner", |b| {
+        let engine = Engine::new(EngineConfig {
+            use_combiner: false,
+            ..EngineConfig::default()
+        });
+        b.iter(|| black_box(engine.run(&pr, g).metrics.total_messages()))
+    });
+    group.finish();
+}
+
+fn bench_threads(c: &mut Criterion) {
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    let g = &w.crawls[3].graph; // the largest model
+    let pr = PageRank {
+        supersteps: 8,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("ablation_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("pagerank_{threads}_threads"), |b| {
+            let engine = Engine::new(EngineConfig::parallel(threads));
+            b.iter(|| black_box(engine.run(&pr, g).supersteps()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spill(c: &mut Criterion) {
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    let g = &w.crawls[0].graph;
+    let mut group = c.benchmark_group("ablation_spill");
+    group.sample_size(10);
+    group.bench_function("capture_in_memory", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .capture(&Wcc, g, &CaptureSpec::full())
+                    .unwrap()
+                    .store
+                    .tuple_count(),
+            )
+        })
+    });
+    group.bench_function("capture_spilling_64k", |b| {
+        let dir = std::env::temp_dir().join(format!("ariadne-ablate-{}", std::process::id()));
+        let mut ariadne = w.ariadne.clone();
+        ariadne.store = StoreConfig::spilling(64 << 10, dir.clone());
+        b.iter(|| {
+            black_box(
+                ariadne
+                    .capture(&Wcc, g, &CaptureSpec::full())
+                    .unwrap()
+                    .store
+                    .disk_bytes(),
+            )
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_combiner, bench_threads, bench_spill);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 9 bench: ALS with Queries 7/8 online vs bare ALS.
+
+use ariadne::custom::AlsProv;
+use ariadne::queries;
+use ariadne_analytics::als::{Als, AlsConfig};
+use ariadne_bench::{ExperimentConfig, Workloads};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_als(c: &mut Criterion) {
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    let mut cfg = AlsConfig::new(w.ratings.users, 5);
+    cfg.supersteps = w.config.als_supersteps;
+    let als = Als::new(cfg);
+    let q7 = queries::als_range_check().unwrap();
+    let q8 = queries::als_error_increase(0.5).unwrap();
+
+    let mut group = c.benchmark_group("fig9_als");
+    group.sample_size(10);
+    group.bench_function("als_baseline", |b| {
+        b.iter(|| black_box(w.ariadne.baseline(&als, &w.ratings.graph).supersteps()))
+    });
+    group.bench_function("als_q7_online", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .online_with(&als, &w.ratings.graph, &q7, Some(Arc::new(AlsProv)))
+                    .unwrap()
+                    .query_results
+                    .total_tuples(),
+            )
+        })
+    });
+    group.bench_function("als_q8_online", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .online_with(&als, &w.ratings.graph, &q8, Some(Arc::new(AlsProv)))
+                    .unwrap()
+                    .query_results
+                    .total_tuples(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_als);
+criterion_main!(benches);

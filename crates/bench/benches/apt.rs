@@ -1,0 +1,64 @@
+//! Figure 11 bench: the apt query (Query 1) in the three modes.
+
+use ariadne::queries;
+use ariadne::CaptureSpec;
+use ariadne_analytics::pagerank::DeltaPageRank;
+use ariadne_bench::{ExperimentConfig, Workloads};
+use ariadne_pql::Value;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_apt(c: &mut Criterion) {
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    let crawl = &w.crawls[0];
+    let pr = DeltaPageRank::exact(w.config.pagerank_supersteps);
+    let apt = queries::apt("udf_diff", Value::Float(0.01)).unwrap();
+    let store = w
+        .ariadne
+        .capture(&pr, &crawl.graph, &CaptureSpec::full())
+        .unwrap()
+        .store;
+
+    let mut group = c.benchmark_group("fig11_apt");
+    group.sample_size(10);
+    group.bench_function("pagerank_baseline", |b| {
+        b.iter(|| black_box(w.ariadne.baseline(&pr, &crawl.graph).supersteps()))
+    });
+    group.bench_function("apt_online", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .online(&pr, &crawl.graph, &apt)
+                    .unwrap()
+                    .query_results
+                    .len("no_execute"),
+            )
+        })
+    });
+    group.bench_function("apt_layered", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .layered(&crawl.graph, &store, &apt)
+                    .unwrap()
+                    .query_results
+                    .len("no_execute"),
+            )
+        })
+    });
+    group.bench_function("apt_naive", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .naive(&crawl.graph, &store, &apt)
+                    .unwrap()
+                    .database
+                    .len("no_execute"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apt);
+criterion_main!(benches);

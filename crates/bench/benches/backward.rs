@@ -1,0 +1,69 @@
+//! Figure 12 bench: backward lineage over full (Query 10) vs custom
+//! (Queries 11 + 12) provenance.
+
+use ariadne::queries;
+use ariadne::CaptureSpec;
+use ariadne_bench::{ExperimentConfig, Workloads};
+use ariadne_graph::VertexId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_backward(c: &mut Criterion) {
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    let crawl = &w.crawls[0];
+    let sssp = w.sssp(crawl);
+
+    let full = w
+        .ariadne
+        .capture(&sssp, &crawl.weighted, &CaptureSpec::full())
+        .unwrap()
+        .store;
+    let custom = w
+        .ariadne
+        .capture(
+            &sssp,
+            &crawl.weighted,
+            &queries::capture_backward_custom().unwrap(),
+        )
+        .unwrap()
+        .store;
+    let sigma = full.max_superstep().unwrap();
+    let target = full
+        .layer(sigma)
+        .iter()
+        .find(|(p, _)| p == "superstep")
+        .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
+        .map(VertexId)
+        .unwrap();
+    let q10 = queries::backward_lineage(target, sigma).unwrap();
+    let q12 = queries::backward_lineage_custom(target, sigma).unwrap();
+
+    let mut group = c.benchmark_group("fig12_backward");
+    group.sample_size(10);
+    group.bench_function("q10_full_layered", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .layered(&crawl.weighted, &full, &q10)
+                    .unwrap()
+                    .query_results
+                    .len("back_lineage"),
+            )
+        })
+    });
+    group.bench_function("q12_custom_layered", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .layered(&crawl.weighted, &custom, &q12)
+                    .unwrap()
+                    .query_results
+                    .len("back_lineage"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backward);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Tables 3/4 and Figure 7 bench: baseline vs full capture (Query 2) vs
+//! custom capture (Query 3).
+
+use ariadne::queries;
+use ariadne::CaptureSpec;
+use ariadne_bench::{ExperimentConfig, Workloads};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_capture(c: &mut Criterion) {
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    let crawl = &w.crawls[0];
+    let pr = w.pagerank();
+
+    let mut group = c.benchmark_group("fig7_capture");
+    group.sample_size(10);
+    group.bench_function("pagerank_baseline", |b| {
+        b.iter(|| black_box(w.ariadne.baseline(&pr, &crawl.graph).supersteps()))
+    });
+    group.bench_function("pagerank_full_capture", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .capture(&pr, &crawl.graph, &CaptureSpec::full())
+                    .unwrap()
+                    .store
+                    .tuple_count(),
+            )
+        })
+    });
+    let hub = crawl.graph.max_out_degree_vertex().unwrap();
+    let custom = queries::capture_forward_lineage(hub).unwrap();
+    group.bench_function("pagerank_custom_capture", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .capture(&pr, &crawl.graph, &custom)
+                    .unwrap()
+                    .store
+                    .tuple_count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_capture);
+criterion_main!(benches);

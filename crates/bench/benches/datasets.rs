@@ -1,0 +1,27 @@
+//! Table 2 bench: dataset generation and statistics.
+
+use ariadne_bench::{ExperimentConfig, Workloads};
+use ariadne_graph::generators::{paper_graph, Dataset};
+use ariadne_graph::stats::graph_stats;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("generate_in04_model", |b| {
+        b.iter(|| black_box(paper_graph(Dataset::In04, 40_000)))
+    });
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    group.bench_function("stats_all_crawls", |b| {
+        b.iter(|| {
+            for crawl in &w.crawls {
+                black_box(graph_stats(&crawl.graph, 8));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datasets);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Figure 8 bench: monitoring queries 4/5/6 in the three evaluation
+//! modes, against the bare analytic.
+
+use ariadne::queries;
+use ariadne::CaptureSpec;
+use ariadne_bench::{ExperimentConfig, Workloads};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_monitoring(c: &mut Criterion) {
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    let crawl = &w.crawls[0];
+    let sssp = w.sssp(crawl);
+    let q5 = queries::sssp_wcc_value_check().unwrap();
+    let q6 = queries::sssp_wcc_no_message_no_change().unwrap();
+    let store = w
+        .ariadne
+        .capture(&sssp, &crawl.weighted, &CaptureSpec::full())
+        .unwrap()
+        .store;
+
+    let mut group = c.benchmark_group("fig8_monitoring");
+    group.sample_size(10);
+    group.bench_function("sssp_baseline", |b| {
+        b.iter(|| black_box(w.ariadne.baseline(&sssp, &crawl.weighted).supersteps()))
+    });
+    group.bench_function("sssp_q5_online", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .online(&sssp, &crawl.weighted, &q5)
+                    .unwrap()
+                    .query_results
+                    .total_tuples(),
+            )
+        })
+    });
+    group.bench_function("sssp_q6_online", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .online(&sssp, &crawl.weighted, &q6)
+                    .unwrap()
+                    .query_results
+                    .total_tuples(),
+            )
+        })
+    });
+    group.bench_function("sssp_q5_layered", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .layered(&crawl.weighted, &store, &q5)
+                    .unwrap()
+                    .layers,
+            )
+        })
+    });
+    group.bench_function("sssp_q5_naive", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .naive(&crawl.weighted, &store, &q5)
+                    .unwrap()
+                    .unfolded_nodes,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitoring);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 10 / Tables 5–6 bench: original vs apt-optimized analytics.
+
+use ariadne_analytics::pagerank::DeltaPageRank;
+use ariadne_analytics::{ApproxSssp, Sssp};
+use ariadne_bench::{ExperimentConfig, Workloads};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_optimized(c: &mut Criterion) {
+    let w = Workloads::prepare(ExperimentConfig::mini());
+    let crawl = &w.crawls[0];
+    let steps = w.config.pagerank_supersteps;
+
+    let mut group = c.benchmark_group("fig10_optimized");
+    group.sample_size(10);
+    group.bench_function("pagerank_exact", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .baseline(&DeltaPageRank::exact(steps), &crawl.graph)
+                    .metrics
+                    .total_messages(),
+            )
+        })
+    });
+    group.bench_function("pagerank_approx_0_01", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .baseline(&DeltaPageRank::approximate(steps, 0.01), &crawl.graph)
+                    .metrics
+                    .total_messages(),
+            )
+        })
+    });
+    group.bench_function("sssp_exact", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .baseline(&Sssp::new(crawl.source), &crawl.weighted)
+                    .metrics
+                    .total_messages(),
+            )
+        })
+    });
+    group.bench_function("sssp_approx_0_1", |b| {
+        b.iter(|| {
+            black_box(
+                w.ariadne
+                    .baseline(&ApproxSssp::new(crawl.source, 0.1), &crawl.weighted)
+                    .metrics
+                    .total_messages(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimized);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--scale DENOM] [--als-scale DENOM] [--threads N] [EXPERIMENT...]
+//!
+//! EXPERIMENT: table2 table3 table4 table5 table6
+//!             fig7 fig8 fig9 fig10 fig11 fig12 wcc
+//!             all (default)
+//! ```
+
+use ariadne_bench::{config::ExperimentConfig, figures, report, tables, Workloads};
+use std::time::Instant;
+
+fn main() {
+    let mut config = ExperimentConfig::default();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                config.denominator = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            "--als-scale" => {
+                config.als_denominator = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--als-scale needs a number");
+            }
+            "--threads" => {
+                config.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--supersteps" => {
+                config.pagerank_supersteps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--supersteps needs a number");
+            }
+            "--mini" => config = ExperimentConfig::mini(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--scale N] [--als-scale N] [--threads N] [--supersteps N] [--mini] [EXPERIMENT...]"
+                );
+                return;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "table2", "table3", "table4", "fig7", "fig8", "fig9", "fig10", "fig11", "table5",
+            "table6", "wcc", "sweep", "fig12",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    eprintln!(
+        "preparing workloads (web crawls at 1/{}, MovieLens at 1/{}, {} thread(s))...",
+        config.denominator, config.als_denominator, config.threads
+    );
+    let t0 = Instant::now();
+    let w = Workloads::prepare(config);
+    eprintln!("workloads ready in {:.2}s", t0.elapsed().as_secs_f64());
+
+    for name in &wanted {
+        let t0 = Instant::now();
+        match name.as_str() {
+            "table2" => {
+                println!("\n## Table 2 — dataset characteristics (scale models)\n");
+                println!("{}", report::render_table2(&tables::table2(&w)));
+            }
+            "table3" => {
+                println!("\n## Table 3 — full provenance size vs input (Query 2)\n");
+                println!("{}", report::render_sizes(&tables::table3(&w)));
+            }
+            "table4" => {
+                println!("\n## Table 4 — custom provenance size (Query 3)\n");
+                println!("{}", report::render_sizes(&tables::table4(&w)));
+            }
+            "table5" => {
+                println!("\n## Table 5 — PageRank relative error (L2), eps = 0.01\n");
+                println!("{}", report::render_errors(&tables::table5(&w), "L2"));
+            }
+            "table6" => {
+                println!("\n## Table 6 — SSSP relative error (L1), eps = 0.1\n");
+                println!("{}", report::render_errors(&tables::table6(&w), "L1"));
+            }
+            "fig7" => {
+                println!("\n## Figure 7 — capture runtime: full vs custom\n");
+                println!("{}", report::render_fig7(&figures::fig7(&w)));
+            }
+            "fig8" => {
+                println!("\n## Figure 8 — monitoring queries 4/5/6, three modes\n");
+                println!("{}", report::render_modes(&figures::fig8(&w)));
+            }
+            "fig9" => {
+                println!("\n## Figure 9 — ALS queries 7/8, online\n");
+                println!("{}", report::render_fig9(&figures::fig9(&w)));
+            }
+            "fig10" => {
+                println!("\n## Figure 10 — optimized analytic speedup\n");
+                println!("{}", report::render_fig10(&figures::fig10(&w)));
+            }
+            "fig11" => {
+                println!("\n## Figure 11 — apt query (Query 1), three modes\n");
+                println!("{}", report::render_fig11(&figures::fig11(&w)));
+            }
+            "fig12" => {
+                println!("\n## Figure 12 — backward lineage: full (Q10) vs custom (Q12)\n");
+                println!("{}", report::render_fig12(&figures::fig12(&w)));
+            }
+            "sweep" => {
+                println!("\n## §2.2 — apt threshold sweep (delta-PageRank, UK-02 model)\n");
+                println!("{}", report::render_sweep(&figures::sweep(&w)));
+            }
+            "wcc" => {
+                println!("\n## §6.2.2 — WCC: the optimization apt rightly rejects\n");
+                println!("{}", report::render_wcc(&figures::wcc_narrative(&w)));
+            }
+            other => eprintln!("unknown experiment {other:?} (see --help)"),
+        }
+        eprintln!("[{name} done in {:.2}s]", t0.elapsed().as_secs_f64());
+    }
+}

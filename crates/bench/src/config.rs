@@ -1,0 +1,64 @@
+//! Experiment configuration.
+
+/// Knobs for the experiment harness.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// The web-crawl datasets are modelled at `1/denominator` of their
+    /// Table-2 vertex counts.
+    pub denominator: u64,
+    /// The MovieLens model's scale denominator.
+    pub als_denominator: u64,
+    /// PageRank superstep count (the paper ran 20).
+    pub pagerank_supersteps: u32,
+    /// Engine worker threads.
+    pub threads: usize,
+    /// Naive-mode materialization budget in tuples: runs beyond it fail
+    /// with the paper's "Naive was not able to scale" outcome.
+    pub naive_budget: usize,
+    /// ALS feature counts to sweep (the paper uses 5, 10, 15).
+    pub als_ranks: Vec<usize>,
+    /// ALS superstep cap.
+    pub als_supersteps: u32,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            denominator: 4000,
+            als_denominator: 200,
+            pagerank_supersteps: 20,
+            threads: 1,
+            naive_budget: 3_000_000,
+            als_ranks: vec![5, 10, 15],
+            als_supersteps: 11,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A microscopic configuration for unit tests of the harness itself.
+    pub fn tiny() -> Self {
+        ExperimentConfig {
+            denominator: 200_000,
+            als_denominator: 4_000,
+            pagerank_supersteps: 5,
+            naive_budget: 10_000_000,
+            als_ranks: vec![4],
+            als_supersteps: 5,
+            ..Default::default()
+        }
+    }
+
+    /// A miniature configuration for Criterion benches and smoke tests.
+    pub fn mini() -> Self {
+        ExperimentConfig {
+            denominator: 40_000,
+            als_denominator: 1_000,
+            pagerank_supersteps: 8,
+            naive_budget: 10_000_000,
+            als_ranks: vec![5],
+            als_supersteps: 7,
+            ..Default::default()
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Tables 2–6 of the paper.
+
+use crate::workloads::Workloads;
+use ariadne::queries;
+use ariadne::CaptureSpec;
+use ariadne_analytics::error::{median, relative_error};
+use ariadne_analytics::pagerank::{delta_ranks, DeltaPageRank};
+use ariadne_analytics::{ApproxSssp, Sssp};
+use ariadne_graph::generators::Dataset;
+use ariadne_graph::stats::graph_stats;
+use ariadne_graph::Csr;
+
+/// One row of Table 2 (dataset characteristics).
+#[derive(Clone, Debug)]
+pub struct Table2Row {
+    /// Dataset short name.
+    pub dataset: &'static str,
+    /// Scale-model vertex count.
+    pub vertices: usize,
+    /// Scale-model edge count.
+    pub edges: usize,
+    /// Average degree (paper full-scale value in `paper_avg_degree`).
+    pub avg_degree: f64,
+    /// Approximate average distance (sampled BFS).
+    pub avg_diameter: f64,
+    /// The paper's full-scale |V|.
+    pub paper_vertices: u64,
+    /// The paper's full-scale |E|.
+    pub paper_edges: u64,
+    /// The paper's average degree.
+    pub paper_avg_degree: f64,
+}
+
+/// Table 2: dataset characteristics of the scale models.
+pub fn table2(w: &Workloads) -> Vec<Table2Row> {
+    let mut rows: Vec<Table2Row> = w
+        .crawls
+        .iter()
+        .map(|c| {
+            let s = graph_stats(&c.graph, 8);
+            Table2Row {
+                dataset: c.dataset.name(),
+                vertices: s.vertices,
+                edges: s.edges,
+                avg_degree: s.avg_degree,
+                avg_diameter: s.avg_diameter,
+                paper_vertices: c.dataset.full_vertices(),
+                paper_edges: c.dataset.full_edges(),
+                paper_avg_degree: c.dataset.avg_degree(),
+            }
+        })
+        .collect();
+    let ml = graph_stats(&w.ratings.graph, 8);
+    rows.push(Table2Row {
+        dataset: Dataset::Ml20.name(),
+        vertices: ml.vertices,
+        edges: ml.edges,
+        avg_degree: ml.avg_degree,
+        avg_diameter: ml.avg_diameter,
+        paper_vertices: Dataset::Ml20.full_vertices(),
+        paper_edges: Dataset::Ml20.full_edges(),
+        paper_avg_degree: Dataset::Ml20.avg_degree(),
+    });
+    rows
+}
+
+/// One row of Tables 3/4 (provenance size vs input size).
+#[derive(Clone, Debug)]
+pub struct SizeRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Analytic name.
+    pub analytic: &'static str,
+    /// Input graph bytes.
+    pub input_bytes: usize,
+    /// Captured provenance bytes.
+    pub prov_bytes: usize,
+    /// prov / input ratio.
+    pub ratio: f64,
+    /// Fraction of input vertices carrying provenance (Table 4's
+    /// "contains more than 80% of the input vertices" claim).
+    pub vertex_coverage: f64,
+}
+
+fn size_row(
+    dataset: &'static str,
+    analytic: &'static str,
+    graph: &Csr,
+    store: &ariadne_provenance::ProvStore,
+) -> SizeRow {
+    // Count distinct vertices appearing as tuple locations.
+    let mut seen = vec![false; graph.num_vertices()];
+    if let Some(max) = store.max_superstep() {
+        for s in 0..=max {
+            for (_, tuples) in store.layer(s) {
+                for t in tuples {
+                    if let Some(v) = t.first().and_then(|v| v.as_id()) {
+                        if (v as usize) < seen.len() {
+                            seen[v as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let covered = seen.iter().filter(|&&b| b).count();
+    let input_bytes = graph.byte_size();
+    let prov_bytes = store.byte_size();
+    SizeRow {
+        dataset,
+        analytic,
+        input_bytes,
+        prov_bytes,
+        ratio: prov_bytes as f64 / input_bytes.max(1) as f64,
+        vertex_coverage: covered as f64 / graph.num_vertices().max(1) as f64,
+    }
+}
+
+/// Table 3: full provenance graph size (Query 2) vs input size.
+pub fn table3(w: &Workloads) -> Vec<SizeRow> {
+    let mut rows = Vec::new();
+    for c in &w.crawls {
+        let pr = w
+            .ariadne
+            .capture(&w.pagerank(), &c.graph, &CaptureSpec::full())
+            .unwrap();
+        rows.push(size_row(c.dataset.name(), "PageRank", &c.graph, &pr.store));
+        let ss = w
+            .ariadne
+            .capture(&w.sssp(c), &c.weighted, &CaptureSpec::full())
+            .unwrap();
+        rows.push(size_row(c.dataset.name(), "SSSP", &c.weighted, &ss.store));
+        let wc = w
+            .ariadne
+            .capture(&w.wcc(), &c.graph, &CaptureSpec::full())
+            .unwrap();
+        rows.push(size_row(c.dataset.name(), "WCC", &c.graph, &wc.store));
+    }
+    rows
+}
+
+/// Table 4: custom provenance size (Query 3, forward lineage from the
+/// highest-degree vertex for PageRank/WCC and from the source for SSSP).
+pub fn table4(w: &Workloads) -> Vec<SizeRow> {
+    let mut rows = Vec::new();
+    for c in &w.crawls {
+        let hub = c.graph.max_out_degree_vertex().unwrap();
+        let spec_hub = queries::capture_forward_lineage(hub).unwrap();
+        let spec_src = queries::capture_forward_lineage(c.source).unwrap();
+
+        let pr = w
+            .ariadne
+            .capture(&w.pagerank(), &c.graph, &spec_hub)
+            .unwrap();
+        rows.push(size_row(c.dataset.name(), "PageRank", &c.graph, &pr.store));
+        let ss = w
+            .ariadne
+            .capture(&w.sssp(c), &c.weighted, &spec_src)
+            .unwrap();
+        rows.push(size_row(c.dataset.name(), "SSSP", &c.weighted, &ss.store));
+        let wc = w.ariadne.capture(&w.wcc(), &c.graph, &spec_hub).unwrap();
+        rows.push(size_row(c.dataset.name(), "WCC", &c.graph, &wc.store));
+    }
+    rows
+}
+
+/// One row of Tables 5/6 (approximation error).
+#[derive(Clone, Debug)]
+pub struct ErrorRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Normalized relative error (L2 for PageRank, L1 for SSSP).
+    pub error: f64,
+    /// Median of the original analytic's results.
+    pub median_original: f64,
+    /// Median of the optimized analytic's results.
+    pub median_optimized: f64,
+}
+
+/// Table 5: PageRank relative error (L2) for ε = 0.01, plus medians.
+pub fn table5(w: &Workloads) -> Vec<ErrorRow> {
+    let steps = w.config.pagerank_supersteps;
+    w.crawls
+        .iter()
+        .map(|c| {
+            let exact = w.ariadne.baseline(&DeltaPageRank::exact(steps), &c.graph);
+            let approx = w
+                .ariadne
+                .baseline(&DeltaPageRank::approximate(steps, 0.01), &c.graph);
+            let r0 = delta_ranks(&exact.values);
+            let r1 = delta_ranks(&approx.values);
+            ErrorRow {
+                dataset: c.dataset.name(),
+                error: relative_error(&r0, &r1, 2.0),
+                median_original: median(&r0),
+                median_optimized: median(&r1),
+            }
+        })
+        .collect()
+}
+
+/// Table 6: SSSP relative error (L1) for ε = 0.1, plus medians.
+pub fn table6(w: &Workloads) -> Vec<ErrorRow> {
+    w.crawls
+        .iter()
+        .map(|c| {
+            let exact = w.ariadne.baseline(&Sssp::new(c.source), &c.weighted);
+            let approx = w
+                .ariadne
+                .baseline(&ApproxSssp::new(c.source, 0.1), &c.weighted);
+            ErrorRow {
+                dataset: c.dataset.name(),
+                error: relative_error(&exact.values, &approx.values, 1.0),
+                median_original: median(&exact.values),
+                median_optimized: median(&approx.values),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+
+    fn mini() -> Workloads {
+        Workloads::prepare(ExperimentConfig::mini())
+    }
+
+    #[test]
+    fn table2_has_five_rows() {
+        let rows = table2(&mini());
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.vertices > 0 && r.edges > 0));
+    }
+
+    #[test]
+    fn table3_provenance_exceeds_input() {
+        let w = mini();
+        let rows = table3(&w);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(r.ratio > 1.0, "{}/{} ratio {}", r.dataset, r.analytic, r.ratio);
+        }
+    }
+
+    #[test]
+    fn table4_custom_smaller_than_input_scale() {
+        let w = mini();
+        let full = table3(&w);
+        let custom = table4(&w);
+        for (f, c) in full.iter().zip(&custom) {
+            assert!(
+                c.prov_bytes < f.prov_bytes,
+                "{}/{}: custom {} >= full {}",
+                c.dataset,
+                c.analytic,
+                c.prov_bytes,
+                f.prov_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn error_tables_small_errors() {
+        let w = mini();
+        for r in table5(&w) {
+            assert!(r.error < 0.1, "PageRank error {} on {}", r.error, r.dataset);
+            assert!(r.median_original.is_finite());
+        }
+        for r in table6(&w) {
+            assert!(r.error < 0.3, "SSSP error {} on {}", r.error, r.dataset);
+        }
+    }
+}

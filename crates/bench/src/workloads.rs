@@ -1,0 +1,100 @@
+//! Shared workloads: the scale-model datasets and analytic instances.
+
+use crate::config::ExperimentConfig;
+use ariadne::session::Ariadne;
+use ariadne_analytics::{PageRank, Sssp, Wcc};
+use ariadne_graph::generators::{paper_graph, paper_ratings, BipartiteRatings, Dataset};
+use ariadne_graph::{Csr, VertexId};
+use ariadne_provenance::StoreConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One prepared web-crawl dataset: the unweighted graph (PageRank, WCC)
+/// and its weighted variant (SSSP; random positive weights in (0, 1], as
+/// §6 assigns).
+pub struct CrawlWorkload {
+    /// Which paper dataset this models.
+    pub dataset: Dataset,
+    /// Unweighted scale model.
+    pub graph: Csr,
+    /// Weighted variant for SSSP.
+    pub weighted: Csr,
+    /// SSSP source (vertex 0, consistently reachable in R-MAT models).
+    pub source: VertexId,
+}
+
+/// All prepared workloads plus the system handle.
+pub struct Workloads {
+    /// The experiment configuration.
+    pub config: ExperimentConfig,
+    /// The four web-crawl models.
+    pub crawls: Vec<CrawlWorkload>,
+    /// The MovieLens model.
+    pub ratings: BipartiteRatings,
+    /// The configured Ariadne handle.
+    pub ariadne: Ariadne,
+}
+
+impl Workloads {
+    /// Build every dataset for `config`.
+    pub fn prepare(config: ExperimentConfig) -> Self {
+        let crawls = Dataset::web_crawls()
+            .into_iter()
+            .map(|dataset| {
+                let graph = paper_graph(dataset, config.denominator);
+                let mut rng = StdRng::seed_from_u64(0xBEEF ^ dataset as u64);
+                let weighted = graph.map_weights(|_, _, _| 0.001 + rng.gen::<f64>());
+                CrawlWorkload {
+                    dataset,
+                    graph,
+                    weighted,
+                    source: VertexId(0),
+                }
+            })
+            .collect();
+        let ratings = paper_ratings(config.als_denominator);
+        let mut ariadne = Ariadne::with_threads(config.threads);
+        ariadne.naive_budget = Some(config.naive_budget);
+        ariadne.store = StoreConfig::in_memory();
+        Workloads {
+            config,
+            crawls,
+            ratings,
+            ariadne,
+        }
+    }
+
+    /// The PageRank instance used across experiments.
+    pub fn pagerank(&self) -> PageRank {
+        PageRank {
+            supersteps: self.config.pagerank_supersteps,
+            ..Default::default()
+        }
+    }
+
+    /// The SSSP instance for a crawl.
+    pub fn sssp(&self, crawl: &CrawlWorkload) -> Sssp {
+        Sssp::new(crawl.source)
+    }
+
+    /// The WCC instance.
+    pub fn wcc(&self) -> Wcc {
+        Wcc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_workloads_build() {
+        let w = Workloads::prepare(ExperimentConfig::mini());
+        assert_eq!(w.crawls.len(), 4);
+        for c in &w.crawls {
+            assert!(c.graph.num_vertices() >= 64);
+            assert_eq!(c.graph.num_edges(), c.weighted.num_edges());
+        }
+        assert!(w.ratings.num_ratings() > 0);
+    }
+}

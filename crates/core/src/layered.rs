@@ -1,0 +1,242 @@
+//! Layered offline evaluation (§5.1).
+//!
+//! Directed queries evaluate over the captured provenance one layer (=
+//! superstep) at a time — ascending for forward queries, descending for
+//! backward ones (Lemma 5.3: at most n+1 rounds). Each round:
+//!
+//! 1. the layer's stored tuples are injected into their owning vertices'
+//!    partitions (and then dropped — only one layer is materialized);
+//! 2. every touched vertex runs its incremental local fixpoint;
+//! 3. fresh tuples of shipped predicates travel one hop — to
+//!    out-neighbours for forward queries, to in-neighbours for backward
+//!    ones — and are joined by their receivers in the next round.
+//!
+//! The driver is the same per-vertex machinery as online evaluation
+//! ([`crate::state::QueryState`]); only the tuple source differs (replay
+//! from the store instead of live generation).
+
+use crate::compile::CompiledQuery;
+use crate::session::AriadneError;
+use crate::state::QueryState;
+use ariadne_graph::{Csr, VertexId};
+use ariadne_pql::{Database, Direction};
+use ariadne_provenance::ProvStore;
+use std::collections::BTreeSet;
+
+/// The outcome of a layered evaluation.
+#[derive(Debug)]
+pub struct LayeredRun {
+    /// Merged query tables across vertices.
+    pub query_results: Database,
+    /// Number of layers replayed.
+    pub layers: u32,
+    /// Total replica tuples shipped between vertices.
+    pub shipped_tuples: usize,
+}
+
+/// Evaluate `query` over the captured `store` in layered fashion.
+pub fn run_layered(
+    graph: &Csr,
+    store: &ProvStore,
+    query: &CompiledQuery,
+) -> Result<LayeredRun, AriadneError> {
+    let direction = query.direction();
+    if !direction.supports_layered() {
+        return Err(AriadneError::UnsupportedMode {
+            mode: "layered",
+            direction,
+        });
+    }
+    let Some(max_step) = store.max_superstep() else {
+        return Ok(LayeredRun {
+            query_results: Database::new(),
+            layers: 0,
+            shipped_tuples: 0,
+        });
+    };
+
+    let ascending = direction != Direction::Backward;
+    let order: Vec<u32> = if ascending {
+        (0..=max_step).collect()
+    } else {
+        (0..=max_step).rev().collect()
+    };
+
+    let analyzed = query.query();
+    let needed_statics = &analyzed.edbs;
+    let shipped: Vec<&String> = analyzed.shipped.iter().collect();
+    let n = graph.num_vertices();
+    let mut states: Vec<QueryState> = vec![QueryState::new(); n];
+    let mut pending: BTreeSet<usize> = BTreeSet::new();
+    let mut shipped_tuples = 0usize;
+
+    // Descending replay visits layer 0 last, but layer 0 carries the
+    // *structural* annotations of the compact representation (static
+    // relations like Query 11's `prov_edges`, graph EDBs, initial
+    // values) that backward rules join at every layer. Pre-inject it:
+    // sound because derivations are monotone and directed backward
+    // queries are negation-free over layer data.
+    let mut layer0_owners: BTreeSet<usize> = BTreeSet::new();
+    if !ascending {
+        for (pred, tuples) in store.layer(0) {
+            for t in tuples {
+                if let Some(v) = t.first().and_then(|v| v.as_id()) {
+                    let vi = v as usize;
+                    if vi < n {
+                        states[vi].db.insert(&pred, t);
+                        layer0_owners.insert(vi);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut rounds = 0u32;
+    for layer in order {
+        rounds += 1;
+        // 1. Inject this layer's tuples into their owners.
+        let mut touched = std::mem::take(&mut pending);
+        if !ascending && layer == 0 {
+            // Already injected up front; just evaluate the owners.
+            touched.extend(layer0_owners.iter().copied());
+        } else {
+            for (pred, tuples) in store.layer(layer) {
+                for t in tuples {
+                    let Some(v) = t.first().and_then(|v| v.as_id()) else {
+                        continue;
+                    };
+                    let vi = v as usize;
+                    if vi < n {
+                        states[vi].db.insert(&pred, t);
+                        touched.insert(vi);
+                    }
+                }
+            }
+        }
+
+        // 2. Evaluate touched vertices; 3. ship their fresh tuples.
+        for &vi in &touched {
+            let vertex = VertexId(vi as u64);
+            states[vi].inject_statics(graph, vertex, needed_statics);
+            states[vi]
+                .evaluate(query.evaluator(), vertex)
+                .map_err(AriadneError::Pql)?;
+            if shipped.is_empty() {
+                continue;
+            }
+            let fresh = states[vi].take_shippable(shipped.iter().map(|s| s.as_str()), vertex);
+            if fresh.is_empty() {
+                continue;
+            }
+            // Route replicas over both edge directions: analytics like
+            // WCC message their in-neighbours too, so the communication
+            // graph is a superset of the out-adjacency. Shipping to a
+            // superset of the true routes is always sound (replicas are
+            // true tuples at their true locations); receivers whose
+            // message predicates don't join them simply ignore them.
+            let mut neighbors: Vec<VertexId> = graph
+                .out_neighbors(vertex)
+                .iter()
+                .chain(graph.in_neighbors(vertex))
+                .copied()
+                .collect();
+            neighbors.sort_unstable();
+            neighbors.dedup();
+            for (pred, tuples) in &fresh {
+                shipped_tuples += tuples.len() * neighbors.len();
+                for &nb in &neighbors {
+                    states[nb.index()].inject(pred, tuples.iter().cloned());
+                    pending.insert(nb.index());
+                }
+            }
+        }
+    }
+
+    // Final flush: vertices holding just-delivered replicas evaluate once
+    // more (their joins may close without any further layer input).
+    for vi in std::mem::take(&mut pending) {
+        let vertex = VertexId(vi as u64);
+        states[vi]
+            .evaluate(query.evaluator(), vertex)
+            .map_err(AriadneError::Pql)?;
+    }
+
+    // Merge IDB results.
+    let mut merged = Database::new();
+    for state in &states {
+        for (name, rel) in state.db.iter() {
+            if analyzed.idbs.contains_key(name) {
+                for t in rel.scan() {
+                    merged.insert(name, t.clone());
+                }
+            }
+        }
+    }
+    Ok(LayeredRun {
+        query_results: merged,
+        layers: rounds,
+        shipped_tuples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::session::AriadneError;
+    use ariadne_graph::generators::regular::path;
+    use ariadne_pql::{Params, Value};
+    use ariadne_provenance::{ProvStore, StoreConfig};
+
+    #[test]
+    fn empty_store_returns_empty_results() {
+        let g = path(3);
+        let store = ProvStore::new(StoreConfig::in_memory());
+        let q = compile("p(x, i) :- superstep(x, i).", Params::new()).unwrap();
+        let run = run_layered(&g, &store, &q).unwrap();
+        assert_eq!(run.layers, 0);
+        assert_eq!(run.shipped_tuples, 0);
+        assert!(run.query_results.is_empty());
+    }
+
+    #[test]
+    fn mixed_query_rejected() {
+        let g = path(3);
+        let store = ProvStore::new(StoreConfig::in_memory());
+        let q = compile(
+            "t(y, i) :- superstep(y, i).
+             s(z, i) :- superstep(z, i).
+             r(x, i) :- t(y, j), receive_message(x, y, m, i), s(z, k), send_message(x, z, m, i).",
+            Params::new(),
+        )
+        .unwrap();
+        match run_layered(&g, &store, &q) {
+            Err(AriadneError::UnsupportedMode { mode, .. }) => assert_eq!(mode, "layered"),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_query_over_replayed_layers() {
+        // Hand-build a store: vertex 1 active at supersteps 0 and 2.
+        let g = path(3);
+        let mut store = ProvStore::new(StoreConfig::in_memory());
+        store.ingest(0, "superstep", vec![vec![Value::Id(1), Value::Int(0)]]);
+        store.ingest(2, "superstep", vec![vec![Value::Id(1), Value::Int(2)]]);
+        let q = compile("active(x, i) :- superstep(x, i).", Params::new()).unwrap();
+        let run = run_layered(&g, &store, &q).unwrap();
+        assert_eq!(run.layers, 3); // layers 0, 1 (empty), 2
+        assert_eq!(run.query_results.len("active"), 2);
+    }
+
+    #[test]
+    fn out_of_range_locations_skipped() {
+        // Tuples for vertices outside the graph are ignored, not a panic.
+        let g = path(2);
+        let mut store = ProvStore::new(StoreConfig::in_memory());
+        store.ingest(0, "superstep", vec![vec![Value::Id(99), Value::Int(0)]]);
+        let q = compile("active(x, i) :- superstep(x, i).", Params::new()).unwrap();
+        let run = run_layered(&g, &store, &q).unwrap();
+        assert_eq!(run.query_results.len("active"), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Naive offline evaluation — the traditional capture-first,
+//! query-offline baseline (§6.2's *Naive* series).
+//!
+//! This is "straightforward offline querying on the captured provenance
+//! graph": the **whole** provenance graph is materialized at once (per
+//! input vertex, its compact annotation tables; plus the unfolded view),
+//! and the query vertex program iterates over *all* vertices round after
+//! round — shipping replica tables to every neighbour each round — until
+//! a global fixpoint. No layer ordering is exploited, which is exactly
+//! why this mode is slow and memory-hungry: the paper's Naive "was not
+//! able to scale beyond the two smallest datasets in any of our
+//! experiments". A configurable tuple budget reproduces that failure
+//! deterministically.
+//!
+//! Strata are completed globally before the next stratum starts, so
+//! stratified negation never races replica arrival.
+//!
+//! The module also provides [`run_centralized`]: a single-database
+//! semi-naive evaluation used as the correctness oracle in the test suite
+//! and as the only option for queries that are not VC-compatible.
+
+use crate::compile::CompiledQuery;
+use crate::session::AriadneError;
+use crate::state::QueryState;
+use ariadne_graph::{Csr, VertexId};
+use ariadne_pql::{Database, Value};
+use ariadne_provenance::{ProvStore, UnfoldedGraph};
+
+/// The outcome of a naive evaluation.
+#[derive(Debug)]
+pub struct NaiveRun {
+    /// Merged query tables (IDB results).
+    pub database: Database,
+    /// Nodes of the materialized unfolded provenance graph.
+    pub unfolded_nodes: usize,
+    /// Edges of the materialized unfolded provenance graph.
+    pub unfolded_edges: usize,
+    /// Global rounds until fixpoint.
+    pub rounds: u32,
+}
+
+/// Evaluate `query` naively over the whole materialized provenance.
+///
+/// `tuple_budget` simulates the memory ceiling of the evaluation cluster:
+/// if the materialized provenance exceeds it, the run fails with
+/// [`AriadneError::NaiveOverflow`] like the paper's Naive runs on the
+/// larger datasets.
+pub fn run_naive(
+    graph: &Csr,
+    store: &ProvStore,
+    query: &CompiledQuery,
+    tuple_budget: Option<usize>,
+) -> Result<NaiveRun, AriadneError> {
+    let total = store.tuple_count();
+    if let Some(budget) = tuple_budget {
+        if total > budget {
+            return Err(AriadneError::NaiveOverflow {
+                tuples: total,
+                budget,
+            });
+        }
+    }
+    if !query.direction().is_vc_compatible() {
+        // Unguarded remote references cannot run as a vertex program at
+        // all; the only option is the centralized engine.
+        let database = run_centralized(graph, store, query)?;
+        return Ok(NaiveRun {
+            database,
+            unfolded_nodes: 0,
+            unfolded_edges: 0,
+            rounds: 1,
+        });
+    }
+
+    let analyzed = query.query();
+    let n = graph.num_vertices();
+    let mut states: Vec<QueryState> = vec![QueryState::new(); n];
+
+    // Materialize everything at once: all layers into their vertices...
+    if let Some(max) = store.max_superstep() {
+        for s in 0..=max {
+            for (pred, tuples) in store.layer(s) {
+                for t in tuples {
+                    if let Some(v) = t.first().and_then(|v| v.as_id()) {
+                        if (v as usize) < n {
+                            states[v as usize].db.insert(&pred, t);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for v in graph.vertices() {
+        states[v.index()].inject_statics(graph, v, &analyzed.edbs);
+    }
+    // ...plus the unfolded graph view (part of the memory blowup).
+    let mut full_db = Database::new();
+    for st in &states {
+        for (name, rel) in st.db.iter() {
+            for t in rel.scan() {
+                full_db.insert(name, t.clone());
+            }
+        }
+    }
+    let unfolded = UnfoldedGraph::from_database(&full_db);
+    drop(full_db);
+
+    // Global fixpoint, stratum by stratum. Within a stratum, every round
+    // evaluates every vertex and ships fresh shipped-table tuples to all
+    // neighbours (both directions: the whole-graph mode has no layer
+    // ordering to restrict routes).
+    let shipped: Vec<&String> = analyzed.shipped.iter().collect();
+    let evaluator = query.evaluator();
+    let mut rounds = 0u32;
+
+    // Priming round: replicate shipped EDB partitions before any rule
+    // evaluates, so remote negation never reads an incomplete replica.
+    ship_fresh(graph, &mut states, &shipped, &mut rounds);
+
+    for stratum in 0..evaluator.num_strata() {
+        loop {
+            rounds += 1;
+            for (vi, state) in states.iter_mut().enumerate() {
+                state
+                    .evaluate_stratum(evaluator, VertexId(vi as u64), stratum)
+                    .map_err(AriadneError::Pql)?;
+            }
+            let mut dummy = 0;
+            if !ship_fresh(graph, &mut states, &shipped, &mut dummy) {
+                break;
+            }
+        }
+    }
+
+    // Merge IDB results.
+    let mut merged = Database::new();
+    for st in &states {
+        for (name, rel) in st.db.iter() {
+            if analyzed.idbs.contains_key(name) {
+                for t in rel.scan() {
+                    merged.insert(name, t.clone());
+                }
+            }
+        }
+    }
+    Ok(NaiveRun {
+        database: merged,
+        unfolded_nodes: unfolded.num_nodes(),
+        unfolded_edges: unfolded.num_edges(),
+        rounds,
+    })
+}
+
+/// Ship every vertex's fresh shipped-table tuples to all its neighbours
+/// (both directions). Returns whether anything moved.
+fn ship_fresh(
+    graph: &Csr,
+    states: &mut [QueryState],
+    shipped: &[&String],
+    rounds: &mut u32,
+) -> bool {
+    if shipped.is_empty() {
+        return false;
+    }
+    *rounds += 1;
+    let mut moved = false;
+    #[allow(clippy::type_complexity)]
+    let mut deliveries: Vec<(usize, String, Vec<ariadne_pql::Tuple>)> = Vec::new();
+    for (vi, state) in states.iter_mut().enumerate() {
+        let vertex = VertexId(vi as u64);
+        let fresh = state.take_shippable(shipped.iter().map(|s| s.as_str()), vertex);
+        if fresh.is_empty() {
+            continue;
+        }
+        let mut neighbors: Vec<VertexId> = graph
+            .out_neighbors(vertex)
+            .iter()
+            .chain(graph.in_neighbors(vertex))
+            .copied()
+            .collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        for (pred, tuples) in fresh {
+            for &nb in &neighbors {
+                deliveries.push((nb.index(), pred.clone(), tuples.clone()));
+            }
+        }
+    }
+    for (vi, pred, tuples) in deliveries {
+        for t in tuples {
+            if states[vi].db.insert(&pred, t) {
+                moved = true;
+            }
+        }
+    }
+    moved
+}
+
+/// Centralized evaluation: load everything into one database and run the
+/// semi-naive engine. The correctness oracle for the other modes, and
+/// the only evaluator for non-VC-compatible queries.
+pub fn run_centralized(
+    graph: &Csr,
+    store: &ProvStore,
+    query: &CompiledQuery,
+) -> Result<Database, AriadneError> {
+    let mut db = store.to_database();
+    let analyzed = query.query();
+    if analyzed.edbs.contains("edge") {
+        for (s, d, _) in graph.edges() {
+            db.insert("edge", vec![Value::Id(s.0), Value::Id(d.0)]);
+        }
+    }
+    if analyzed.edbs.contains("in_edge") {
+        for (s, d, _) in graph.edges() {
+            db.insert("in_edge", vec![Value::Id(d.0), Value::Id(s.0)]);
+        }
+    }
+    query.evaluator().run(&mut db).map_err(AriadneError::Pql)?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use ariadne_graph::generators::regular::path;
+    use ariadne_pql::Params;
+    use ariadne_provenance::StoreConfig;
+
+    fn store_with_steps() -> ProvStore {
+        let mut store = ProvStore::new(StoreConfig::in_memory());
+        store.ingest(
+            0,
+            "superstep",
+            vec![
+                vec![Value::Id(0), Value::Int(0)],
+                vec![Value::Id(1), Value::Int(0)],
+            ],
+        );
+        store
+    }
+
+    #[test]
+    fn budget_guard() {
+        let g = path(2);
+        let store = store_with_steps();
+        let q = compile("active(x, i) :- superstep(x, i).", Params::new()).unwrap();
+        match run_naive(&g, &store, &q, Some(1)) {
+            Err(AriadneError::NaiveOverflow { tuples, budget }) => {
+                assert_eq!(tuples, 2);
+                assert_eq!(budget, 1);
+            }
+            other => panic!("expected overflow, got {other:?}"),
+        }
+        assert!(run_naive(&g, &store, &q, Some(100)).is_ok());
+    }
+
+    #[test]
+    fn local_query_whole_graph() {
+        let g = path(2);
+        let store = store_with_steps();
+        let q = compile("active(x, i) :- superstep(x, i).", Params::new()).unwrap();
+        let run = run_naive(&g, &store, &q, None).unwrap();
+        assert_eq!(run.database.len("active"), 2);
+        assert!(run.unfolded_nodes >= 2);
+        assert!(run.rounds >= 1);
+    }
+
+    #[test]
+    fn unrestricted_queries_fall_back_to_centralized() {
+        let g = path(3);
+        let store = store_with_steps();
+        // t(y, i) is remote and unguarded in r's body.
+        let q = compile(
+            "t(y, i) :- superstep(y, i).
+             r(x, i) :- superstep(x, i), t(y, i), x != y.",
+            Params::new(),
+        )
+        .unwrap();
+        assert!(!q.direction().is_vc_compatible());
+        let run = run_naive(&g, &store, &q, None).unwrap();
+        // Vertices 0 and 1 are both active at superstep 0: each sees the
+        // other in the centralized view.
+        assert_eq!(run.database.len("r"), 2);
+    }
+
+    #[test]
+    fn centralized_injects_graph_edbs() {
+        let g = path(3);
+        let store = ProvStore::new(StoreConfig::in_memory());
+        let q = compile(
+            "deg(x, count(y)) :- edge(x, y).
+             incoming(x, count(y)) :- in_edge(x, y).",
+            Params::new(),
+        )
+        .unwrap();
+        let db = run_centralized(&g, &store, &q).unwrap();
+        assert_eq!(db.len("deg"), 2); // vertices 0 and 1 have out-edges
+        assert_eq!(db.len("incoming"), 2); // vertices 1 and 2 have in-edges
+    }
+}

@@ -1,0 +1,406 @@
+//! Online provenance query evaluation (§5.2).
+//!
+//! [`OnlineProgram`] wraps an **unmodified** analytic vertex program. At
+//! every superstep each vertex:
+//!
+//! 1. merges provenance payloads piggybacked on incoming messages into
+//!    its local query database (neighbour replicas of shipped tables);
+//! 2. runs the analytic's `compute` against a recording context that
+//!    defers its sends;
+//! 3. generates the superstep's provenance EDB tuples (only the
+//!    predicates the query needs — declarative capture customization);
+//! 4. runs the compiled query incrementally to a local fixpoint;
+//! 5. persists newly derived capture tuples to the store (capture runs);
+//! 6. attaches the new tuples of *shipped* predicates to the analytic's
+//!    deferred messages and releases them.
+//!
+//! Query messages therefore travel only where analytic messages travel,
+//! and query state is disjoint from analytic state — the two halves of
+//! Theorem 5.4's non-interference argument, here enforced by types.
+
+use crate::custom::CustomProv;
+use crate::state::QueryState;
+use ariadne_graph::{Csr, VertexId};
+use ariadne_pql::{Evaluator, Tuple};
+use ariadne_provenance::edb::{NeededEdbs, VertexStepRecord};
+use ariadne_provenance::store::StoreSender;
+use ariadne_provenance::ProvEncode;
+use ariadne_vc::{AggOp, AggValue, Aggregates, Combiner, Context, Envelope, VertexProgram};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Persistence half of a capture run.
+#[derive(Clone)]
+pub struct Persist {
+    /// Channel into the async store writer.
+    pub sender: StoreSender,
+    /// Which predicates to persist (raw EDBs + capture-rule heads).
+    pub preds: Arc<BTreeSet<String>>,
+}
+
+/// Configuration of the online wrapper.
+pub struct OnlineConfig<A: VertexProgram> {
+    /// The compiled query to evaluate alongside the analytic, if any
+    /// (pure raw captures have none).
+    pub evaluator: Option<Arc<Evaluator>>,
+    /// Which Table-1 EDB predicates to generate.
+    pub needed: Arc<NeededEdbs>,
+    /// Predicates whose fresh tuples piggyback on analytic messages.
+    pub shipped: Arc<BTreeSet<String>>,
+    /// Capture persistence, if this is a capture run.
+    pub persist: Option<Persist>,
+    /// Analytic-specific custom provenance generator.
+    pub custom: Option<Arc<dyn CustomProv<A>>>,
+}
+
+impl<A: VertexProgram> Clone for OnlineConfig<A> {
+    fn clone(&self) -> Self {
+        OnlineConfig {
+            evaluator: self.evaluator.clone(),
+            needed: self.needed.clone(),
+            shipped: self.shipped.clone(),
+            persist: self.persist.clone(),
+            custom: self.custom.clone(),
+        }
+    }
+}
+
+/// Per-vertex state: the analytic's value plus the query partition.
+#[derive(Clone, Debug)]
+pub struct OnlineState<V> {
+    /// The analytic's vertex value (π_A of Theorem 5.4).
+    pub value: V,
+    /// The query's vertex partition (π_Q of Theorem 5.4).
+    pub q: QueryState,
+}
+
+/// An analytic message with a piggybacked provenance payload.
+#[derive(Clone, Debug)]
+pub struct OnlineMsg<M> {
+    /// The analytic's message, untouched.
+    pub msg: M,
+    /// Fresh shipped-table tuples (shared across a superstep's fan-out).
+    pub payload: Arc<Vec<(String, Vec<Tuple>)>>,
+}
+
+/// The online wrapper program. See module docs.
+pub struct OnlineProgram<'a, A: VertexProgram> {
+    analytic: &'a A,
+    config: OnlineConfig<A>,
+}
+
+impl<'a, A: VertexProgram> OnlineProgram<'a, A> {
+    /// Wrap `analytic` with the given query configuration.
+    pub fn new(analytic: &'a A, config: OnlineConfig<A>) -> Self {
+        OnlineProgram { analytic, config }
+    }
+}
+
+impl<A> VertexProgram for OnlineProgram<'_, A>
+where
+    A: VertexProgram,
+    A::V: ProvEncode,
+    A::M: ProvEncode,
+{
+    type V = OnlineState<A::V>;
+    type M = OnlineMsg<A::M>;
+
+    fn init(&self, v: VertexId, graph: &Csr) -> Self::V {
+        OnlineState {
+            value: self.analytic.init(v, graph),
+            q: QueryState::new(),
+        }
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut dyn Context<Self::M>,
+        state: &mut Self::V,
+        messages: &[Envelope<Self::M>],
+    ) {
+        let vertex = ctx.vertex();
+        let superstep = ctx.superstep();
+        let cfg = &self.config;
+
+        // 1. Merge incoming provenance payloads (replicas).
+        for env in messages {
+            for (pred, tuples) in env.msg.payload.iter() {
+                state.q.inject(pred, tuples.iter().cloned());
+            }
+        }
+        state.q.inject_statics(ctx.graph(), vertex, &cfg.needed);
+
+        // 2. Run the analytic against a recording shim.
+        let inner_msgs: Vec<Envelope<A::M>> = messages
+            .iter()
+            .map(|e| Envelope::new(e.src, e.msg.msg.clone()))
+            .collect();
+        let sends: Vec<(VertexId, A::M)> = {
+            let mut recorder = Recorder {
+                inner: ctx,
+                sends: Vec::new(),
+            };
+            self.analytic
+                .compute(&mut recorder, &mut state.value, &inner_msgs);
+            recorder.sends
+        };
+
+        // 3. Generate this superstep's provenance EDB tuples.
+        let record = VertexStepRecord {
+            vertex,
+            superstep,
+            value: state.value.encode(),
+            received: inner_msgs
+                .iter()
+                .map(|e| (e.src, e.msg.encode()))
+                .collect(),
+            sent: sends.iter().map(|(d, m)| (*d, m.encode())).collect(),
+            out_edges: if cfg.needed.contains("edge_value") {
+                ctx.graph()
+                    .out_edges(vertex)
+                    .map(|e| (e.neighbor, e.weight))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+        };
+        let edb_tuples = state.q.tracker.tuples(&record, &cfg.needed);
+        for (pred, tuple) in edb_tuples {
+            state.q.db.insert(pred, tuple);
+        }
+
+        // 4. Custom provenance relations.
+        if let Some(custom) = &cfg.custom {
+            for (pred, tuple) in
+                custom.tuples(ctx.graph(), vertex, superstep, &state.value, &inner_msgs)
+            {
+                state.q.db.insert(&pred, tuple);
+            }
+        }
+
+        // 5. Local incremental fixpoint.
+        if let Some(evaluator) = &cfg.evaluator {
+            state
+                .q
+                .evaluate(evaluator, vertex)
+                .unwrap_or_else(|e| panic!("online query evaluation failed: {e}"));
+        }
+
+        // 6. Persist capture predicates.
+        if let Some(persist) = &cfg.persist {
+            for (pred, tuples) in state.q.take_persistable(persist.preds.iter(), vertex) {
+                persist.sender.ingest(superstep, &pred, tuples);
+            }
+        }
+
+        // 7. Ship fresh tuples with the analytic's deferred sends. Marks
+        // advance only when something is actually sent, so tuples derived
+        // during quiet supersteps are back-logged until the next send.
+        if !sends.is_empty() {
+            let payload = Arc::new(state.q.take_shippable(cfg.shipped.iter(), vertex));
+            for (dst, msg) in sends {
+                ctx.send(
+                    dst,
+                    OnlineMsg {
+                        msg,
+                        payload: Arc::clone(&payload),
+                    },
+                );
+            }
+        }
+    }
+
+    // The analytic's configuration passes through untouched — except the
+    // combiner: combining would erase the per-source identity provenance
+    // needs and would merge piggybacked payloads incorrectly.
+    fn combiner(&self) -> Option<Box<dyn Combiner<Self::M>>> {
+        None
+    }
+
+    fn aggregators(&self) -> Vec<(String, AggOp)> {
+        self.analytic.aggregators()
+    }
+
+    fn always_active(&self) -> bool {
+        self.analytic.always_active()
+    }
+
+    fn max_supersteps(&self) -> u32 {
+        self.analytic.max_supersteps()
+    }
+
+    fn should_halt(&self, superstep: u32, aggregates: &Aggregates) -> bool {
+        self.analytic.should_halt(superstep, aggregates)
+    }
+
+    fn message_bytes(&self, msg: &Self::M) -> usize {
+        let payload_bytes: usize = msg
+            .payload
+            .iter()
+            .map(|(_, tuples)| {
+                tuples
+                    .iter()
+                    .map(|t| t.iter().map(ariadne_pql::Value::byte_size).sum::<usize>())
+                    .sum::<usize>()
+            })
+            .sum();
+        self.analytic.message_bytes(&msg.msg) + payload_bytes
+    }
+}
+
+/// Context shim handed to the analytic: observes sends without releasing
+/// them, delegates everything else.
+struct Recorder<'a, M, MO> {
+    inner: &'a mut dyn Context<MO>,
+    sends: Vec<(VertexId, M)>,
+}
+
+impl<M, MO> Context<M> for Recorder<'_, M, MO> {
+    fn superstep(&self) -> u32 {
+        self.inner.superstep()
+    }
+
+    fn vertex(&self) -> VertexId {
+        self.inner.vertex()
+    }
+
+    fn graph(&self) -> &Csr {
+        self.inner.graph()
+    }
+
+    fn send(&mut self, to: VertexId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    fn aggregate(&mut self, name: &str, value: AggValue) {
+        self.inner.aggregate(name, value);
+    }
+
+    fn prev_aggregate(&self, name: &str) -> Option<AggValue> {
+        self.inner.prev_aggregate(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use ariadne_graph::generators::regular::path;
+    use ariadne_pql::{Params, Value};
+    use ariadne_vc::{Engine, EngineConfig};
+
+    /// Forwards its superstep number along the path.
+    struct Hops;
+    impl VertexProgram for Hops {
+        type V = i64;
+        type M = i64;
+        fn init(&self, _: VertexId, _: &Csr) -> i64 {
+            -1
+        }
+        fn compute(&self, ctx: &mut dyn Context<i64>, value: &mut i64, msgs: &[Envelope<i64>]) {
+            if ctx.superstep() == 0 && ctx.vertex() == VertexId(0) {
+                *value = 0;
+                ctx.send_to_out_neighbors(0);
+            } else if let Some(m) = msgs.iter().map(|e| e.msg).max() {
+                *value = m + 1;
+                ctx.send_to_out_neighbors(*value);
+            }
+        }
+    }
+
+    fn online_config(src: &str) -> OnlineConfig<Hops> {
+        let q = compile(src, Params::new()).unwrap();
+        let analyzed = q.query().clone();
+        OnlineConfig {
+            evaluator: Some(q.evaluator().clone()),
+            needed: Arc::new(analyzed.edbs.clone()),
+            shipped: Arc::new(analyzed.shipped.clone()),
+            persist: None,
+            custom: None,
+        }
+    }
+
+    #[test]
+    fn wrapper_preserves_analytic_and_derives_locally() {
+        let g = path(4);
+        let cfg = online_config("seen(x, d, i) :- value(x, d, i), superstep(x, i).");
+        let wrapped = OnlineProgram::new(&Hops, cfg);
+        let run = Engine::new(EngineConfig::sequential()).run(&wrapped, &g);
+        let values: Vec<i64> = run.values.iter().map(|s| s.value).collect();
+        assert_eq!(values, vec![0, 1, 2, 3]);
+        // Vertex 3 computed at superstep 0 (everyone does) and at
+        // superstep 3 when the hop count arrived; both are recorded.
+        let s3 = &run.values[3].q.db;
+        assert_eq!(
+            s3.sorted("seen"),
+            vec![
+                vec![Value::Id(3), Value::Int(-1), Value::Int(0)],
+                vec![Value::Id(3), Value::Int(3), Value::Int(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn wrapper_ships_only_along_messages() {
+        // fwd-style recursion: vertex 3 learns the lineage only through
+        // the chain of messages.
+        let g = path(4);
+        let cfg = online_config(
+            "lineage(x, i) :- superstep(x, i), x = 0, i = 0.
+             lineage(x, i) :- receive_message(x, y, m, i), lineage(y, j).",
+        );
+        let wrapped = OnlineProgram::new(&Hops, cfg);
+        let run = Engine::new(EngineConfig::sequential()).run(&wrapped, &g);
+        for (v, state) in run.values.iter().enumerate() {
+            let mine: Vec<_> = state
+                .q
+                .db
+                .sorted("lineage")
+                .into_iter()
+                .filter(|t| t[0] == Value::Id(v as u64))
+                .collect();
+            assert_eq!(mine.len(), 1, "vertex {v} lineage: {mine:?}");
+        }
+    }
+
+    #[test]
+    fn wrapper_disables_combiner_and_keeps_analytic_knobs() {
+        let cfg = online_config("seen(x, i) :- superstep(x, i).");
+        let wrapped = OnlineProgram::new(&Hops, cfg);
+        assert!(wrapped.combiner().is_none());
+        assert_eq!(wrapped.max_supersteps(), Hops.max_supersteps());
+        assert_eq!(wrapped.always_active(), Hops.always_active());
+        assert!(wrapped.aggregators().is_empty());
+    }
+
+    #[test]
+    fn message_bytes_include_payload() {
+        let cfg = online_config("seen(x, i) :- superstep(x, i).");
+        let wrapped = OnlineProgram::new(&Hops, cfg);
+        let empty = OnlineMsg {
+            msg: 1i64,
+            payload: Arc::new(Vec::new()),
+        };
+        let loaded = OnlineMsg {
+            msg: 1i64,
+            payload: Arc::new(vec![(
+                "seen".to_string(),
+                vec![vec![Value::Id(0), Value::Int(0)]],
+            )]),
+        };
+        assert!(wrapped.message_bytes(&loaded) > wrapped.message_bytes(&empty));
+    }
+}
+
+/// The outcome of an online run.
+#[derive(Debug)]
+pub struct OnlineRun<V> {
+    /// Final analytic values (identical to a run without the query).
+    pub values: Vec<V>,
+    /// Merged query result tables (IDB relations) across all vertices.
+    pub query_results: ariadne_pql::Database,
+    /// Engine metrics for the wrapped run.
+    pub metrics: ariadne_vc::RunMetrics,
+    /// Total bytes of query tables held across vertices at the end.
+    pub query_bytes: usize,
+}

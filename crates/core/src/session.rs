@@ -1,0 +1,272 @@
+//! The user-facing Ariadne façade.
+
+use crate::capture::{CaptureRun, CaptureSpec};
+use crate::compile::CompiledQuery;
+use crate::custom::CustomProv;
+use crate::layered::{run_layered, LayeredRun};
+use crate::naive::{run_centralized, run_naive, NaiveRun};
+use crate::online::{OnlineConfig, OnlineProgram, OnlineRun, Persist};
+use ariadne_graph::Csr;
+use ariadne_pql::{Database, Direction, PqlError};
+use ariadne_provenance::{ProvEncode, ProvStore, StoreConfig, StoreWriter};
+use ariadne_vc::{Engine, EngineConfig, RunResult, VertexProgram};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from Ariadne's evaluation modes.
+#[derive(Debug)]
+pub enum AriadneError {
+    /// The query's direction class does not permit the requested mode
+    /// (e.g. online evaluation of a backward query, §5.2).
+    UnsupportedMode {
+        /// The requested mode.
+        mode: &'static str,
+        /// The query's classification.
+        direction: Direction,
+    },
+    /// Naive evaluation exceeded its materialization budget (the paper's
+    /// "Naive was not able to scale" outcome).
+    NaiveOverflow {
+        /// Tuples that would have been materialized.
+        tuples: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A language-level error surfaced during evaluation.
+    Pql(PqlError),
+}
+
+impl fmt::Display for AriadneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AriadneError::UnsupportedMode { mode, direction } => write!(
+                f,
+                "{mode} evaluation is not legal for a {direction:?} query"
+            ),
+            AriadneError::NaiveOverflow { tuples, budget } => write!(
+                f,
+                "naive evaluation would materialize {tuples} tuples, over the {budget}-tuple budget"
+            ),
+            AriadneError::Pql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AriadneError {}
+
+impl From<PqlError> for AriadneError {
+    fn from(e: PqlError) -> Self {
+        AriadneError::Pql(e)
+    }
+}
+
+/// The Ariadne system handle: engine and store configuration plus the
+/// evaluation-mode entry points.
+#[derive(Clone, Debug)]
+pub struct Ariadne {
+    /// BSP engine configuration used for analytic and wrapped runs.
+    pub engine: EngineConfig,
+    /// Store configuration used by capture runs.
+    pub store: StoreConfig,
+    /// Materialization budget for naive evaluation (tuples).
+    pub naive_budget: Option<usize>,
+}
+
+impl Default for Ariadne {
+    fn default() -> Self {
+        Ariadne {
+            engine: EngineConfig::default(),
+            store: StoreConfig::in_memory(),
+            naive_budget: None,
+        }
+    }
+}
+
+impl Ariadne {
+    /// An Ariadne handle with `threads` engine workers.
+    pub fn with_threads(threads: usize) -> Self {
+        Ariadne {
+            engine: EngineConfig::parallel(threads),
+            ..Default::default()
+        }
+    }
+
+    /// Run the bare analytic (the "Giraph" baseline in every figure).
+    pub fn baseline<A: VertexProgram>(&self, analytic: &A, graph: &Csr) -> RunResult<A::V> {
+        Engine::new(self.engine.clone()).run(analytic, graph)
+    }
+
+    /// Online evaluation: run `analytic` and `query` in lockstep (§5.2).
+    pub fn online<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        query: &CompiledQuery,
+    ) -> Result<OnlineRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode,
+        A::M: ProvEncode,
+    {
+        self.online_with(analytic, graph, query, None)
+    }
+
+    /// Online evaluation with an analytic-specific provenance generator.
+    pub fn online_with<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        query: &CompiledQuery,
+        custom: Option<Arc<dyn CustomProv<A>>>,
+    ) -> Result<OnlineRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode,
+        A::M: ProvEncode,
+    {
+        if !query.direction().supports_online() {
+            return Err(AriadneError::UnsupportedMode {
+                mode: "online",
+                direction: query.direction(),
+            });
+        }
+        let analyzed = query.query();
+        let config = OnlineConfig {
+            evaluator: Some(query.evaluator().clone()),
+            needed: Arc::new(analyzed.edbs.clone()),
+            shipped: Arc::new(analyzed.shipped.clone()),
+            persist: None,
+            custom,
+        };
+        let program = OnlineProgram::new(analytic, config);
+        let result = Engine::new(self.engine.clone()).run(&program, graph);
+        Ok(finish_online(result, &analyzed.idbs))
+    }
+
+    /// Capture provenance per `spec` while running the analytic (§6.1).
+    pub fn capture<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        spec: &CaptureSpec,
+    ) -> Result<CaptureRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode,
+        A::M: ProvEncode,
+    {
+        self.capture_with(analytic, graph, spec, None)
+    }
+
+    /// Capture with an analytic-specific provenance generator.
+    pub fn capture_with<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        spec: &CaptureSpec,
+        custom: Option<Arc<dyn CustomProv<A>>>,
+    ) -> Result<CaptureRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode,
+        A::M: ProvEncode,
+    {
+        if !spec.supports_online() {
+            let direction = spec
+                .query
+                .as_ref()
+                .map(|q| q.direction())
+                .unwrap_or(Direction::Local);
+            return Err(AriadneError::UnsupportedMode {
+                mode: "capture",
+                direction,
+            });
+        }
+        let writer = StoreWriter::spawn(self.store.clone());
+        let persist = Persist {
+            sender: writer.sender(),
+            preds: Arc::new(spec.persist_preds()),
+        };
+        let shipped: BTreeSet<String> = spec
+            .query
+            .as_ref()
+            .map(|q| q.query().shipped.clone())
+            .unwrap_or_default();
+        let config = OnlineConfig {
+            evaluator: spec.query.as_ref().map(|q| q.evaluator().clone()),
+            needed: Arc::new(spec.needed()),
+            shipped: Arc::new(shipped),
+            persist: Some(persist),
+            custom,
+        };
+        let program = OnlineProgram::new(analytic, config);
+        let result = Engine::new(self.engine.clone()).run(&program, graph);
+        let store = writer.finish();
+        Ok(CaptureRun {
+            values: result.values.into_iter().map(|s| s.value).collect(),
+            store,
+            metrics: result.metrics,
+        })
+    }
+
+    /// Layered offline evaluation over a captured store (§5.1).
+    pub fn layered(
+        &self,
+        graph: &Csr,
+        store: &ProvStore,
+        query: &CompiledQuery,
+    ) -> Result<LayeredRun, AriadneError> {
+        run_layered(graph, store, query)
+    }
+
+    /// Naive offline evaluation: materialize the whole provenance graph
+    /// and iterate the query vertex program over all of it (§6.2's
+    /// *Naive* series).
+    pub fn naive(
+        &self,
+        graph: &Csr,
+        store: &ProvStore,
+        query: &CompiledQuery,
+    ) -> Result<NaiveRun, AriadneError> {
+        run_naive(graph, store, query, self.naive_budget)
+    }
+
+    /// Centralized semi-naive evaluation over one big database: the
+    /// correctness oracle for the other modes (not a paper mode).
+    pub fn centralized(
+        &self,
+        graph: &Csr,
+        store: &ProvStore,
+        query: &CompiledQuery,
+    ) -> Result<Database, AriadneError> {
+        run_centralized(graph, store, query)
+    }
+}
+
+/// Split an online engine result into analytic values and the merged
+/// query result tables (IDB relations only; transient EDB partitions are
+/// working state, not results).
+fn finish_online<V>(
+    result: RunResult<crate::online::OnlineState<V>>,
+    idbs: &std::collections::BTreeMap<String, usize>,
+) -> OnlineRun<V> {
+    let mut merged = Database::new();
+    let mut bytes = 0usize;
+    for state in &result.values {
+        bytes += state.q.db.byte_size();
+        for (name, rel) in state.q.db.iter() {
+            if idbs.contains_key(name) {
+                for t in rel.scan() {
+                    merged.insert(name, t.clone());
+                }
+            }
+        }
+    }
+    OnlineRun {
+        values: result.values.into_iter().map(|s| s.value).collect(),
+        query_results: merged,
+        metrics: result.metrics,
+        query_bytes: bytes,
+    }
+}

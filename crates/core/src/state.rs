@@ -1,0 +1,182 @@
+//! Per-vertex query evaluation state, shared by the online wrapper and
+//! the layered offline driver.
+
+use ariadne_provenance::edb::{EdbTracker, NeededEdbs};
+use ariadne_provenance::static_graph_edbs;
+use ariadne_graph::{Csr, VertexId};
+use ariadne_pql::{Database, Evaluator, PqlError, Tuple, Value};
+use std::collections::BTreeMap;
+
+/// The query-side state one vertex carries: its partition of the
+/// (transient or replayed) provenance database, incremental evaluation
+/// frontiers, its activation history, and high-water marks for shipping
+/// and persistence.
+#[derive(Clone, Debug, Default)]
+pub struct QueryState {
+    /// Local EDB tuples, derived IDB tuples and neighbour replicas.
+    pub db: Database,
+    /// Semi-naive frontiers.
+    pub eval: ariadne_pql::eval::seminaive::EvalState,
+    /// Activation history for `evolution` generation.
+    pub tracker: EdbTracker,
+    /// Per-predicate counts already piggybacked to neighbours.
+    ship_marks: BTreeMap<String, usize>,
+    /// Per-predicate counts already persisted to the store.
+    persist_marks: BTreeMap<String, usize>,
+    statics_done: bool,
+}
+
+impl QueryState {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inject a batch of tuples into a relation (deduplicated).
+    pub fn inject(&mut self, pred: &str, tuples: impl IntoIterator<Item = Tuple>) {
+        for t in tuples {
+            self.db.insert(pred, t);
+        }
+    }
+
+    /// Inject the static graph EDBs (`edge`, `in_edge`) once, if needed.
+    pub fn inject_statics(&mut self, graph: &Csr, vertex: VertexId, needed: &NeededEdbs) {
+        if self.statics_done {
+            return;
+        }
+        self.statics_done = true;
+        for (pred, tuple) in static_graph_edbs(graph, vertex, needed) {
+            self.db.insert(pred, tuple);
+        }
+    }
+
+    /// Run the evaluator incrementally over everything injected or
+    /// derived since the last call, with the head location pinned to
+    /// `vertex`.
+    pub fn evaluate(&mut self, evaluator: &Evaluator, vertex: VertexId) -> Result<(), PqlError> {
+        let loc = Value::Id(vertex.0);
+        evaluator.step(&mut self.db, &mut self.eval, Some(&loc))
+    }
+
+    /// Like [`QueryState::evaluate`] but restricted to one stratum — used
+    /// by drivers that complete each stratum globally before the next
+    /// (the naive whole-graph mode).
+    pub fn evaluate_stratum(
+        &mut self,
+        evaluator: &Evaluator,
+        vertex: VertexId,
+        stratum: usize,
+    ) -> Result<(), PqlError> {
+        let loc = Value::Id(vertex.0);
+        evaluator.step_stratum(&mut self.db, &mut self.eval, Some(&loc), stratum)
+    }
+
+    /// New tuples of `preds` since the last shipping mark; advances the
+    /// marks. Only tuples *located at* `vertex` are shipped — replicas
+    /// received from neighbours are not re-forwarded (communication
+    /// stays single-hop, per the VC normal form).
+    pub fn take_shippable(
+        &mut self,
+        preds: impl IntoIterator<Item = impl AsRef<str>>,
+        vertex: VertexId,
+    ) -> Vec<(String, Vec<Tuple>)> {
+        self.take_since(preds, vertex, true)
+    }
+
+    /// New tuples of `preds` since the last persistence mark; advances
+    /// the marks.
+    pub fn take_persistable(
+        &mut self,
+        preds: impl IntoIterator<Item = impl AsRef<str>>,
+        vertex: VertexId,
+    ) -> Vec<(String, Vec<Tuple>)> {
+        self.take_since(preds, vertex, false)
+    }
+
+    fn take_since(
+        &mut self,
+        preds: impl IntoIterator<Item = impl AsRef<str>>,
+        vertex: VertexId,
+        shipping: bool,
+    ) -> Vec<(String, Vec<Tuple>)> {
+        let own = Value::Id(vertex.0);
+        let mut out = Vec::new();
+        for pred in preds {
+            let pred = pred.as_ref();
+            let Some(rel) = self.db.relation(pred) else {
+                continue;
+            };
+            let len = rel.len();
+            let marks = if shipping {
+                &mut self.ship_marks
+            } else {
+                &mut self.persist_marks
+            };
+            let mark = marks.entry(pred.to_string()).or_insert(0);
+            if *mark >= len {
+                continue;
+            }
+            let fresh: Vec<Tuple> = rel
+                .scan_from(*mark)
+                .iter()
+                .filter(|t| t.first() == Some(&own))
+                .cloned()
+                .collect();
+            *mark = len;
+            if !fresh.is_empty() {
+                out.push((pred.to_string(), fresh));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_graph::generators::regular::star;
+
+    #[test]
+    fn inject_dedups() {
+        let mut q = QueryState::new();
+        q.inject("p", vec![vec![Value::Id(1)], vec![Value::Id(1)]]);
+        assert_eq!(q.db.len("p"), 1);
+    }
+
+    #[test]
+    fn statics_once() {
+        let g = star(3);
+        let needed: NeededEdbs = ["edge".to_string()].into_iter().collect();
+        let mut q = QueryState::new();
+        q.inject_statics(&g, VertexId(0), &needed);
+        q.inject_statics(&g, VertexId(0), &needed);
+        assert_eq!(q.db.len("edge"), 2);
+    }
+
+    #[test]
+    fn shipping_marks_advance_and_filter_replicas() {
+        let mut q = QueryState::new();
+        // One local tuple, one replica from vertex 9.
+        q.inject(
+            "change",
+            vec![
+                vec![Value::Id(1), Value::Int(0)],
+                vec![Value::Id(9), Value::Int(0)],
+            ],
+        );
+        let first = q.take_shippable(["change"], VertexId(1));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].1, vec![vec![Value::Id(1), Value::Int(0)]]);
+        // Nothing new: second take is empty.
+        assert!(q.take_shippable(["change"], VertexId(1)).is_empty());
+        // Persist marks are independent.
+        let persisted = q.take_persistable(["change"], VertexId(1));
+        assert_eq!(persisted.len(), 1);
+    }
+
+    #[test]
+    fn missing_relation_is_fine() {
+        let mut q = QueryState::new();
+        assert!(q.take_shippable(["nope"], VertexId(0)).is_empty());
+    }
+}

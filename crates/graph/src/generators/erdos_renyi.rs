@@ -1,0 +1,64 @@
+//! Erdős–Rényi G(n, m) generator, used mainly by tests and property-based
+//! testing where a uniform random graph is the right null model.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a directed G(n, m) graph: `m` edges sampled uniformly (with
+/// duplicate merging, so the realized count may be slightly lower).
+/// Self-loops are excluded.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n > 0 || m == 0, "cannot place edges in an empty graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    if n > 0 {
+        b.ensure_vertex(VertexId(n as u64 - 1));
+    }
+    if n > 1 {
+        for _ in 0..m {
+            let src = rng.gen_range(0..n as u64);
+            let mut dst = rng.gen_range(0..n as u64 - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            b.add_edge(VertexId(src), VertexId(dst), 1.0);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let g = erdos_renyi(100, 500, 7);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.num_edges() <= 500);
+        assert!(g.num_edges() > 400); // few duplicates at this density
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(50, 400, 3);
+        assert!(g.edges().all(|(s, d, _)| s != d));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = erdos_renyi(40, 100, 11).edges().collect();
+        let b: Vec<_> = erdos_renyi(40, 100, 11).edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_vertex_no_edges() {
+        let g = erdos_renyi(1, 0, 1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

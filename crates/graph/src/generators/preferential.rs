@@ -1,0 +1,97 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! An alternative heavy-tailed model to R-MAT; used in tests and ablation
+//! benches to check that Ariadne's overhead ratios are not an artifact of
+//! the R-MAT quadrant structure.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a preferential-attachment graph with `n` vertices where each
+/// new vertex attaches `m` out-edges to existing vertices chosen with
+/// probability proportional to their current degree.
+///
+/// The first `m + 1` vertices form a seed clique-ish core (each points to
+/// all of its predecessors).
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(m >= 1, "attachment count must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    if n == 0 {
+        return b.build();
+    }
+    b.ensure_vertex(VertexId(n as u64 - 1));
+
+    // Repeated-endpoints trick: sample attachment targets uniformly from
+    // the flat list of edge endpoints, which realizes degree-proportional
+    // sampling in O(1).
+    let mut endpoints: Vec<u64> = Vec::with_capacity(2 * n * m);
+
+    let core = (m + 1).min(n);
+    for i in 1..core {
+        for j in 0..i {
+            b.add_edge(VertexId(i as u64), VertexId(j as u64), 1.0);
+            endpoints.push(i as u64);
+            endpoints.push(j as u64);
+        }
+    }
+
+    for i in core..n {
+        let mut chosen = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let target = if endpoints.is_empty() {
+                rng.gen_range(0..i as u64)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if target != i as u64 && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for t in chosen {
+            b.add_edge(VertexId(i as u64), VertexId(t), 1.0);
+            endpoints.push(i as u64);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let g = preferential_attachment(200, 3, 9);
+        assert_eq!(g.num_vertices(), 200);
+        // core: C(4,2)=6 directed edges for m=3 core of 4; rest 196*3.
+        assert_eq!(g.num_edges(), 6 + 196 * 3);
+    }
+
+    #[test]
+    fn heavy_tail() {
+        let g = preferential_attachment(1000, 2, 42);
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        let avg_in = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(max_in as f64 > 5.0 * avg_in, "max {max_in} avg {avg_in}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = preferential_attachment(100, 2, 5).edges().collect();
+        let b: Vec<_> = preferential_attachment(100, 2, 5).edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(preferential_attachment(0, 1, 0).num_vertices(), 0);
+        assert_eq!(preferential_attachment(1, 1, 0).num_edges(), 0);
+        let g = preferential_attachment(2, 1, 0);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

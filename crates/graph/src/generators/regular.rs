@@ -1,0 +1,167 @@
+//! Deterministic structured graphs: paths, cycles, stars, grids, complete
+//! graphs and balanced trees. These have known shortest paths, components
+//! and diameters, which makes them the workhorses of the test suite.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::types::VertexId;
+
+/// Directed path `0 -> 1 -> ... -> n-1` with unit weights.
+pub fn path(n: usize) -> Csr {
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_vertex(VertexId(n as u64 - 1));
+    }
+    for i in 1..n {
+        b.add_edge(VertexId(i as u64 - 1), VertexId(i as u64), 1.0);
+    }
+    b.build()
+}
+
+/// Directed cycle over `n` vertices with unit weights.
+pub fn cycle(n: usize) -> Csr {
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_vertex(VertexId(n as u64 - 1));
+    }
+    if n > 1 {
+        for i in 0..n {
+            b.add_edge(VertexId(i as u64), VertexId(((i + 1) % n) as u64), 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Star: vertex 0 points at vertices `1..n` (n-1 spokes), unit weights.
+pub fn star(n: usize) -> Csr {
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_vertex(VertexId(n as u64 - 1));
+    }
+    for i in 1..n {
+        b.add_edge(VertexId(0), VertexId(i as u64), 1.0);
+    }
+    b.build()
+}
+
+/// `w x h` grid with undirected (bidirectional) unit-weight edges between
+/// 4-neighbours. Vertex `(r, c)` has id `r * w + c`.
+pub fn grid(w: usize, h: usize) -> Csr {
+    let mut b = GraphBuilder::new();
+    let n = w * h;
+    if n > 0 {
+        b.ensure_vertex(VertexId(n as u64 - 1));
+    }
+    for r in 0..h {
+        for c in 0..w {
+            let id = (r * w + c) as u64;
+            if c + 1 < w {
+                b.add_undirected_edge(VertexId(id), VertexId(id + 1), 1.0);
+            }
+            if r + 1 < h {
+                b.add_undirected_edge(VertexId(id), VertexId(id + w as u64), 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete directed graph on `n` vertices (no self-loops), unit weights.
+pub fn complete(n: usize) -> Csr {
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_vertex(VertexId(n as u64 - 1));
+    }
+    for i in 0..n as u64 {
+        for j in 0..n as u64 {
+            if i != j {
+                b.add_edge(VertexId(i), VertexId(j), 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Balanced `k`-ary tree with `n` vertices, edges directed parent -> child,
+/// unit weights. Vertex 0 is the root; the parent of `i` is `(i-1)/k`.
+pub fn tree(n: usize, k: usize) -> Csr {
+    assert!(k >= 1, "arity must be at least 1");
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.ensure_vertex(VertexId(n as u64 - 1));
+    }
+    for i in 1..n {
+        let parent = (i - 1) / k;
+        b.add_edge(VertexId(parent as u64), VertexId(i as u64), 1.0);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_degree(VertexId(3)), 0);
+        assert_eq!(g.in_degree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5);
+        assert_eq!(g.num_edges(), 5);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 1);
+            assert_eq!(g.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.out_degree(VertexId(0)), 5);
+        assert_eq!(g.in_degree(VertexId(3)), 1);
+        assert_eq!(g.max_out_degree_vertex(), Some(VertexId(0)));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 2);
+        assert_eq!(g.num_vertices(), 6);
+        // 3x2 grid: horizontal 2*2=4, vertical 3*1=3, doubled = 14.
+        assert_eq!(g.num_edges(), 14);
+        // Corner vertex has degree 2 each way.
+        assert_eq!(g.out_degree(VertexId(0)), 2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.num_edges(), 12);
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 3);
+            assert_eq!(g.in_degree(v), 3);
+        }
+    }
+
+    #[test]
+    fn tree_shape() {
+        let g = tree(7, 2);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_degree(VertexId(0)), 2);
+        assert_eq!(g.out_degree(VertexId(1)), 2);
+        assert_eq!(g.out_degree(VertexId(3)), 0);
+        assert_eq!(g.in_degree(VertexId(0)), 0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_vertices(), 1);
+        assert_eq!(cycle(1).num_edges(), 0); // a 1-cycle would be a self-loop; skipped
+    }
+}

@@ -1,0 +1,86 @@
+//! Core identifier and enum types shared across the workspace.
+
+use std::fmt;
+
+/// Identifier of a vertex in the input graph.
+///
+/// A thin newtype over `u64` so vertex ids are never confused with other
+/// integers (superstep counters, partition indexes, tuple values) at API
+/// boundaries. Ids are expected to be dense (`0..n`) once a graph has been
+/// built; the [`crate::GraphBuilder`] guarantees this by sizing the vertex
+/// set to the maximum id it has seen.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VertexId(pub u64);
+
+impl VertexId {
+    /// The id as a `usize` index into per-vertex arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a `usize` array index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        VertexId(i as u64)
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u64 {
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+/// Direction of adjacency traversal.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Edges leaving a vertex (`x -> y` for vertex `x`).
+    Out,
+    /// Edges entering a vertex (`y -> x` for vertex `x`).
+    In,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(VertexId::from_index(42), v);
+        assert_eq!(u64::from(v), 42);
+        assert_eq!(VertexId::from(42u64), v);
+    }
+
+    #[test]
+    fn vertex_id_formatting() {
+        assert_eq!(format!("{}", VertexId(7)), "7");
+        assert_eq!(format!("{:?}", VertexId(7)), "v7");
+    }
+
+    #[test]
+    fn vertex_id_ordering() {
+        assert!(VertexId(1) < VertexId(2));
+        assert_eq!(VertexId::default(), VertexId(0));
+    }
+}

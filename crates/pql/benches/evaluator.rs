@@ -1,0 +1,99 @@
+//! Microbenchmarks of the semi-naive evaluator: transitive closure,
+//! aggregation, and incremental (per-superstep) stepping — the hot paths
+//! under Ariadne's online evaluation.
+
+use ariadne_pql::{analyze, parse, Catalog, Database, Evaluator, Params, UdfRegistry, Value};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn evaluator(src: &str) -> Evaluator {
+    let q = analyze(&parse(src).unwrap(), &Catalog::standard(), &Params::new()).unwrap();
+    Evaluator::new(q, UdfRegistry::standard())
+}
+
+fn chain_db(n: u64) -> Database {
+    let mut db = Database::new();
+    for i in 1..n {
+        db.insert("edge", vec![Value::Id(i), Value::Id(i - 1)]);
+    }
+    db
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let ev = evaluator(
+        "reach(x) :- edge(x, y), y = 0.
+         reach(x) :- edge(x, y), reach(y).",
+    );
+    let mut group = c.benchmark_group("pql_transitive_closure");
+    group.sample_size(20);
+    for n in [100u64, 1000] {
+        group.bench_function(format!("chain_{n}"), |b| {
+            b.iter(|| {
+                let mut db = chain_db(n);
+                ev.run(&mut db).unwrap();
+                black_box(db.len("reach"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let ev = evaluator("deg(x, count(y)) :- in_edge(x, y).");
+    let mut db = Database::new();
+    for x in 0..200u64 {
+        for y in 0..50u64 {
+            db.insert("in_edge", vec![Value::Id(x), Value::Id(y)]);
+        }
+    }
+    let mut group = c.benchmark_group("pql_aggregation");
+    group.sample_size(20);
+    group.bench_function("count_10k_tuples", |b| {
+        b.iter(|| {
+            let mut d = db.clone();
+            ev.run(&mut d).unwrap();
+            black_box(d.len("deg"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    // The online pattern: inject one superstep's tuples, step, repeat.
+    let ev = evaluator(
+        "changed(x, i) :- value(x, d1, i), value(x, d2, j), evolution(x, j, i), d1 != d2.",
+    );
+    let mut group = c.benchmark_group("pql_incremental");
+    group.sample_size(20);
+    group.bench_function("20_supersteps_100_vertices", |b| {
+        b.iter(|| {
+            let mut db = Database::new();
+            let mut state = ariadne_pql::eval::seminaive::EvalState::default();
+            for i in 0..20i64 {
+                for v in 0..100u64 {
+                    db.insert(
+                        "value",
+                        vec![Value::Id(v), Value::Float(i as f64), Value::Int(i)],
+                    );
+                    if i > 0 {
+                        db.insert(
+                            "evolution",
+                            vec![Value::Id(v), Value::Int(i - 1), Value::Int(i)],
+                        );
+                    }
+                }
+                ev.step(&mut db, &mut state, None).unwrap();
+            }
+            black_box(db.len("changed"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transitive_closure,
+    bench_aggregation,
+    bench_incremental
+);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! VC-compatibility (Definition 4.1) and directedness (Definition 5.2).
+//!
+//! A body predicate is *remote* in a rule when its location variable
+//! differs from the head's. A remote variable is *guarded* when it
+//! appears as the peer argument of a positive `receive_message` (forward
+//! guard) or `send_message` (backward guard) atom whose own location is
+//! the head's. Queries where every remote variable is guarded are
+//! VC-compatible; if moreover only one kind of guard is ever used, the
+//! query is *directed* — forward queries support online evaluation,
+//! backward queries support descending layered evaluation (§5).
+
+use super::{AnalyzedRule, Step};
+use crate::ast::Term;
+use crate::catalog::{Catalog, MessageKind};
+use std::collections::{BTreeSet, HashSet};
+
+/// The communication classification of a query.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// No rule references remote predicates: evaluable in every mode.
+    Local,
+    /// Remote references guarded only by `receive_message`: online and
+    /// ascending layered evaluation are legal (§5.2).
+    Forward,
+    /// Remote references guarded only by `send_message`: descending
+    /// layered evaluation is legal (§5.1).
+    Backward,
+    /// VC-compatible but uses both guard kinds: only whole-graph (naive)
+    /// evaluation is legal (the paper's R1 counter-example).
+    Mixed,
+    /// Some remote reference is unguarded: not VC-compatible; only
+    /// centralized evaluation over the materialized provenance works.
+    Unrestricted,
+}
+
+impl Direction {
+    /// Whether online (lockstep with the analytic) evaluation is legal.
+    pub fn supports_online(self) -> bool {
+        matches!(self, Direction::Local | Direction::Forward)
+    }
+
+    /// Whether layered offline evaluation is legal, in either order.
+    pub fn supports_layered(self) -> bool {
+        matches!(
+            self,
+            Direction::Local | Direction::Forward | Direction::Backward
+        )
+    }
+
+    /// Whether the query satisfies the VC normal form (Definition 4.1).
+    pub fn is_vc_compatible(self) -> bool {
+        self != Direction::Unrestricted
+    }
+}
+
+/// Classify a query and collect the predicates that must be shipped with
+/// analytic messages during distributed evaluation.
+pub(super) fn classify(
+    rules: &[AnalyzedRule],
+    catalog: &Catalog,
+) -> (Direction, BTreeSet<String>) {
+    let mut any_remote = false;
+    let mut uses_receive = false;
+    let mut uses_send = false;
+    let mut unguarded = false;
+    let mut shipped = BTreeSet::new();
+
+    for rule in rules {
+        // Collect guards: peer variables of local positive message atoms.
+        let mut receive_guarded: HashSet<&str> = HashSet::new();
+        let mut send_guarded: HashSet<&str> = HashSet::new();
+        for step in &rule.steps {
+            if let Step::Scan { pred, args, .. } = step {
+                if let Some(kind) = catalog.message_kind(pred) {
+                    let schema = catalog.get(pred).expect("message predicate in catalog");
+                    let local = matches!(&args[schema.location], Term::Var(v) if *v == rule.head_loc);
+                    if local {
+                        if let Some(peer_pos) = schema.peer {
+                            if let Term::Var(peer) = &args[peer_pos] {
+                                match kind {
+                                    MessageKind::Receive => receive_guarded.insert(peer),
+                                    MessageKind::Send => send_guarded.insert(peer),
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Find remote predicates and check their guards.
+        for step in &rule.steps {
+            let (pred, args) = match step {
+                Step::Scan { pred, args, .. } | Step::Neg { pred, args } => (pred, args),
+                _ => continue,
+            };
+            let loc_pos = catalog.get(pred).map(|s| s.location).unwrap_or(0);
+            let loc_var = match args.get(loc_pos) {
+                Some(Term::Var(v)) => v.as_str(),
+                // A constant location pins the tuple to one vertex: that
+                // is whole-graph communication, not VC-compatible.
+                Some(_) => {
+                    unguarded = true;
+                    any_remote = true;
+                    continue;
+                }
+                None => continue,
+            };
+            if loc_var == rule.head_loc {
+                continue; // local
+            }
+            any_remote = true;
+            shipped.insert(pred.clone());
+            let fwd = receive_guarded.contains(loc_var);
+            let bwd = send_guarded.contains(loc_var);
+            match (fwd, bwd) {
+                (true, _) => uses_receive = true,
+                (false, true) => uses_send = true,
+                (false, false) => unguarded = true,
+            }
+        }
+    }
+
+    let direction = if unguarded {
+        Direction::Unrestricted
+    } else if !any_remote {
+        Direction::Local
+    } else if uses_receive && uses_send {
+        Direction::Mixed
+    } else if uses_send {
+        Direction::Backward
+    } else {
+        Direction::Forward
+    };
+    (direction, shipped)
+}

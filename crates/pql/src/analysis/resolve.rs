@@ -1,0 +1,513 @@
+//! Literal resolution, parameter substitution, safety checking, and body
+//! step ordering.
+
+use super::{AnalyzedRule, PivotVariant, Step};
+use crate::ast::{Atom, CmpOp, HeadArg, Literal, Program, Rule, Term};
+use crate::catalog::Catalog;
+use crate::error::PqlError;
+use crate::Params;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub(super) struct Resolved {
+    pub rules: Vec<AnalyzedRule>,
+    pub idbs: BTreeMap<String, usize>,
+    pub edbs: BTreeSet<String>,
+}
+
+pub(super) fn resolve(
+    program: &Program,
+    catalog: &Catalog,
+    params: &Params,
+) -> Result<Resolved, PqlError> {
+    // Pass 1: collect IDB predicates and arities from heads.
+    let mut idbs: BTreeMap<String, usize> = BTreeMap::new();
+    for rule in &program.rules {
+        let arity = rule.head.args.len();
+        match idbs.get(&rule.head.pred) {
+            Some(&a) if a != arity => {
+                return Err(PqlError::analysis(
+                    rule.line,
+                    format!(
+                        "predicate {:?} used with arity {} here but {} elsewhere",
+                        rule.head.pred, arity, a
+                    ),
+                ));
+            }
+            _ => {
+                idbs.insert(rule.head.pred.clone(), arity);
+            }
+        }
+        // If a head writes a catalog EDB (capture rules do), arities must
+        // agree with the catalog.
+        if let Some(schema) = catalog.get(&rule.head.pred) {
+            if schema.arity != arity {
+                return Err(PqlError::analysis(
+                    rule.line,
+                    format!(
+                        "head {:?} has arity {} but the catalog declares {}",
+                        rule.head.pred, arity, schema.arity
+                    ),
+                ));
+            }
+        }
+    }
+
+    let mut edbs = BTreeSet::new();
+    let mut rules = Vec::with_capacity(program.rules.len());
+    for rule in &program.rules {
+        rules.push(resolve_rule(rule, catalog, params, &idbs, &mut edbs)?);
+    }
+    Ok(Resolved { rules, idbs, edbs })
+}
+
+fn resolve_rule(
+    rule: &Rule,
+    catalog: &Catalog,
+    params: &Params,
+    idbs: &BTreeMap<String, usize>,
+    edbs: &mut BTreeSet<String>,
+) -> Result<AnalyzedRule, PqlError> {
+    let line = rule.line;
+
+    // Substitute params in the head.
+    let head_args: Vec<HeadArg> = rule
+        .head
+        .args
+        .iter()
+        .map(|a| {
+            Ok(match a {
+                HeadArg::Plain(t) => HeadArg::Plain(subst(t, params, line)?),
+                HeadArg::Agg(f, t) => HeadArg::Agg(*f, subst(t, params, line)?),
+            })
+        })
+        .collect::<Result<_, PqlError>>()?;
+
+    let head_loc = match head_args.first() {
+        Some(HeadArg::Plain(Term::Var(v))) => v.clone(),
+        _ => {
+            return Err(PqlError::analysis(
+                line,
+                format!(
+                    "the first head argument of {:?} must be the location variable",
+                    rule.head.pred
+                ),
+            ));
+        }
+    };
+    let has_aggregate = head_args.iter().any(|a| matches!(a, HeadArg::Agg(_, _)));
+
+    // Classify body literals into raw steps.
+    enum Raw {
+        Scan { pred: String, args: Vec<Term> },
+        Neg { pred: String, args: Vec<Term> },
+        Cmp { lhs: Term, op: CmpOp, rhs: Term },
+        Udf { name: String, args: Vec<Term> },
+    }
+
+    let mut raw = Vec::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::Positive(atom) => {
+                let mut args = subst_args(atom, params, line)?;
+                if catalog.is_edb(&atom.pred) || idbs.contains_key(&atom.pred) {
+                    check_relational_atom(atom, &args, catalog, idbs, line)?;
+                    coerce_id_columns(&atom.pred, &mut args, catalog);
+                    if catalog.is_edb(&atom.pred) && !idbs.contains_key(&atom.pred) {
+                        edbs.insert(atom.pred.clone());
+                    }
+                    raw.push(Raw::Scan {
+                        pred: atom.pred.clone(),
+                        args,
+                    });
+                } else {
+                    // Unknown predicate: a UDF call (validated at eval time).
+                    raw.push(Raw::Udf {
+                        name: atom.pred.clone(),
+                        args,
+                    });
+                }
+            }
+            Literal::Negated(atom) => {
+                if !catalog.is_edb(&atom.pred) && !idbs.contains_key(&atom.pred) {
+                    return Err(PqlError::analysis(
+                        line,
+                        format!("negated predicate {:?} is neither an EDB nor defined by any rule", atom.pred),
+                    ));
+                }
+                let mut args = subst_args(atom, params, line)?;
+                check_relational_atom(atom, &args, catalog, idbs, line)?;
+                coerce_id_columns(&atom.pred, &mut args, catalog);
+                if catalog.is_edb(&atom.pred) && !idbs.contains_key(&atom.pred) {
+                    edbs.insert(atom.pred.clone());
+                }
+                raw.push(Raw::Neg {
+                    pred: atom.pred.clone(),
+                    args,
+                });
+            }
+            Literal::Compare(lhs, op, rhs) => raw.push(Raw::Cmp {
+                lhs: subst(lhs, params, line)?,
+                op: *op,
+                rhs: subst(rhs, params, line)?,
+            }),
+        }
+    }
+
+    // Greedy safe ordering: emit any ready non-scan step; otherwise take
+    // the next positive scan (which may bind new variables). An `=`
+    // comparison with exactly one unbound side becomes an Assign.
+    let mut bound: HashSet<String> = HashSet::new();
+    let mut steps: Vec<Step> = Vec::with_capacity(raw.len());
+    let mut used = vec![false; raw.len()];
+    let mut remaining = raw.len();
+    while remaining > 0 {
+        // A variable that some still-unprocessed positive scan can bind
+        // should be bound *by that scan* (with the tuple's own value and
+        // type), not by an `=` assignment: `y = 0` next to `edge(x, y)`
+        // must filter the scan, not pre-bind y to an integer.
+        let scan_bindable: HashSet<&str> = raw
+            .iter()
+            .zip(&used)
+            .filter(|(r, &u)| !u && matches!(r, Raw::Scan { .. }))
+            .flat_map(|(r, _)| match r {
+                Raw::Scan { args, .. } => args
+                    .iter()
+                    .filter_map(|t| match t {
+                        Term::Var(v) => Some(v.as_str()),
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut progressed = false;
+        // 1. Ready filters / assigns / udfs / negations.
+        for (i, r) in raw.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            match r {
+                Raw::Cmp { lhs, op, rhs } => {
+                    let lhs_free = free_vars(lhs, &bound);
+                    let rhs_free = free_vars(rhs, &bound);
+                    if lhs_free.is_empty() && rhs_free.is_empty() {
+                        steps.push(Step::Filter {
+                            lhs: lhs.clone(),
+                            op: *op,
+                            rhs: rhs.clone(),
+                        });
+                    } else if *op == CmpOp::Eq
+                        && lhs_free.is_empty()
+                        && matches!(rhs, Term::Var(v) if !scan_bindable.contains(v.as_str()))
+                    {
+                        let Term::Var(v) = rhs else { unreachable!() };
+                        bound.insert(v.clone());
+                        steps.push(Step::Assign {
+                            var: v.clone(),
+                            term: lhs.clone(),
+                        });
+                    } else if *op == CmpOp::Eq
+                        && rhs_free.is_empty()
+                        && matches!(lhs, Term::Var(v) if !scan_bindable.contains(v.as_str()))
+                    {
+                        let Term::Var(v) = lhs else { unreachable!() };
+                        bound.insert(v.clone());
+                        steps.push(Step::Assign {
+                            var: v.clone(),
+                            term: rhs.clone(),
+                        });
+                    } else {
+                        continue;
+                    }
+                }
+                Raw::Udf { name, args } => {
+                    if args.iter().all(|t| free_vars(t, &bound).is_empty()) {
+                        steps.push(Step::Udf {
+                            name: name.clone(),
+                            args: args.clone(),
+                        });
+                    } else {
+                        continue;
+                    }
+                }
+                Raw::Neg { pred, args } => {
+                    if args.iter().all(|t| free_vars(t, &bound).is_empty()) {
+                        steps.push(Step::Neg {
+                            pred: pred.clone(),
+                            args: args.clone(),
+                        });
+                    } else {
+                        continue;
+                    }
+                }
+                Raw::Scan { .. } => continue,
+            }
+            used[i] = true;
+            remaining -= 1;
+            progressed = true;
+            break;
+        }
+        if progressed {
+            continue;
+        }
+        // 2. Next positive scan in source order.
+        if let Some(i) = raw
+            .iter()
+            .enumerate()
+            .position(|(i, r)| !used[i] && matches!(r, Raw::Scan { .. }))
+        {
+            let Raw::Scan { pred, args } = &raw[i] else {
+                unreachable!()
+            };
+            for t in args {
+                if let Term::Var(v) = t {
+                    bound.insert(v.clone());
+                }
+            }
+            steps.push(Step::Scan {
+                pred: pred.clone(),
+                args: args.clone(),
+                exists_only: false,
+            });
+            used[i] = true;
+            remaining -= 1;
+            continue;
+        }
+        // 3. Stuck: some literal has unbound variables forever.
+        let stuck = raw
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(r, _)| match r {
+                Raw::Neg { pred, .. } => format!("!{pred}(...)"),
+                Raw::Udf { name, .. } => format!("{name}(...)"),
+                Raw::Cmp { op, .. } => format!("comparison {op}"),
+                Raw::Scan { pred, .. } => format!("{pred}(...)"),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Err(PqlError::analysis(
+            line,
+            format!("unsafe rule: {stuck} reference unbound variables"),
+        ));
+    }
+
+    // Safety: every variable used in the head must be bound by the body.
+    let mut head_vars: Vec<&str> = Vec::new();
+    for arg in &head_args {
+        match arg {
+            HeadArg::Plain(t) | HeadArg::Agg(_, t) => t.collect_vars(&mut head_vars),
+        }
+    }
+    for v in head_vars {
+        if !bound.contains(v) {
+            return Err(PqlError::analysis(
+                line,
+                format!("head variable {v:?} is not bound by the rule body"),
+            ));
+        }
+    }
+
+    let steps = mark_exists_only(steps, &head_args);
+
+    // Semi-naive pivot variants: front each scan in turn and recompute
+    // the semi-join flags for that order. Moving one scan earlier never
+    // removes bindings from later steps, so every variant stays safe;
+    // scans handle both bound (filter) and free (bind) arguments, and
+    // assignments degrade to equality checks when their variable is
+    // already bound.
+    let mut pivot_variants = Vec::new();
+    for (si, step) in steps.iter().enumerate() {
+        if !matches!(step, Step::Scan { .. }) {
+            continue;
+        }
+        let mut reordered = Vec::with_capacity(steps.len());
+        reordered.push(steps[si].clone());
+        for (j, other) in steps.iter().enumerate() {
+            if j != si {
+                reordered.push(other.clone());
+            }
+        }
+        let reordered = mark_exists_only(reordered, &head_args);
+        pivot_variants.push(PivotVariant {
+            scan_step: si,
+            steps: reordered,
+        });
+    }
+
+    Ok(AnalyzedRule {
+        pred: rule.head.pred.clone(),
+        head_args,
+        head_loc,
+        steps,
+        pivot_variants,
+        has_aggregate,
+        line,
+    })
+}
+
+/// Mark scans whose free variables are all *anonymous* (they occur
+/// exactly once in the whole rule): such a scan only asks "does any
+/// matching tuple exist?", so evaluation can stop at the first witness
+/// (a semi-join). This keeps recursive lineage rules — Query 3's
+/// `fwd_lineage(y, w, j)`, where `w` and `j` are never used again — from
+/// enumerating every historical witness per join probe.
+fn mark_exists_only(mut steps: Vec<Step>, head_args: &[HeadArg]) -> Vec<Step> {
+    // Total occurrence count of every variable across head and body.
+    let mut occ: HashMap<String, usize> = HashMap::new();
+    let bump = |t: &Term, occ: &mut HashMap<String, usize>| {
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        for v in vars {
+            *occ.entry(v.to_string()).or_insert(0) += 1;
+        }
+    };
+    for arg in head_args {
+        match arg {
+            HeadArg::Plain(t) | HeadArg::Agg(_, t) => bump(t, &mut occ),
+        }
+    }
+    for step in &steps {
+        match step {
+            Step::Scan { args, .. } | Step::Neg { args, .. } => {
+                for t in args {
+                    bump(t, &mut occ);
+                }
+            }
+            Step::Assign { var, term } => {
+                *occ.entry(var.clone()).or_insert(0) += 1;
+                bump(term, &mut occ);
+            }
+            Step::Filter { lhs, rhs, .. } => {
+                bump(lhs, &mut occ);
+                bump(rhs, &mut occ);
+            }
+            Step::Udf { args, .. } => {
+                for t in args {
+                    bump(t, &mut occ);
+                }
+            }
+        }
+    }
+
+    // Order-aware pass: a scan is existence-only when every Var argument
+    // is either already bound (a pure filter) or anonymous (occurrence
+    // count 1 — its only appearance is this scan). A free variable that
+    // is used later (count > 1, not yet bound) makes the scan a binder,
+    // which must enumerate all witnesses.
+    let mut bound: HashSet<String> = HashSet::new();
+    for step in &mut steps {
+        match step {
+            Step::Scan { args, exists_only, .. } => {
+                *exists_only = args.iter().all(|t| match t {
+                    Term::Var(v) => {
+                        bound.contains(v) || occ.get(v.as_str()).copied().unwrap_or(0) == 1
+                    }
+                    _ => true,
+                });
+                for t in args.iter() {
+                    if let Term::Var(v) = t {
+                        bound.insert(v.clone());
+                    }
+                }
+            }
+            Step::Assign { var, .. } => {
+                bound.insert(var.clone());
+            }
+            _ => {}
+        }
+    }
+    steps
+}
+
+/// Substitute `$params` in a term.
+fn subst(term: &Term, params: &Params, line: usize) -> Result<Term, PqlError> {
+    Ok(match term {
+        Term::Param(name) => match params.get(name) {
+            Some(v) => Term::Const(v.clone()),
+            None => {
+                return Err(PqlError::analysis(
+                    line,
+                    format!("parameter ${name} was not supplied"),
+                ));
+            }
+        },
+        Term::Arith(l, op, r) => Term::Arith(
+            Box::new(subst(l, params, line)?),
+            *op,
+            Box::new(subst(r, params, line)?),
+        ),
+        other => other.clone(),
+    })
+}
+
+fn subst_args(atom: &Atom, params: &Params, line: usize) -> Result<Vec<Term>, PqlError> {
+    atom.args.iter().map(|t| subst(t, params, line)).collect()
+}
+
+/// Validate a relational atom: arity must match, and arguments must be
+/// variables or constants (complex terms belong in comparisons).
+fn check_relational_atom(
+    atom: &Atom,
+    args: &[Term],
+    catalog: &Catalog,
+    idbs: &BTreeMap<String, usize>,
+    line: usize,
+) -> Result<(), PqlError> {
+    let expected = idbs
+        .get(&atom.pred)
+        .copied()
+        .or_else(|| catalog.get(&atom.pred).map(|s| s.arity))
+        .expect("caller checked the predicate exists");
+    if args.len() != expected {
+        return Err(PqlError::analysis(
+            line,
+            format!(
+                "predicate {:?} has arity {} but is used with {} arguments",
+                atom.pred,
+                expected,
+                args.len()
+            ),
+        ));
+    }
+    for t in args {
+        if matches!(t, Term::Arith(_, _, _)) {
+            return Err(PqlError::analysis(
+                line,
+                format!(
+                    "arithmetic inside arguments of {:?} is not supported; bind it with '=' first",
+                    atom.pred
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Coerce integer constants at id-typed columns (the location and peer
+/// columns of catalog EDBs) to vertex ids, so `edge(0, y)` matches the
+/// stored `Id(0)` tuples.
+fn coerce_id_columns(pred: &str, args: &mut [Term], catalog: &Catalog) {
+    let Some(schema) = catalog.get(pred) else {
+        return;
+    };
+    let mut id_cols = vec![schema.location];
+    if let Some(p) = schema.peer {
+        id_cols.push(p);
+    }
+    for &c in &id_cols {
+        if let Some(Term::Const(crate::eval::value::Value::Int(n))) = args.get(c) {
+            if *n >= 0 {
+                args[c] = Term::Const(crate::eval::value::Value::Id(*n as u64));
+            }
+        }
+    }
+}
+
+/// Variables in `term` that are not yet in `bound`.
+fn free_vars<'a>(term: &'a Term, bound: &HashSet<String>) -> Vec<&'a str> {
+    let mut vars = Vec::new();
+    term.collect_vars(&mut vars);
+    vars.retain(|v| !bound.contains(*v));
+    vars
+}

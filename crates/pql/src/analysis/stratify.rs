@@ -1,0 +1,72 @@
+//! Stratification of negation and aggregation.
+//!
+//! We follow the classical stratified semantics: a predicate may not
+//! depend on itself through negation or aggregation. (The paper adopts
+//! the monotonic-aggregate semantics of Shkapsky et al. for recursive
+//! aggregates; none of the paper's queries need them, so we take the
+//! stricter, simpler stratified route and reject such programs.)
+
+use super::{AnalyzedRule, Step};
+use crate::catalog::Catalog;
+use crate::error::PqlError;
+use std::collections::BTreeMap;
+
+/// Compute strata: rule indices grouped by evaluation round. Rules whose
+/// heads are in stratum 0 come first, and so on. Within a stratum, rules
+/// keep source order.
+pub(super) fn stratify(
+    rules: &[AnalyzedRule],
+    _catalog: &Catalog,
+) -> Result<Vec<Vec<usize>>, PqlError> {
+    // Predicates defined by heads.
+    let mut stratum: BTreeMap<&str, usize> = BTreeMap::new();
+    for r in rules {
+        stratum.insert(&r.pred, 0);
+    }
+
+    // Dependency edges: (head, body-pred, strict).
+    // strict = the body predicate must be fully computed first — i.e. it
+    // is negated, or the head aggregates.
+    let mut edges: Vec<(&str, &str, bool)> = Vec::new();
+    for r in rules {
+        for s in &r.steps {
+            match s {
+                Step::Scan { pred, .. } if stratum.contains_key(pred.as_str()) => {
+                    edges.push((&r.pred, pred, r.has_aggregate));
+                }
+                Step::Neg { pred, .. } if stratum.contains_key(pred.as_str()) => {
+                    edges.push((&r.pred, pred, true));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Bellman-Ford-style relaxation; a required stratum above the number
+    // of predicates proves a negative cycle.
+    let n = stratum.len();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(head, body, strict) in &edges {
+            let need = stratum[body] + usize::from(strict);
+            if stratum[head] < need {
+                if need > n {
+                    return Err(PqlError::analysis_global(format!(
+                        "program is not stratifiable: {head:?} depends on itself through negation or aggregation",
+                    )));
+                }
+                stratum.insert(head, need);
+                changed = true;
+            }
+        }
+    }
+
+    let max_stratum = stratum.values().copied().max().unwrap_or(0);
+    let mut grouped: Vec<Vec<usize>> = vec![Vec::new(); max_stratum + 1];
+    for (i, r) in rules.iter().enumerate() {
+        grouped[stratum[r.pred.as_str()]].push(i);
+    }
+    grouped.retain(|g| !g.is_empty());
+    Ok(grouped)
+}

@@ -1,0 +1,162 @@
+//! Boolean user-defined functions callable from PQL rule bodies.
+//!
+//! The paper parameterizes the apt query "by a vertex value comparison
+//! function such as the difference or euclidean distance" (§2.2); these
+//! are the built-ins here. Additional UDFs can be registered by name.
+
+use crate::eval::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A boolean UDF over evaluated argument values.
+pub type Udf = Arc<dyn Fn(&[Value]) -> bool + Send + Sync>;
+
+/// A registry of named boolean UDFs.
+#[derive(Clone, Default)]
+pub struct UdfRegistry {
+    funcs: HashMap<String, Udf>,
+}
+
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<_> = self.funcs.keys().collect();
+        names.sort();
+        f.debug_struct("UdfRegistry").field("funcs", &names).finish()
+    }
+}
+
+impl UdfRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The standard registry with the paper's comparison functions:
+    ///
+    /// * `udf_diff(d1, d2, eps)` — true when `|d1 - d2| <= eps`
+    ///   (a "small change"; the apt query's `change` rule);
+    /// * `udf_diff_strict(d1, d2, eps)` — strict variant, `|d1 - d2| < eps`:
+    ///   the right notion of "small change" for nominal integer values
+    ///   like WCC component labels, where only a zero change is small;
+    /// * `udf_big_diff(d1, d2, eps)` — the complement, `|d1 - d2| > eps`;
+    /// * `udf_out_of_range(v, lo, hi)` — true when `v` falls outside
+    ///   `[lo, hi]` (the ALS rating-range checks of Query 7);
+    /// * `udf_euclidean(v1, v2, eps)` — true when the euclidean distance
+    ///   of two feature vectors is at most `eps` (ALS).
+    pub fn standard() -> Self {
+        let mut r = Self::new();
+        r.register("udf_diff", |args| {
+            numeric3(args).map(|(a, b, e)| (a - b).abs() <= e).unwrap_or(false)
+        });
+        r.register("udf_diff_strict", |args| {
+            numeric3(args).map(|(a, b, e)| (a - b).abs() < e).unwrap_or(false)
+        });
+        r.register("udf_big_diff", |args| {
+            numeric3(args).map(|(a, b, e)| (a - b).abs() > e).unwrap_or(false)
+        });
+        r.register("udf_out_of_range", |args| {
+            numeric3(args)
+                .map(|(v, lo, hi)| v < lo || v > hi)
+                .unwrap_or(false)
+        });
+        r.register("udf_euclidean", |args| {
+            if args.len() != 3 {
+                return false;
+            }
+            let (Some(a), Some(b), Some(e)) =
+                (args[0].as_list(), args[1].as_list(), args[2].as_f64())
+            else {
+                return false;
+            };
+            if a.len() != b.len() {
+                return false;
+            }
+            let d2: f64 = a
+                .iter()
+                .zip(b)
+                .filter_map(|(x, y)| Some((x.as_f64()? - y.as_f64()?).powi(2)))
+                .sum();
+            d2.sqrt() <= e
+        });
+        r
+    }
+
+    /// Register a UDF under `name`.
+    pub fn register(&mut self, name: &str, f: impl Fn(&[Value]) -> bool + Send + Sync + 'static) {
+        self.funcs.insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Look up a UDF.
+    pub fn get(&self, name: &str) -> Option<&Udf> {
+        self.funcs.get(name)
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.funcs.contains_key(name)
+    }
+}
+
+fn numeric3(args: &[Value]) -> Option<(f64, f64, f64)> {
+    if args.len() != 3 {
+        return None;
+    }
+    Some((args[0].as_f64()?, args[1].as_f64()?, args[2].as_f64()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_udf() {
+        let r = UdfRegistry::standard();
+        let f = r.get("udf_diff").unwrap();
+        assert!(f(&[Value::Float(1.0), Value::Float(1.005), Value::Float(0.01)]));
+        assert!(!f(&[Value::Float(1.0), Value::Float(2.0), Value::Float(0.01)]));
+        // Int/Float promotion.
+        assert!(f(&[Value::Int(5), Value::Int(4), Value::Int(1)]));
+        // Wrong arity or types → false, not panic.
+        assert!(!f(&[Value::Float(1.0)]));
+        assert!(!f(&[Value::str("a"), Value::Float(1.0), Value::Float(1.0)]));
+    }
+
+    #[test]
+    fn strict_diff() {
+        let r = UdfRegistry::standard();
+        let f = r.get("udf_diff_strict").unwrap();
+        assert!(f(&[Value::Int(5), Value::Int(5), Value::Int(1)]));
+        assert!(!f(&[Value::Int(5), Value::Int(4), Value::Int(1)]));
+    }
+
+    #[test]
+    fn big_diff_is_complement() {
+        let r = UdfRegistry::standard();
+        let small = r.get("udf_diff").unwrap();
+        let big = r.get("udf_big_diff").unwrap();
+        let args = [Value::Float(1.0), Value::Float(3.0), Value::Float(0.5)];
+        assert!(!small(&args));
+        assert!(big(&args));
+    }
+
+    #[test]
+    fn euclidean_udf() {
+        let r = UdfRegistry::standard();
+        let f = r.get("udf_euclidean").unwrap();
+        let a = Value::floats(&[0.0, 0.0]);
+        let b = Value::floats(&[3.0, 4.0]);
+        assert!(f(&[a.clone(), b.clone(), Value::Float(5.0)]));
+        assert!(!f(&[a.clone(), b.clone(), Value::Float(4.9)]));
+        // Length mismatch.
+        assert!(!f(&[a, Value::floats(&[1.0]), Value::Float(10.0)]));
+    }
+
+    #[test]
+    fn custom_registration() {
+        let mut r = UdfRegistry::new();
+        r.register("always", |_| true);
+        assert!(r.contains("always"));
+        assert!(r.get("always").unwrap()(&[]));
+        assert!(!r.contains("udf_diff"));
+    }
+}

@@ -1,0 +1,431 @@
+//! The PQL lexer.
+//!
+//! Tokens: identifiers (predicates, variables, aggregate names), numeric
+//! and string literals, `$name` parameters, punctuation (`(`, `)`, `,`,
+//! `.`), the rule arrow (`:-` or `<-`), negation `!`, comparison and
+//! arithmetic operators. `%` starts a comment to end of line.
+
+use crate::error::PqlError;
+
+/// One lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (`value`, `x`, `count`, `udf_diff`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `$name` parameter.
+    Param(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-` or `<-`
+    Arrow,
+    /// `!` (negation; `!=` lexes as `Ne`)
+    Bang,
+    /// `=` (also accepts `==`)
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+/// Lex a PQL source string into tokens (ending with [`TokenKind::Eof`]).
+pub fn lex(src: &str) -> Result<Vec<Token>, PqlError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $l:expr, $c:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
+            '%' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push!(TokenKind::LParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ')' => {
+                push!(TokenKind::RParen, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ',' => {
+                push!(TokenKind::Comma, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '.' => {
+                push!(TokenKind::Dot, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '+' => {
+                push!(TokenKind::Plus, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '*' => {
+                push!(TokenKind::Star, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '/' => {
+                push!(TokenKind::Slash, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                push!(TokenKind::Minus, tl, tc);
+                i += 1;
+                col += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&'-') {
+                    push!(TokenKind::Arrow, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(PqlError::Lex {
+                        line: tl,
+                        col: tc,
+                        message: "expected ':-'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'-') {
+                    push!(TokenKind::Arrow, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else if bytes.get(i + 1) == Some(&'=') {
+                    push!(TokenKind::Le, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Lt, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(TokenKind::Ge, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Gt, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    i += 2;
+                    col += 2;
+                } else {
+                    i += 1;
+                    col += 1;
+                }
+                push!(TokenKind::Eq, tl, tc);
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(TokenKind::Ne, tl, tc);
+                    i += 2;
+                    col += 2;
+                } else {
+                    push!(TokenKind::Bang, tl, tc);
+                    i += 1;
+                    col += 1;
+                }
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(PqlError::Lex {
+                        line: tl,
+                        col: tc,
+                        message: "expected parameter name after '$'".into(),
+                    });
+                }
+                let name: String = bytes[start..j].iter().collect();
+                col += j - i;
+                i = j;
+                push!(TokenKind::Param(name), tl, tc);
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < bytes.len() && bytes[j] != '"' {
+                    if bytes[j] == '\n' {
+                        return Err(PqlError::Lex {
+                            line: tl,
+                            col: tc,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    s.push(bytes[j]);
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(PqlError::Lex {
+                        line: tl,
+                        col: tc,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                col += j + 1 - i;
+                i = j + 1;
+                push!(TokenKind::Str(s), tl, tc);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // A '.' is a decimal point only if a digit follows;
+                // otherwise it is the rule terminator (e.g. `i = 0.`).
+                if j + 1 < bytes.len() && bytes[j] == '.' && bytes[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == 'e' || bytes[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == '+' || bytes[k] == '-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text: String = bytes[start..j].iter().collect();
+                col += j - i;
+                i = j;
+                if is_float {
+                    let v: f64 = text.parse().map_err(|e| PqlError::Lex {
+                        line: tl,
+                        col: tc,
+                        message: format!("bad float {text:?}: {e}"),
+                    })?;
+                    push!(TokenKind::Float(v), tl, tc);
+                } else {
+                    let v: i64 = text.parse().map_err(|e| PqlError::Lex {
+                        line: tl,
+                        col: tc,
+                        message: format!("bad integer {text:?}: {e}"),
+                    })?;
+                    push!(TokenKind::Int(v), tl, tc);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                col += j - i;
+                i = j;
+                push!(TokenKind::Ident(text), tl, tc);
+            }
+            other => {
+                return Err(PqlError::Lex {
+                    line: tl,
+                    col: tc,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_rule() {
+        let k = kinds("p(x) :- q(x, 1).");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("p".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::Ident("q".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::Comma,
+                TokenKind::Int(1),
+                TokenKind::RParen,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let k = kinds("= == != < <= > >= + - * / ! :- <-");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Eq,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Bang,
+                TokenKind::Arrow,
+                TokenKind::Arrow,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_rule_final_dot() {
+        // `0.` at the end of a rule: integer then Dot, not a float.
+        let k = kinds("i = 0.");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("i".into()),
+                TokenKind::Eq,
+                TokenKind::Int(0),
+                TokenKind::Dot,
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(kinds("0.5")[0], TokenKind::Float(0.5));
+        assert_eq!(kinds("1e-3")[0], TokenKind::Float(0.001));
+    }
+
+    #[test]
+    fn params_strings_comments() {
+        let k = kinds("$eps \"hi\" % a comment\n x");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Param("eps".into()),
+                TokenKind::Str("hi".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        match lex("p(x) :- @") {
+            Err(PqlError::Lex { line: 1, col, .. }) => assert_eq!(col, 9),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("$ x").is_err());
+        assert!(lex(": x").is_err());
+    }
+
+    #[test]
+    fn line_tracking() {
+        let toks = lex("a\nb\nc").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+}

@@ -1,0 +1,379 @@
+//! Recursive-descent parser for PQL.
+//!
+//! ```text
+//! program  := rule*
+//! rule     := head ( (':-' | '<-') literal (',' literal)* )? '.'
+//! head     := ident '(' headarg (',' headarg)* ')'
+//! headarg  := aggname '(' term ')' | term
+//! literal  := '!' atom | atom | term cmp term
+//! atom     := ident '(' term (',' term)* ')'
+//! term     := factor (('+'|'-') factor)*
+//! factor   := primary (('*'|'/') primary)*
+//! primary  := ident | number | string | '$'ident | '(' term ')' | '-' primary
+//!            | 'true' | 'false'
+//! ```
+//!
+//! Whether a positive atom is a relational predicate or a boolean UDF
+//! call is resolved later, during analysis, against the catalog and UDF
+//! registry.
+
+use crate::ast::*;
+use crate::error::PqlError;
+use crate::eval::value::Value;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parse a PQL program.
+pub fn parse(src: &str) -> Result<Program, PqlError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> PqlError {
+        let t = self.peek();
+        PqlError::Parse {
+            line: t.line,
+            col: t.col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, PqlError> {
+        if std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, usize), PqlError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.advance();
+                let TokenKind::Ident(name) = t.kind else {
+                    unreachable!()
+                };
+                Ok((name, t.line))
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, PqlError> {
+        let mut rules = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            rules.push(self.rule()?);
+        }
+        if rules.is_empty() {
+            return Err(self.err("empty program"));
+        }
+        Ok(Program { rules })
+    }
+
+    fn rule(&mut self) -> Result<Rule, PqlError> {
+        let head = self.head()?;
+        let line = self.tokens[self.pos.saturating_sub(1)].line;
+        let mut body = Vec::new();
+        if self.eat(&TokenKind::Arrow) {
+            body.push(self.literal()?);
+            while self.eat(&TokenKind::Comma) {
+                body.push(self.literal()?);
+            }
+        }
+        self.expect(&TokenKind::Dot, "'.' at end of rule")?;
+        Ok(Rule { head, body, line })
+    }
+
+    fn head(&mut self) -> Result<Head, PqlError> {
+        let (pred, _) = self.ident("predicate name")?;
+        self.expect(&TokenKind::LParen, "'(' after head predicate")?;
+        let mut args = vec![self.head_arg()?];
+        while self.eat(&TokenKind::Comma) {
+            args.push(self.head_arg()?);
+        }
+        self.expect(&TokenKind::RParen, "')' closing head arguments")?;
+        Ok(Head { pred, args })
+    }
+
+    fn head_arg(&mut self) -> Result<HeadArg, PqlError> {
+        // Aggregate if an aggregate name is directly followed by '('.
+        if let TokenKind::Ident(name) = &self.peek().kind {
+            if let Some(func) = AggFunc::from_name(&name.to_lowercase()) {
+                if self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen) {
+                    self.advance(); // name
+                    self.advance(); // (
+                    let term = self.term()?;
+                    self.expect(&TokenKind::RParen, "')' closing aggregate")?;
+                    return Ok(HeadArg::Agg(func, term));
+                }
+            }
+        }
+        Ok(HeadArg::Plain(self.term()?))
+    }
+
+    fn literal(&mut self) -> Result<Literal, PqlError> {
+        if self.eat(&TokenKind::Bang) {
+            return Ok(Literal::Negated(self.atom()?));
+        }
+        // An identifier directly followed by '(' is an atom (relational
+        // predicate or UDF call); anything else must be a comparison.
+        if matches!(self.peek().kind, TokenKind::Ident(_))
+            && self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
+        {
+            return Ok(Literal::Positive(self.atom()?));
+        }
+        let lhs = self.term()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            _ => return Err(self.err("expected comparison operator")),
+        };
+        self.advance();
+        let rhs = self.term()?;
+        Ok(Literal::Compare(lhs, op, rhs))
+    }
+
+    fn atom(&mut self) -> Result<Atom, PqlError> {
+        let (pred, _) = self.ident("predicate name")?;
+        self.expect(&TokenKind::LParen, "'(' after predicate")?;
+        let mut args = vec![self.term()?];
+        while self.eat(&TokenKind::Comma) {
+            args.push(self.term()?);
+        }
+        self.expect(&TokenKind::RParen, "')' closing arguments")?;
+        Ok(Atom { pred, args })
+    }
+
+    fn term(&mut self) -> Result<Term, PqlError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => ArithOp::Add,
+                TokenKind::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.factor()?;
+            lhs = Term::Arith(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Term, PqlError> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => ArithOp::Mul,
+                TokenKind::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.primary()?;
+            lhs = Term::Arith(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Term, PqlError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                match name.as_str() {
+                    "true" => Ok(Term::Const(Value::Bool(true))),
+                    "false" => Ok(Term::Const(Value::Bool(false))),
+                    _ => Ok(Term::Var(name)),
+                }
+            }
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Term::Const(Value::Int(v)))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(Term::Const(Value::Float(v)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Term::Const(Value::str(&s)))
+            }
+            TokenKind::Param(name) => {
+                self.advance();
+                Ok(Term::Param(name))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let t = self.term()?;
+                self.expect(&TokenKind::RParen, "')' closing parenthesized term")?;
+                Ok(t)
+            }
+            TokenKind::Minus => {
+                self.advance();
+                let inner = self.primary()?;
+                Ok(match inner {
+                    Term::Const(Value::Int(v)) => Term::Const(Value::Int(-v)),
+                    Term::Const(Value::Float(v)) => Term::Const(Value::Float(-v)),
+                    other => Term::Arith(
+                        Box::new(Term::Const(Value::Int(0))),
+                        ArithOp::Sub,
+                        Box::new(other),
+                    ),
+                })
+            }
+            _ => Err(self.err("expected a term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_rule() {
+        let p = parse("reach(x) :- edge(x, y), reach(y).").unwrap();
+        assert_eq!(p.rules.len(), 1);
+        let r = &p.rules[0];
+        assert_eq!(r.head.pred, "reach");
+        assert_eq!(r.body.len(), 2);
+        match &r.body[0] {
+            Literal::Positive(a) => assert_eq!(a.pred, "edge"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_fact() {
+        let p = parse("start(x).").unwrap();
+        assert!(p.rules[0].body.is_empty());
+    }
+
+    #[test]
+    fn parses_negation_and_comparison() {
+        let p = parse("p(x, i) :- !q(x, j), j = i - 1, r(x, i), i >= 0.").unwrap();
+        let r = &p.rules[0];
+        assert!(matches!(r.body[0], Literal::Negated(_)));
+        match &r.body[1] {
+            Literal::Compare(Term::Var(j), CmpOp::Eq, rhs) => {
+                assert_eq!(j, "j");
+                assert!(matches!(rhs, Term::Arith(_, ArithOp::Sub, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(r.body[3], Literal::Compare(_, CmpOp::Ge, _)));
+    }
+
+    #[test]
+    fn parses_aggregate_head() {
+        let p = parse("in_degree(x, count(y)) :- in_edge(x, y).").unwrap();
+        let head = &p.rules[0].head;
+        assert!(head.has_aggregate());
+        match &head.args[1] {
+            HeadArg::Agg(AggFunc::Count, Term::Var(y)) => assert_eq!(y, "y"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arith_in_head() {
+        let p = parse("avg_error(x, i, s / d) :- sum_error(x, i, s), degree(x, d).").unwrap();
+        match &p.rules[0].head.args[2] {
+            HeadArg::Plain(Term::Arith(_, ArithOp::Div, _)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_params_and_udfs() {
+        let p = parse(
+            "change(x, i) :- value(x, d1, i), value(x, d2, j), evolution(x, j, i), udf_diff(d1, d2, $eps).",
+        )
+        .unwrap();
+        let r = &p.rules[0];
+        match &r.body[3] {
+            Literal::Positive(a) => {
+                assert_eq!(a.pred, "udf_diff");
+                assert_eq!(a.args[2], Term::Param("eps".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_query_one_verbatim() {
+        // The paper's apt query, in our concrete syntax.
+        let src = "
+            change(x, i) :- value(x, d1, i), value(x, d2, j), evolution(x, j, i), udf_diff(d1, d2, $eps).
+            neighbor_change(x, i) :- receive_message(x, y, m, i), !change(y, j), j = i - 1.
+            no_execute(x, i) :- !neighbor_change(x, i), superstep(x, i).
+            safe(x, i) :- no_execute(x, i), change(x, i).
+            unsafe(x, i) :- no_execute(x, i), !change(x, i).
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.rules.len(), 5);
+        assert_eq!(p.rules[4].head.pred, "unsafe");
+    }
+
+    #[test]
+    fn double_equals_accepted() {
+        let p = parse("p(x) :- q(x, d), d == 0.").unwrap();
+        assert!(matches!(p.rules[0].body[1], Literal::Compare(_, CmpOp::Eq, _)));
+    }
+
+    #[test]
+    fn negative_constants() {
+        let p = parse("p(x) :- q(x, d), d > -1.5.").unwrap();
+        match &p.rules[0].body[1] {
+            Literal::Compare(_, _, Term::Const(Value::Float(v))) => assert_eq!(*v, -1.5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse("").is_err());
+        assert!(parse("p(x)").is_err()); // missing dot
+        assert!(parse("p(x) :- .").is_err()); // empty body after arrow
+        assert!(parse("p() :- q(x).").is_err()); // empty head args
+        assert!(matches!(
+            parse("p(x) :- q(x) r(x)."),
+            Err(PqlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn line_numbers_recorded() {
+        let p = parse("a(x) :- b(x).\nc(x) :- a(x).").unwrap();
+        assert_eq!(p.rules[0].line, 1);
+        assert_eq!(p.rules[1].line, 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Compact binary serialization of PQL tuples for spilled segments.
+//!
+//! Format, little-endian throughout:
+//!
+//! ```text
+//! tuple   := u32 len, value*
+//! value   := tag u8, payload
+//!   0x00 Id      u64
+//!   0x01 Int     i64
+//!   0x02 Float   f64 bits
+//!   0x03 Bool    u8
+//!   0x04 Str     u32 len, utf8 bytes
+//!   0x05 List    u32 len, value*
+//!   0x06 Unit
+//! ```
+
+use ariadne_pql::{Tuple, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
+
+/// Serialization/deserialization errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended mid-value.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// String payload was not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated input"),
+            CodecError::BadTag(t) => write!(f, "unknown value tag {t:#x}"),
+            CodecError::BadUtf8 => write!(f, "invalid utf-8 in string value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append one value to `buf`.
+pub fn write_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Id(x) => {
+            buf.put_u8(0x00);
+            buf.put_u64_le(*x);
+        }
+        Value::Int(x) => {
+            buf.put_u8(0x01);
+            buf.put_i64_le(*x);
+        }
+        Value::Float(x) => {
+            buf.put_u8(0x02);
+            buf.put_u64_le(x.to_bits());
+        }
+        Value::Bool(x) => {
+            buf.put_u8(0x03);
+            buf.put_u8(u8::from(*x));
+        }
+        Value::Str(s) => {
+            buf.put_u8(0x04);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::List(items) => {
+            buf.put_u8(0x05);
+            buf.put_u32_le(items.len() as u32);
+            for item in items.iter() {
+                write_value(buf, item);
+            }
+        }
+        Value::Unit => buf.put_u8(0x06),
+    }
+}
+
+/// Read one value from `buf`.
+pub fn read_value(buf: &mut Bytes) -> Result<Value, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    Ok(match tag {
+        0x00 => Value::Id(get_u64(buf)?),
+        0x01 => Value::Int(get_u64(buf)? as i64),
+        0x02 => Value::Float(f64::from_bits(get_u64(buf)?)),
+        0x03 => {
+            if !buf.has_remaining() {
+                return Err(CodecError::Truncated);
+            }
+            Value::Bool(buf.get_u8() != 0)
+        }
+        0x04 => {
+            let len = get_u32(buf)? as usize;
+            if buf.remaining() < len {
+                return Err(CodecError::Truncated);
+            }
+            let bytes = buf.copy_to_bytes(len);
+            let s = std::str::from_utf8(&bytes).map_err(|_| CodecError::BadUtf8)?;
+            Value::str(s)
+        }
+        0x05 => {
+            let len = get_u32(buf)? as usize;
+            let mut items = Vec::with_capacity(len.min(1 << 16));
+            for _ in 0..len {
+                items.push(read_value(buf)?);
+            }
+            Value::List(Arc::new(items))
+        }
+        0x06 => Value::Unit,
+        other => return Err(CodecError::BadTag(other)),
+    })
+}
+
+/// Serialize a batch of tuples.
+pub fn encode_tuples(tuples: &[Tuple]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(tuples.len() as u32);
+    for t in tuples {
+        buf.put_u32_le(t.len() as u32);
+        for v in t {
+            write_value(&mut buf, v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a batch of tuples.
+pub fn decode_tuples(mut data: Bytes) -> Result<Vec<Tuple>, CodecError> {
+    let count = get_u32(&mut data)? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let arity = get_u32(&mut data)? as usize;
+        let mut tuple = Vec::with_capacity(arity.min(64));
+        for _ in 0..arity {
+            tuple.push(read_value(&mut data)?);
+        }
+        out.push(tuple);
+    }
+    Ok(out)
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, CodecError> {
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, CodecError> {
+    if buf.remaining() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(tuples: Vec<Tuple>) {
+        let encoded = encode_tuples(&tuples);
+        let decoded = decode_tuples(encoded).unwrap();
+        assert_eq!(tuples, decoded);
+    }
+
+    #[test]
+    fn roundtrips_all_value_kinds() {
+        roundtrip(vec![
+            vec![
+                Value::Id(7),
+                Value::Int(-3),
+                Value::Float(1.5),
+                Value::Bool(true),
+                Value::str("hello"),
+                Value::floats(&[1.0, 2.0]),
+                Value::Unit,
+            ],
+            vec![Value::Float(f64::INFINITY)],
+            vec![Value::Float(f64::NAN)], // NaN survives via bit pattern
+        ]);
+    }
+
+    #[test]
+    fn roundtrips_empty() {
+        roundtrip(vec![]);
+        roundtrip(vec![vec![]]);
+    }
+
+    #[test]
+    fn nested_lists() {
+        roundtrip(vec![vec![Value::List(Arc::new(vec![
+            Value::floats(&[1.0]),
+            Value::str("x"),
+        ]))]]);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = encode_tuples(&[vec![Value::Int(1)]]);
+        for cut in 0..enc.len() - 1 {
+            let sliced = enc.slice(0..cut);
+            assert!(decode_tuples(sliced).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1);
+        buf.put_u32_le(1);
+        buf.put_u8(0xFF);
+        assert_eq!(
+            decode_tuples(buf.freeze()),
+            Err(CodecError::BadTag(0xFF))
+        );
+    }
+}

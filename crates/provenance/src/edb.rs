@@ -1,0 +1,214 @@
+//! Generating the provenance EDB tuples of Table 1.
+//!
+//! This is the *compact representation* of §3: rather than materializing
+//! an unfolded provenance node per (vertex, superstep), each input-graph
+//! vertex is annotated with relations (`value`, `send_message`,
+//! `receive_message`, `superstep`, `evolution`, `edge_value`) holding one
+//! tuple per superstep event.
+//!
+//! Generation is *customized by the query*: only predicates in the
+//! `needed` set are produced, which is how declarative capture cuts space
+//! and time (Tables 3–4 vs Figure 7).
+
+use ariadne_graph::{Csr, VertexId};
+use ariadne_pql::{Tuple, Value};
+use std::collections::BTreeSet;
+
+/// Everything that happened to one vertex during one superstep, already
+/// encoded as PQL values.
+#[derive(Clone, Debug)]
+pub struct VertexStepRecord {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// The superstep.
+    pub superstep: u32,
+    /// The vertex value *after* computing.
+    pub value: Value,
+    /// Received messages as (source, payload).
+    pub received: Vec<(VertexId, Value)>,
+    /// Sent messages as (destination, payload).
+    pub sent: Vec<(VertexId, Value)>,
+    /// Outgoing edge weights, used only when `edge_value` is captured.
+    pub out_edges: Vec<(VertexId, f64)>,
+}
+
+/// Per-vertex EDB generator. Holds the vertex's activation history so it
+/// can emit `evolution` tuples.
+#[derive(Clone, Debug, Default)]
+pub struct EdbTracker {
+    last_active: Option<u32>,
+}
+
+/// Which Table-1 predicates to generate.
+pub type NeededEdbs = BTreeSet<String>;
+
+impl EdbTracker {
+    /// Fresh tracker (vertex never active yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The last superstep this vertex computed in, if any.
+    pub fn last_active(&self) -> Option<u32> {
+        self.last_active
+    }
+
+    /// Generate the needed EDB tuples for one vertex-superstep and
+    /// advance the activation history.
+    pub fn tuples(
+        &mut self,
+        rec: &VertexStepRecord,
+        needed: &NeededEdbs,
+    ) -> Vec<(&'static str, Tuple)> {
+        let x = Value::Id(rec.vertex.0);
+        let i = Value::Int(rec.superstep as i64);
+        let mut out = Vec::new();
+
+        if needed.contains("superstep") {
+            out.push(("superstep", vec![x.clone(), i.clone()]));
+        }
+        if needed.contains("value") {
+            out.push(("value", vec![x.clone(), rec.value.clone(), i.clone()]));
+        }
+        if needed.contains("evolution") {
+            if let Some(prev) = self.last_active {
+                out.push((
+                    "evolution",
+                    vec![x.clone(), Value::Int(prev as i64), i.clone()],
+                ));
+            }
+        }
+        if needed.contains("receive_message") {
+            for (src, m) in &rec.received {
+                out.push((
+                    "receive_message",
+                    vec![x.clone(), Value::Id(src.0), m.clone(), i.clone()],
+                ));
+            }
+        }
+        if needed.contains("send_message") {
+            for (dst, m) in &rec.sent {
+                out.push((
+                    "send_message",
+                    vec![x.clone(), Value::Id(dst.0), m.clone(), i.clone()],
+                ));
+            }
+        }
+        if needed.contains("edge_value") {
+            for (dst, w) in &rec.out_edges {
+                out.push((
+                    "edge_value",
+                    vec![x.clone(), Value::Id(dst.0), Value::Float(*w), i.clone()],
+                ));
+            }
+        }
+
+        self.last_active = Some(rec.superstep);
+        out
+    }
+}
+
+/// Static graph-structure EDB tuples (`edge`, `in_edge`) for one vertex,
+/// produced once (at superstep 0) when the query references them.
+pub fn static_graph_edbs(
+    graph: &Csr,
+    vertex: VertexId,
+    needed: &NeededEdbs,
+) -> Vec<(&'static str, Tuple)> {
+    let x = Value::Id(vertex.0);
+    let mut out = Vec::new();
+    if needed.contains("edge") {
+        for e in graph.out_edges(vertex) {
+            out.push(("edge", vec![x.clone(), Value::Id(e.neighbor.0)]));
+        }
+    }
+    if needed.contains("in_edge") {
+        for e in graph.in_edges(vertex) {
+            out.push(("in_edge", vec![x.clone(), Value::Id(e.neighbor.0)]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_graph::generators::regular::star;
+
+    fn needed(preds: &[&str]) -> NeededEdbs {
+        preds.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn record(v: u64, step: u32) -> VertexStepRecord {
+        VertexStepRecord {
+            vertex: VertexId(v),
+            superstep: step,
+            value: Value::Float(0.5),
+            received: vec![(VertexId(9), Value::Float(0.1))],
+            sent: vec![(VertexId(8), Value::Float(0.2))],
+            out_edges: vec![(VertexId(8), 2.0)],
+        }
+    }
+
+    #[test]
+    fn generates_only_needed_predicates() {
+        let mut t = EdbTracker::new();
+        let out = t.tuples(&record(1, 0), &needed(&["value", "superstep"]));
+        let preds: Vec<&str> = out.iter().map(|(p, _)| *p).collect();
+        assert_eq!(preds, vec!["superstep", "value"]);
+    }
+
+    #[test]
+    fn evolution_needs_history() {
+        let mut t = EdbTracker::new();
+        let n = needed(&["evolution"]);
+        assert!(t.tuples(&record(1, 0), &n).is_empty());
+        let out = t.tuples(&record(1, 2), &n);
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].1,
+            vec![Value::Id(1), Value::Int(0), Value::Int(2)]
+        );
+        assert_eq!(t.last_active(), Some(2));
+    }
+
+    #[test]
+    fn message_tuples_carry_peers() {
+        let mut t = EdbTracker::new();
+        let out = t.tuples(&record(1, 3), &needed(&["receive_message", "send_message"]));
+        assert_eq!(
+            out[0],
+            (
+                "receive_message",
+                vec![Value::Id(1), Value::Id(9), Value::Float(0.1), Value::Int(3)]
+            )
+        );
+        assert_eq!(
+            out[1],
+            (
+                "send_message",
+                vec![Value::Id(1), Value::Id(8), Value::Float(0.2), Value::Int(3)]
+            )
+        );
+    }
+
+    #[test]
+    fn edge_value_tuples() {
+        let mut t = EdbTracker::new();
+        let out = t.tuples(&record(1, 0), &needed(&["edge_value"]));
+        assert_eq!(
+            out[0].1,
+            vec![Value::Id(1), Value::Id(8), Value::Float(2.0), Value::Int(0)]
+        );
+    }
+
+    #[test]
+    fn static_edbs() {
+        let g = star(4);
+        let out = static_graph_edbs(&g, VertexId(0), &needed(&["edge"]));
+        assert_eq!(out.len(), 3);
+        let ins = static_graph_edbs(&g, VertexId(2), &needed(&["in_edge"]));
+        assert_eq!(ins, vec![("in_edge", vec![Value::Id(2), Value::Id(0)])]);
+        assert!(static_graph_edbs(&g, VertexId(0), &needed(&[])).is_empty());
+    }
+}

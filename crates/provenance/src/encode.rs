@@ -1,0 +1,111 @@
+//! Encoding analytic data as PQL values.
+//!
+//! Ariadne's provenance representation "is independent of the native
+//! language specifying the graph analytic" (§1): whatever the vertex
+//! value and message types are, they enter the provenance graph as
+//! [`Value`]s via this trait.
+
+use ariadne_pql::Value;
+
+/// Conversion of analytic-side data into PQL values.
+pub trait ProvEncode {
+    /// Encode into a [`Value`].
+    fn encode(&self) -> Value;
+}
+
+impl ProvEncode for f64 {
+    fn encode(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ProvEncode for f32 {
+    fn encode(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl ProvEncode for u64 {
+    fn encode(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl ProvEncode for i64 {
+    fn encode(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl ProvEncode for u32 {
+    fn encode(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl ProvEncode for i32 {
+    fn encode(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl ProvEncode for bool {
+    fn encode(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ProvEncode for () {
+    fn encode(&self) -> Value {
+        Value::Unit
+    }
+}
+
+impl ProvEncode for String {
+    fn encode(&self) -> Value {
+        Value::str(self)
+    }
+}
+
+impl ProvEncode for Vec<f64> {
+    fn encode(&self) -> Value {
+        Value::floats(self)
+    }
+}
+
+impl ProvEncode for Value {
+    fn encode(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ProvEncode> ProvEncode for &T {
+    fn encode(&self) -> Value {
+        (*self).encode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_encodings() {
+        assert_eq!(1.5f64.encode(), Value::Float(1.5));
+        assert_eq!(3u64.encode(), Value::Int(3));
+        assert_eq!(true.encode(), Value::Bool(true));
+        assert_eq!(().encode(), Value::Unit);
+        assert_eq!("hi".to_string().encode(), Value::str("hi"));
+    }
+
+    #[test]
+    fn vector_encoding() {
+        assert_eq!(vec![1.0, 2.0].encode(), Value::floats(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn reference_passthrough() {
+        let v = 2.0f64;
+        assert_eq!(v.encode(), Value::Float(2.0));
+    }
+}

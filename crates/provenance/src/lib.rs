@@ -1,0 +1,28 @@
+//! The provenance data layer (§3 of the paper).
+//!
+//! * [`encode`] — converting analytic vertex values and messages into PQL
+//!   [`ariadne_pql::Value`]s.
+//! * [`edb`] — generating the provenance EDB tuples of Table 1 from one
+//!   vertex-superstep of execution (the *compact representation*: tuples
+//!   annotating input-graph vertices rather than an unfolded node per
+//!   vertex-superstep).
+//! * [`store`] — the captured-provenance store: per-superstep segments,
+//!   byte accounting for Tables 3–4, and spill-to-disk with an async
+//!   writer thread (the paper's asynchronous HDFS offload).
+//! * [`unfold`] — materializing the *unfolded* provenance graph (a node
+//!   per vertex-superstep, evolution and message edges) and its layer
+//!   decomposition (Definition 5.1), used by the naive mode and by tests
+//!   that check compact ≡ unfolded.
+//! * [`codec`] — a compact binary serialization of tuples for spilled
+//!   segments.
+
+pub mod codec;
+pub mod edb;
+pub mod encode;
+pub mod store;
+pub mod unfold;
+
+pub use edb::{static_graph_edbs, EdbTracker, VertexStepRecord};
+pub use encode::ProvEncode;
+pub use store::{ProvStore, StoreConfig, StoreWriter};
+pub use unfold::{Layers, UnfoldedGraph};

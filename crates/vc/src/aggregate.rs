@@ -1,0 +1,215 @@
+//! Global aggregators, reduced at the superstep barrier (Giraph-style).
+//!
+//! A vertex contributes values during superstep `i`; the reduced result is
+//! visible to every vertex at superstep `i + 1` and to the program's halt
+//! condition at the barrier. PageRank's tolerance-based termination and
+//! ALS's global-error tracking use these.
+
+use std::collections::HashMap;
+
+/// A value contributed to / read from an aggregator.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum AggValue {
+    /// Floating point.
+    F64(f64),
+    /// Integer (counts).
+    I64(i64),
+    /// Boolean (and/or reductions).
+    Bool(bool),
+}
+
+impl AggValue {
+    /// The f64 inside, panicking on type mismatch (programming error).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            AggValue::F64(v) => v,
+            other => panic!("aggregator value {other:?} is not F64"),
+        }
+    }
+
+    /// The i64 inside, panicking on type mismatch.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            AggValue::I64(v) => v,
+            other => panic!("aggregator value {other:?} is not I64"),
+        }
+    }
+
+    /// The bool inside, panicking on type mismatch.
+    pub fn as_bool(self) -> bool {
+        match self {
+            AggValue::Bool(v) => v,
+            other => panic!("aggregator value {other:?} is not Bool"),
+        }
+    }
+}
+
+/// Reduction operator for an aggregator.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AggOp {
+    /// Numeric sum.
+    Sum,
+    /// Numeric minimum.
+    Min,
+    /// Numeric maximum.
+    Max,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+}
+
+impl AggOp {
+    /// Reduce two values; panics on type mismatch between contributions.
+    pub fn reduce(self, a: AggValue, b: AggValue) -> AggValue {
+        use AggValue::*;
+        match (self, a, b) {
+            (AggOp::Sum, F64(x), F64(y)) => F64(x + y),
+            (AggOp::Sum, I64(x), I64(y)) => I64(x + y),
+            (AggOp::Min, F64(x), F64(y)) => F64(x.min(y)),
+            (AggOp::Min, I64(x), I64(y)) => I64(x.min(y)),
+            (AggOp::Max, F64(x), F64(y)) => F64(x.max(y)),
+            (AggOp::Max, I64(x), I64(y)) => I64(x.max(y)),
+            (AggOp::And, Bool(x), Bool(y)) => Bool(x && y),
+            (AggOp::Or, Bool(x), Bool(y)) => Bool(x || y),
+            (op, a, b) => panic!("aggregator type mismatch: {op:?} over {a:?}, {b:?}"),
+        }
+    }
+}
+
+/// A store of named aggregators with their reduction ops.
+#[derive(Default, Clone, Debug)]
+pub struct Aggregates {
+    ops: HashMap<String, AggOp>,
+    current: HashMap<String, AggValue>,
+    previous: HashMap<String, AggValue>,
+}
+
+impl Aggregates {
+    /// Create a store with the given registrations.
+    pub fn new(defs: impl IntoIterator<Item = (String, AggOp)>) -> Self {
+        Aggregates {
+            ops: defs.into_iter().collect(),
+            current: HashMap::new(),
+            previous: HashMap::new(),
+        }
+    }
+
+    /// Contribute `value` to aggregator `name` for the current superstep.
+    ///
+    /// Panics if `name` was never registered — contributing to an unknown
+    /// aggregator is a programming error we want loud.
+    pub fn contribute(&mut self, name: &str, value: AggValue) {
+        let op = *self
+            .ops
+            .get(name)
+            .unwrap_or_else(|| panic!("aggregator {name:?} not registered"));
+        match self.current.remove(name) {
+            Some(acc) => {
+                self.current.insert(name.to_string(), op.reduce(acc, value));
+            }
+            None => {
+                self.current.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// The reduced value from the *previous* superstep, if any vertex
+    /// contributed then.
+    pub fn previous(&self, name: &str) -> Option<AggValue> {
+        self.previous.get(name).copied()
+    }
+
+    /// The value reduced so far in the current superstep (used by the halt
+    /// check at the barrier, before rotation).
+    pub fn current(&self, name: &str) -> Option<AggValue> {
+        self.current.get(name).copied()
+    }
+
+    /// Merge another store's current-superstep contributions (worker-local
+    /// stores are merged at the barrier).
+    pub fn merge_current(&mut self, other: &Aggregates) {
+        for (name, &value) in &other.current {
+            self.contribute(name, value);
+        }
+    }
+
+    /// Rotate at the barrier: current becomes previous, current clears.
+    pub fn rotate(&mut self) {
+        self.previous = std::mem::take(&mut self.current);
+    }
+
+    /// A worker-local clone with the same registrations and empty buffers.
+    pub fn fresh_local(&self) -> Aggregates {
+        Aggregates {
+            ops: self.ops.clone(),
+            current: HashMap::new(),
+            previous: HashMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Aggregates {
+        Aggregates::new([
+            ("sum".to_string(), AggOp::Sum),
+            ("min".to_string(), AggOp::Min),
+            ("any".to_string(), AggOp::Or),
+        ])
+    }
+
+    #[test]
+    fn sum_reduction() {
+        let mut a = store();
+        a.contribute("sum", AggValue::F64(1.0));
+        a.contribute("sum", AggValue::F64(2.5));
+        assert_eq!(a.current("sum"), Some(AggValue::F64(3.5)));
+    }
+
+    #[test]
+    fn rotation_makes_previous_visible() {
+        let mut a = store();
+        a.contribute("min", AggValue::I64(9));
+        a.contribute("min", AggValue::I64(3));
+        assert_eq!(a.previous("min"), None);
+        a.rotate();
+        assert_eq!(a.previous("min"), Some(AggValue::I64(3)));
+        assert_eq!(a.current("min"), None);
+    }
+
+    #[test]
+    fn merge_worker_locals() {
+        let mut global = store();
+        let mut w1 = global.fresh_local();
+        let mut w2 = global.fresh_local();
+        w1.contribute("any", AggValue::Bool(false));
+        w2.contribute("any", AggValue::Bool(true));
+        global.merge_current(&w1);
+        global.merge_current(&w2);
+        assert_eq!(global.current("any"), Some(AggValue::Bool(true)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_aggregator_panics() {
+        store().contribute("nope", AggValue::F64(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut a = store();
+        a.contribute("sum", AggValue::F64(1.0));
+        a.contribute("sum", AggValue::I64(1));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(AggValue::F64(2.0).as_f64(), 2.0);
+        assert_eq!(AggValue::I64(2).as_i64(), 2);
+        assert!(AggValue::Bool(true).as_bool());
+    }
+}

@@ -1,0 +1,118 @@
+//! The per-vertex compute context.
+//!
+//! [`Context`] is a trait (rather than a concrete engine struct) so that
+//! Ariadne's online evaluation can hand the *analytic* a recording shim
+//! that observes and forwards its sends, while the engine itself stays
+//! unmodified — the architectural point of the paper (§2.2, Figures 1–2).
+
+use crate::aggregate::AggValue;
+use ariadne_graph::{Csr, EdgeRef, VertexId};
+
+/// Everything a vertex program may do during `compute`.
+pub trait Context<M> {
+    /// The current superstep (0-based).
+    fn superstep(&self) -> u32;
+
+    /// The id of the vertex currently computing.
+    fn vertex(&self) -> VertexId;
+
+    /// The (immutable) input graph.
+    fn graph(&self) -> &Csr;
+
+    /// Send `msg` to vertex `to`; it will be delivered at the next
+    /// superstep. `to` need not be a neighbour (Giraph allows send-by-id,
+    /// which is exactly the failure mode the paper's Query 4 monitors).
+    fn send(&mut self, to: VertexId, msg: M);
+
+    /// Contribute `value` to the named global aggregator.
+    fn aggregate(&mut self, name: &str, value: AggValue);
+
+    /// Read the named aggregator's reduction from the previous superstep.
+    fn prev_aggregate(&self, name: &str) -> Option<AggValue>;
+
+    /// Number of vertices in the graph (convenience).
+    fn num_vertices(&self) -> usize {
+        self.graph().num_vertices()
+    }
+
+    /// Outgoing edges of the computing vertex.
+    fn out_edges(&self) -> Vec<EdgeRef> {
+        self.graph().out_edges(self.vertex()).collect()
+    }
+
+    /// Out-degree of the computing vertex.
+    fn out_degree(&self) -> usize {
+        self.graph().out_degree(self.vertex())
+    }
+
+    /// Send the same message along every outgoing edge.
+    fn send_to_out_neighbors(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        let targets: Vec<VertexId> =
+            self.graph().out_neighbors(self.vertex()).to_vec();
+        for t in targets {
+            self.send(t, msg.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne_graph::generators::regular::star;
+
+    /// A minimal mock context for exercising the provided methods.
+    struct Mock {
+        graph: Csr,
+        sent: Vec<(VertexId, u32)>,
+        vertex: VertexId,
+    }
+
+    impl Context<u32> for Mock {
+        fn superstep(&self) -> u32 {
+            7
+        }
+        fn vertex(&self) -> VertexId {
+            self.vertex
+        }
+        fn graph(&self) -> &Csr {
+            &self.graph
+        }
+        fn send(&mut self, to: VertexId, msg: u32) {
+            self.sent.push((to, msg));
+        }
+        fn aggregate(&mut self, _: &str, _: AggValue) {}
+        fn prev_aggregate(&self, _: &str) -> Option<AggValue> {
+            None
+        }
+    }
+
+    #[test]
+    fn send_to_out_neighbors_fans_out() {
+        let mut m = Mock {
+            graph: star(4),
+            sent: Vec::new(),
+            vertex: VertexId(0),
+        };
+        m.send_to_out_neighbors(42);
+        assert_eq!(
+            m.sent,
+            vec![(VertexId(1), 42), (VertexId(2), 42), (VertexId(3), 42)]
+        );
+    }
+
+    #[test]
+    fn provided_accessors() {
+        let m = Mock {
+            graph: star(4),
+            sent: Vec::new(),
+            vertex: VertexId(0),
+        };
+        assert_eq!(m.num_vertices(), 4);
+        assert_eq!(m.out_degree(), 3);
+        assert_eq!(m.out_edges().len(), 3);
+        assert_eq!(m.superstep(), 7);
+    }
+}

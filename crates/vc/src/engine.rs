@@ -1,0 +1,666 @@
+//! The BSP superstep driver.
+//!
+//! Execution is deterministic even in parallel mode: vertices are split
+//! into contiguous chunks, each worker emits messages in vertex order, and
+//! inbox merging scans workers in a fixed order — so message delivery
+//! order never depends on thread scheduling. Tests rely on this.
+
+use crate::aggregate::{AggValue, Aggregates};
+use crate::context::Context;
+use crate::message::Envelope;
+use crate::metrics::{RunMetrics, SuperstepMetrics};
+use crate::program::VertexProgram;
+use ariadne_graph::{Csr, VertexId};
+use std::time::Instant;
+
+/// Engine-level run configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of worker threads (1 = sequential).
+    pub threads: usize,
+    /// Hard cap on supersteps regardless of the program's own cap.
+    pub max_supersteps: u32,
+    /// Whether to honour the program's message combiner. Ariadne turns
+    /// this off when per-source message provenance must be preserved.
+    pub use_combiner: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            max_supersteps: 10_000,
+            use_combiner: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sequential single-threaded configuration (fully deterministic and
+    /// the default for tests).
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
+    /// Parallel configuration with `threads` workers.
+    pub fn parallel(threads: usize) -> Self {
+        EngineConfig {
+            threads: threads.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// The outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RunResult<V> {
+    /// Final vertex values, indexed by vertex id.
+    pub values: Vec<V>,
+    /// Per-superstep and total metrics.
+    pub metrics: RunMetrics,
+    /// Final aggregator state (previous = last superstep's reductions).
+    pub aggregates: Aggregates,
+}
+
+impl<V> RunResult<V> {
+    /// Number of supersteps the analytic executed.
+    pub fn supersteps(&self) -> u32 {
+        self.metrics.num_supersteps()
+    }
+}
+
+/// The BSP engine. Stateless apart from its configuration; `run` may be
+/// called any number of times.
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Run `program` over `graph` to completion.
+    pub fn run<P: VertexProgram>(&self, program: &P, graph: &Csr) -> RunResult<P::V> {
+        let start = Instant::now();
+        let n = graph.num_vertices();
+        let mut values: Vec<P::V> = (0..n)
+            .map(|i| program.init(VertexId(i as u64), graph))
+            .collect();
+        let mut aggregates = Aggregates::new(program.aggregators());
+        let mut metrics = RunMetrics::default();
+
+        if n == 0 {
+            metrics.elapsed = start.elapsed();
+            return RunResult {
+                values,
+                metrics,
+                aggregates,
+            };
+        }
+
+        let combiner = if self.config.use_combiner {
+            program.combiner()
+        } else {
+            None
+        };
+        let threads = self.config.threads.max(1).min(n);
+        let chunk_size = n.div_ceil(threads);
+        // chunks_mut may yield fewer chunks than `threads` when n is not
+        // an exact multiple; outbox routing must agree with the actual
+        // chunk count or trailing buffers would never be delivered.
+        let num_chunks = n.div_ceil(chunk_size);
+        let max_supersteps = self.config.max_supersteps.min(program.max_supersteps());
+        let always_active = program.always_active();
+
+        // Messages delivered to the *current* superstep, per vertex.
+        let mut inbox: Vec<Vec<Envelope<P::M>>> = (0..n).map(|_| Vec::new()).collect();
+
+        let mut superstep: u32 = 0;
+        loop {
+            let step_start = Instant::now();
+
+            // Phase 1: compute. Workers own contiguous chunks of values
+            // and inboxes; each produces per-destination-chunk outboxes.
+            #[allow(clippy::type_complexity)]
+            let mut worker_out: Vec<Vec<Vec<(VertexId, Envelope<P::M>)>>> =
+                Vec::with_capacity(threads);
+            let mut worker_aggs: Vec<Aggregates> = Vec::with_capacity(threads);
+            let mut active_total = 0usize;
+
+            {
+                let value_chunks: Vec<&mut [P::V]> = values.chunks_mut(chunk_size).collect();
+                let inbox_chunks: Vec<&mut [Vec<Envelope<P::M>>]> =
+                    inbox.chunks_mut(chunk_size).collect();
+                let agg_ref = &aggregates;
+                let results: Vec<WorkerOutput<P::M>> = if threads == 1 {
+                    value_chunks
+                        .into_iter()
+                        .zip(inbox_chunks)
+                        .enumerate()
+                        .map(|(w, (vals, boxes))| {
+                            run_chunk::<P>(
+                                program,
+                                graph,
+                                superstep,
+                                always_active,
+                                w * chunk_size,
+                                vals,
+                                boxes,
+                                agg_ref,
+                                num_chunks,
+                                chunk_size,
+                            )
+                        })
+                        .collect()
+                } else {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = value_chunks
+                            .into_iter()
+                            .zip(inbox_chunks)
+                            .enumerate()
+                            .map(|(w, (vals, boxes))| {
+                                scope.spawn(move || {
+                                    run_chunk::<P>(
+                                        program,
+                                        graph,
+                                        superstep,
+                                        always_active,
+                                        w * chunk_size,
+                                        vals,
+                                        boxes,
+                                        agg_ref,
+                                        num_chunks,
+                                        chunk_size,
+                                    )
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                };
+                for out in results {
+                    active_total += out.active;
+                    worker_out.push(out.outboxes);
+                    worker_aggs.push(out.aggregates);
+                }
+            }
+
+            // Barrier: merge aggregates.
+            for wa in &worker_aggs {
+                aggregates.merge_current(wa);
+            }
+
+            // Phase 2: deliver messages into next-superstep inboxes.
+            // Parallel over destination chunks — worker t merges every
+            // producer's buffer for chunk t. Deterministic: producers are
+            // scanned in a fixed order and each buffer is already in
+            // vertex order, so delivery order never depends on
+            // scheduling.
+            let deliver_chunk = |t: usize, inbox_chunk: &mut [Vec<Envelope<P::M>>]| {
+                let base = t * chunk_size;
+                let mut sent = 0usize;
+                let mut bytes = 0usize;
+                for w_out in &worker_out {
+                    for (to, env) in &w_out[t] {
+                        let slot = &mut inbox_chunk[to.index() - base];
+                        sent += 1;
+                        bytes += program.message_bytes(&env.msg);
+                        match (&combiner, slot.last_mut()) {
+                            (Some(c), Some(acc)) => {
+                                c.combine(&mut acc.msg, &env.msg);
+                                acc.src = Envelope::<P::M>::COMBINED;
+                                // Combining replaced the slot; the metric
+                                // counts post-combining stored messages.
+                                sent -= 1;
+                                bytes -= program.message_bytes(&env.msg);
+                            }
+                            _ => slot.push(env.clone()),
+                        }
+                    }
+                }
+                (sent, bytes)
+            };
+            let (messages_sent, message_bytes) = {
+                let inbox_chunks: Vec<&mut [Vec<Envelope<P::M>>]> =
+                    inbox.chunks_mut(chunk_size).collect();
+                let counts: Vec<(usize, usize)> = if threads == 1 {
+                    inbox_chunks
+                        .into_iter()
+                        .enumerate()
+                        .map(|(t, chunk)| deliver_chunk(t, chunk))
+                        .collect()
+                } else {
+                    let deliver_chunk = &deliver_chunk;
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = inbox_chunks
+                            .into_iter()
+                            .enumerate()
+                            .map(|(t, chunk)| scope.spawn(move || deliver_chunk(t, chunk)))
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                };
+                counts
+                    .into_iter()
+                    .fold((0, 0), |(s, b), (cs, cb)| (s + cs, b + cb))
+            };
+
+            metrics.supersteps.push(SuperstepMetrics {
+                superstep,
+                active_vertices: active_total,
+                messages_sent,
+                message_bytes,
+                elapsed: step_start.elapsed(),
+            });
+
+            // Termination checks at the barrier.
+            let halted = program.should_halt(superstep, &aggregates);
+            aggregates.rotate();
+            let no_traffic = messages_sent == 0 && !always_active;
+            superstep += 1;
+            if halted || no_traffic || superstep >= max_supersteps {
+                break;
+            }
+        }
+
+        metrics.elapsed = start.elapsed();
+        RunResult {
+            values,
+            metrics,
+            aggregates,
+        }
+    }
+}
+
+struct WorkerOutput<M> {
+    /// Outboxes indexed by destination chunk.
+    outboxes: Vec<Vec<(VertexId, Envelope<M>)>>,
+    aggregates: Aggregates,
+    active: usize,
+}
+
+/// Execute one superstep for a contiguous chunk of vertices.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    superstep: u32,
+    always_active: bool,
+    base: usize,
+    values: &mut [P::V],
+    inboxes: &mut [Vec<Envelope<P::M>>],
+    global_aggs: &Aggregates,
+    num_chunks: usize,
+    chunk_size: usize,
+) -> WorkerOutput<P::M> {
+    let mut ctx = EngineContext {
+        superstep,
+        vertex: VertexId(0),
+        graph,
+        outboxes: (0..num_chunks).map(|_| Vec::new()).collect(),
+        local_aggs: global_aggs.fresh_local(),
+        global_aggs,
+        chunk_size,
+        num_vertices: graph.num_vertices(),
+    };
+    let mut active = 0usize;
+    for (offset, value) in values.iter_mut().enumerate() {
+        let v = VertexId((base + offset) as u64);
+        let msgs = std::mem::take(&mut inboxes[offset]);
+        if superstep == 0 || always_active || !msgs.is_empty() {
+            active += 1;
+            ctx.vertex = v;
+            program.compute(&mut ctx, value, &msgs);
+        }
+    }
+    WorkerOutput {
+        outboxes: ctx.outboxes,
+        aggregates: ctx.local_aggs,
+        active,
+    }
+}
+
+/// The engine's own [`Context`] implementation.
+struct EngineContext<'a, M> {
+    superstep: u32,
+    vertex: VertexId,
+    graph: &'a Csr,
+    /// Per-destination-chunk message buffers.
+    outboxes: Vec<Vec<(VertexId, Envelope<M>)>>,
+    local_aggs: Aggregates,
+    global_aggs: &'a Aggregates,
+    chunk_size: usize,
+    num_vertices: usize,
+}
+
+impl<M> Context<M> for EngineContext<'_, M> {
+    fn superstep(&self) -> u32 {
+        self.superstep
+    }
+
+    fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    fn graph(&self) -> &Csr {
+        self.graph
+    }
+
+    fn send(&mut self, to: VertexId, msg: M) {
+        assert!(
+            to.index() < self.num_vertices,
+            "message sent to nonexistent vertex {to} (graph has {} vertices)",
+            self.num_vertices
+        );
+        let chunk = (to.index() / self.chunk_size).min(self.outboxes.len() - 1);
+        self.outboxes[chunk].push((to, Envelope::new(self.vertex, msg)));
+    }
+
+    fn aggregate(&mut self, name: &str, value: AggValue) {
+        self.local_aggs.contribute(name, value);
+    }
+
+    fn prev_aggregate(&self, name: &str) -> Option<AggValue> {
+        self.global_aggs.previous(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggOp;
+    use crate::message::Combiner;
+    use ariadne_graph::generators::regular::{cycle, path, star};
+    use ariadne_graph::GraphBuilder;
+
+    /// Flood the minimum id through the graph (WCC on the out-direction).
+    struct MinFlood;
+    impl VertexProgram for MinFlood {
+        type V = u64;
+        type M = u64;
+        fn init(&self, v: VertexId, _: &Csr) -> u64 {
+            v.0
+        }
+        fn compute(&self, ctx: &mut dyn Context<u64>, value: &mut u64, msgs: &[Envelope<u64>]) {
+            let best = msgs.iter().map(|e| e.msg).min().unwrap_or(*value);
+            if ctx.superstep() == 0 {
+                ctx.send_to_out_neighbors(*value);
+            } else if best < *value {
+                *value = best;
+                ctx.send_to_out_neighbors(best);
+            }
+        }
+    }
+
+    #[test]
+    fn min_flood_on_cycle() {
+        let g = cycle(6);
+        let r = Engine::new(EngineConfig::sequential()).run(&MinFlood, &g);
+        assert!(r.values.iter().all(|&v| v == 0));
+        // Needs ~n supersteps to propagate all the way around.
+        assert!(r.supersteps() >= 5, "supersteps = {}", r.supersteps());
+    }
+
+    #[test]
+    fn terminates_when_no_messages() {
+        let g = path(3);
+        let r = Engine::new(EngineConfig::sequential()).run(&MinFlood, &g);
+        // Path 0->1->2: converged quickly; run ends on message silence.
+        assert_eq!(r.values, vec![0, 0, 0]);
+        assert!(r.supersteps() <= 4);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = ariadne_graph::generators::rmat(ariadne_graph::generators::RmatConfig {
+            scale: 9,
+            edge_factor: 4,
+            ..Default::default()
+        });
+        let seq = Engine::new(EngineConfig::sequential()).run(&MinFlood, &g);
+        let par = Engine::new(EngineConfig::parallel(4)).run(&MinFlood, &g);
+        assert_eq!(seq.values, par.values);
+        assert_eq!(seq.supersteps(), par.supersteps());
+    }
+
+    /// Counts supersteps via always_active + max cap.
+    struct StepCounter;
+    impl VertexProgram for StepCounter {
+        type V = u32;
+        type M = ();
+        fn init(&self, _: VertexId, _: &Csr) -> u32 {
+            0
+        }
+        fn compute(&self, _: &mut dyn Context<()>, value: &mut u32, _: &[Envelope<()>]) {
+            *value += 1;
+        }
+        fn always_active(&self) -> bool {
+            true
+        }
+        fn max_supersteps(&self) -> u32 {
+            5
+        }
+    }
+
+    #[test]
+    fn always_active_runs_to_cap() {
+        let g = path(2);
+        let r = Engine::new(EngineConfig::sequential()).run(&StepCounter, &g);
+        assert_eq!(r.supersteps(), 5);
+        assert_eq!(r.values, vec![5, 5]);
+    }
+
+    #[test]
+    fn engine_config_cap_overrides_program() {
+        let g = path(2);
+        let mut cfg = EngineConfig::sequential();
+        cfg.max_supersteps = 3;
+        let r = Engine::new(cfg).run(&StepCounter, &g);
+        assert_eq!(r.supersteps(), 3);
+    }
+
+    /// Uses an aggregator to stop once the sum of values stabilizes.
+    struct AggHalt;
+    impl VertexProgram for AggHalt {
+        type V = f64;
+        type M = ();
+        fn init(&self, _: VertexId, _: &Csr) -> f64 {
+            1.0
+        }
+        fn compute(&self, ctx: &mut dyn Context<()>, value: &mut f64, _: &[Envelope<()>]) {
+            *value *= 0.5;
+            ctx.aggregate("total", AggValue::F64(*value));
+        }
+        fn always_active(&self) -> bool {
+            true
+        }
+        fn aggregators(&self) -> Vec<(String, AggOp)> {
+            vec![("total".into(), AggOp::Sum)]
+        }
+        fn should_halt(&self, _s: u32, aggs: &Aggregates) -> bool {
+            aggs.current("total").map(|v| v.as_f64()).unwrap_or(1.0) < 0.1
+        }
+    }
+
+    #[test]
+    fn aggregator_halt() {
+        let g = path(2);
+        let r = Engine::new(EngineConfig::sequential()).run(&AggHalt, &g);
+        // total = 2 * 0.5^s < 0.1 => s = 5.
+        assert_eq!(r.supersteps(), 5);
+        assert!(r.aggregates.previous("total").unwrap().as_f64() < 0.1);
+    }
+
+    /// Echoes received messages back; sends its own id at step 0.
+    struct SourceTracker;
+    impl VertexProgram for SourceTracker {
+        type V = Vec<u64>;
+        type M = u64;
+        fn init(&self, _: VertexId, _: &Csr) -> Vec<u64> {
+            Vec::new()
+        }
+        fn compute(
+            &self,
+            ctx: &mut dyn Context<u64>,
+            value: &mut Vec<u64>,
+            msgs: &[Envelope<u64>],
+        ) {
+            for e in msgs {
+                value.push(e.src.0);
+            }
+            if ctx.superstep() == 0 {
+                ctx.send_to_out_neighbors(ctx.vertex().0);
+            }
+        }
+    }
+
+    #[test]
+    fn envelopes_carry_sources() {
+        let g = star(4);
+        let r = Engine::new(EngineConfig::sequential()).run(&SourceTracker, &g);
+        for leaf in 1..4 {
+            assert_eq!(r.values[leaf], vec![0]);
+        }
+    }
+
+    /// Sends to a vertex by id that is not a neighbour (Query 4 scenario).
+    struct ByIdSender;
+    impl VertexProgram for ByIdSender {
+        type V = u64;
+        type M = u64;
+        fn init(&self, _: VertexId, _: &Csr) -> u64 {
+            0
+        }
+        fn compute(&self, ctx: &mut dyn Context<u64>, value: &mut u64, msgs: &[Envelope<u64>]) {
+            *value += msgs.len() as u64;
+            if ctx.superstep() == 0 && ctx.vertex() == VertexId(0) {
+                ctx.send(VertexId(2), 99); // 0 -> 2 is not an edge below
+            }
+        }
+    }
+
+    #[test]
+    fn send_by_id_to_non_neighbor_delivers() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(VertexId(0), VertexId(1), 1.0);
+        b.ensure_vertex(VertexId(2));
+        let g = b.build();
+        let r = Engine::new(EngineConfig::sequential()).run(&ByIdSender, &g);
+        assert_eq!(r.values[2], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent vertex")]
+    fn send_out_of_range_panics() {
+        struct Bad;
+        impl VertexProgram for Bad {
+            type V = ();
+            type M = ();
+            fn init(&self, _: VertexId, _: &Csr) {}
+            fn compute(&self, ctx: &mut dyn Context<()>, _: &mut (), _: &[Envelope<()>]) {
+                ctx.send(VertexId(999), ());
+            }
+        }
+        let g = path(2);
+        let _ = Engine::new(EngineConfig::sequential()).run(&Bad, &g);
+    }
+
+    /// Min-combined flood: same fixpoint, fewer stored messages.
+    struct CombinedFlood;
+    impl VertexProgram for CombinedFlood {
+        type V = u64;
+        type M = u64;
+        fn init(&self, v: VertexId, _: &Csr) -> u64 {
+            v.0
+        }
+        fn compute(&self, ctx: &mut dyn Context<u64>, value: &mut u64, msgs: &[Envelope<u64>]) {
+            let best = msgs.iter().map(|e| e.msg).min().unwrap_or(*value);
+            if ctx.superstep() == 0 {
+                ctx.send_to_out_neighbors(*value);
+            } else if best < *value {
+                *value = best;
+                ctx.send_to_out_neighbors(best);
+            }
+        }
+        fn combiner(&self) -> Option<Box<dyn Combiner<u64>>> {
+            Some(Box::new(crate::message::MinCombiner))
+        }
+    }
+
+    #[test]
+    fn combiner_reduces_traffic_same_result() {
+        // Two vertices both pointing at vertex 2.
+        let mut b = GraphBuilder::new();
+        b.add_edge(VertexId(0), VertexId(2), 1.0);
+        b.add_edge(VertexId(1), VertexId(2), 1.0);
+        let g = b.build();
+
+        let with = Engine::new(EngineConfig::default()).run(&CombinedFlood, &g);
+        let cfg = EngineConfig {
+            use_combiner: false,
+            ..EngineConfig::default()
+        };
+        let without = Engine::new(cfg).run(&CombinedFlood, &g);
+        assert_eq!(with.values, without.values);
+        assert!(with.metrics.total_messages() < without.metrics.total_messages());
+    }
+
+    #[test]
+    fn empty_graph_returns_immediately() {
+        let g = Csr::empty(0);
+        let r = Engine::new(EngineConfig::sequential()).run(&MinFlood, &g);
+        assert!(r.values.is_empty());
+        assert_eq!(r.supersteps(), 0);
+    }
+
+    /// Each superstep, vertices read the previous superstep's reduction.
+    struct AggReader;
+    impl VertexProgram for AggReader {
+        type V = Vec<Option<f64>>;
+        type M = ();
+        fn init(&self, _: VertexId, _: &Csr) -> Self::V {
+            Vec::new()
+        }
+        fn compute(&self, ctx: &mut dyn Context<()>, value: &mut Self::V, _: &[Envelope<()>]) {
+            value.push(ctx.prev_aggregate("count").map(|v| v.as_f64()));
+            ctx.aggregate("count", AggValue::F64(1.0));
+        }
+        fn aggregators(&self) -> Vec<(String, AggOp)> {
+            vec![("count".into(), AggOp::Sum)]
+        }
+        fn always_active(&self) -> bool {
+            true
+        }
+        fn max_supersteps(&self) -> u32 {
+            3
+        }
+    }
+
+    #[test]
+    fn prev_aggregate_visible_next_superstep() {
+        let g = path(3);
+        let r = Engine::new(EngineConfig::sequential()).run(&AggReader, &g);
+        // Superstep 0 sees nothing; supersteps 1 and 2 see all three
+        // contributions from the previous round.
+        for v in &r.values {
+            assert_eq!(v.as_slice(), &[None, Some(3.0), Some(3.0)]);
+        }
+    }
+
+    #[test]
+    fn metrics_track_activity() {
+        let g = path(4);
+        let r = Engine::new(EngineConfig::sequential()).run(&MinFlood, &g);
+        assert_eq!(r.metrics.supersteps[0].active_vertices, 4);
+        assert!(r.metrics.supersteps[0].messages_sent > 0);
+        assert!(r.metrics.total_message_bytes() > 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Message envelopes and combiners.
+
+use ariadne_graph::VertexId;
+
+/// A message together with its sender.
+///
+/// Giraph messages do not carry their source, but Ariadne's provenance
+/// model does (`receive-message(x, y, m, i)` names the sender `y`), so the
+/// engine tracks it. When a [`Combiner`] merges messages from different
+/// sources, the combined envelope's source becomes [`Envelope::COMBINED`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct Envelope<M> {
+    /// The sending vertex, or [`Envelope::COMBINED`] after combining.
+    pub src: VertexId,
+    /// The message payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// Sentinel source for messages merged by a combiner.
+    pub const COMBINED: VertexId = VertexId(u64::MAX);
+
+    /// Construct an envelope.
+    pub fn new(src: VertexId, msg: M) -> Self {
+        Envelope { src, msg }
+    }
+
+    /// Whether this envelope lost its per-source identity to a combiner.
+    pub fn is_combined(&self) -> bool {
+        self.src == Self::COMBINED
+    }
+}
+
+/// Commutative, associative message combiner (Giraph's `MessageCombiner`).
+///
+/// Combining reduces message traffic for analytics that only need an
+/// aggregate of their inbox (min for SSSP/WCC, sum for PageRank). Note
+/// that combining erases per-source message provenance, so provenance
+/// capture runs disable combiners (see `ariadne-core`).
+pub trait Combiner<M>: Send + Sync {
+    /// Merge `incoming` into the accumulator `acc`.
+    fn combine(&self, acc: &mut M, incoming: &M);
+}
+
+/// Keeps the minimum message (for [`PartialOrd`] messages).
+#[derive(Default, Copy, Clone, Debug)]
+pub struct MinCombiner;
+
+impl<M: PartialOrd + Clone + Send + Sync> Combiner<M> for MinCombiner {
+    fn combine(&self, acc: &mut M, incoming: &M) {
+        if incoming < acc {
+            *acc = incoming.clone();
+        }
+    }
+}
+
+/// Keeps the maximum message.
+#[derive(Default, Copy, Clone, Debug)]
+pub struct MaxCombiner;
+
+impl<M: PartialOrd + Clone + Send + Sync> Combiner<M> for MaxCombiner {
+    fn combine(&self, acc: &mut M, incoming: &M) {
+        if incoming > acc {
+            *acc = incoming.clone();
+        }
+    }
+}
+
+/// Sums f64 messages (PageRank).
+#[derive(Default, Copy, Clone, Debug)]
+pub struct SumCombiner;
+
+impl Combiner<f64> for SumCombiner {
+    fn combine(&self, acc: &mut f64, incoming: &f64) {
+        *acc += *incoming;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_combiner() {
+        let c = MinCombiner;
+        let mut acc = 5.0f64;
+        Combiner::combine(&c, &mut acc, &3.0);
+        Combiner::combine(&c, &mut acc, &7.0);
+        assert_eq!(acc, 3.0);
+    }
+
+    #[test]
+    fn max_combiner() {
+        let c = MaxCombiner;
+        let mut acc = 5u64;
+        Combiner::combine(&c, &mut acc, &9);
+        Combiner::combine(&c, &mut acc, &2);
+        assert_eq!(acc, 9);
+    }
+
+    #[test]
+    fn sum_combiner() {
+        let c = SumCombiner;
+        let mut acc = 1.0;
+        c.combine(&mut acc, &2.0);
+        c.combine(&mut acc, &3.5);
+        assert_eq!(acc, 6.5);
+    }
+
+    #[test]
+    fn combined_sentinel() {
+        let e = Envelope::new(Envelope::<f64>::COMBINED, 1.0);
+        assert!(e.is_combined());
+        let e2 = Envelope::new(VertexId(3), 1.0);
+        assert!(!e2.is_combined());
+    }
+}

@@ -1,0 +1,85 @@
+//! Per-superstep and per-run execution metrics.
+//!
+//! The paper's figures are all *ratios of runtimes* plus message/space
+//! accounting; the engine measures these uniformly for baseline, online,
+//! layered and naive runs so the bench harness can form the same ratios.
+
+use std::time::Duration;
+
+/// Counters for one superstep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SuperstepMetrics {
+    /// Superstep index.
+    pub superstep: u32,
+    /// Vertices that executed `compute`.
+    pub active_vertices: usize,
+    /// Messages sent during the superstep (after combining).
+    pub messages_sent: usize,
+    /// Approximate bytes of message payloads sent.
+    pub message_bytes: usize,
+    /// Wall time of the superstep (compute + delivery).
+    pub elapsed: Duration,
+}
+
+/// Aggregated counters for a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// One entry per executed superstep.
+    pub supersteps: Vec<SuperstepMetrics>,
+    /// Total wall time of the run.
+    pub elapsed: Duration,
+}
+
+impl RunMetrics {
+    /// Number of supersteps executed.
+    pub fn num_supersteps(&self) -> u32 {
+        self.supersteps.len() as u32
+    }
+
+    /// Total messages across all supersteps.
+    pub fn total_messages(&self) -> usize {
+        self.supersteps.iter().map(|s| s.messages_sent).sum()
+    }
+
+    /// Total message bytes across all supersteps.
+    pub fn total_message_bytes(&self) -> usize {
+        self.supersteps.iter().map(|s| s.message_bytes).sum()
+    }
+
+    /// Total vertex activations across all supersteps.
+    pub fn total_activations(&self) -> usize {
+        self.supersteps.iter().map(|s| s.active_vertices).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let m = RunMetrics {
+            supersteps: vec![
+                SuperstepMetrics {
+                    superstep: 0,
+                    active_vertices: 10,
+                    messages_sent: 5,
+                    message_bytes: 40,
+                    elapsed: Duration::from_millis(1),
+                },
+                SuperstepMetrics {
+                    superstep: 1,
+                    active_vertices: 4,
+                    messages_sent: 2,
+                    message_bytes: 16,
+                    elapsed: Duration::from_millis(1),
+                },
+            ],
+            elapsed: Duration::from_millis(2),
+        };
+        assert_eq!(m.num_supersteps(), 2);
+        assert_eq!(m.total_messages(), 7);
+        assert_eq!(m.total_message_bytes(), 56);
+        assert_eq!(m.total_activations(), 14);
+    }
+}

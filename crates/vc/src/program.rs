@@ -1,0 +1,92 @@
+//! The vertex-program abstraction (Algorithm 1 in the paper's appendix).
+
+use crate::aggregate::{AggOp, Aggregates};
+use crate::context::Context;
+use crate::message::{Combiner, Envelope};
+use ariadne_graph::{Csr, VertexId};
+
+/// A vertex-centric program: the single function executed by every vertex
+/// at every superstep, plus its configuration (initial values, combiner,
+/// aggregators, termination).
+pub trait VertexProgram: Send + Sync {
+    /// Per-vertex value type. Only `Send` is required: a vertex value is
+    /// owned by exactly one worker within a superstep, so interior
+    /// mutability without `Sync` (e.g. `RefCell` state in Ariadne's query
+    /// vertex programs) is fine.
+    type V: Clone + Send;
+    /// Message type. `Sync` is required because delivery workers read
+    /// every producer's buffers concurrently.
+    type M: Clone + Send + Sync;
+
+    /// Initial value of vertex `v` before superstep 0.
+    fn init(&self, v: VertexId, graph: &Csr) -> Self::V;
+
+    /// The vertex program body: read `messages`, update `value`, send
+    /// messages via `ctx` (visible next superstep).
+    fn compute(
+        &self,
+        ctx: &mut dyn Context<Self::M>,
+        value: &mut Self::V,
+        messages: &[Envelope<Self::M>],
+    );
+
+    /// Optional message combiner. Combining collapses per-source message
+    /// identity (see [`Envelope::COMBINED`]); Ariadne disables it when
+    /// message provenance is being captured.
+    fn combiner(&self) -> Option<Box<dyn Combiner<Self::M>>> {
+        None
+    }
+
+    /// Global aggregators this program uses.
+    fn aggregators(&self) -> Vec<(String, AggOp)> {
+        Vec::new()
+    }
+
+    /// If true, every vertex computes every superstep regardless of its
+    /// inbox (Giraph PageRank behaviour); otherwise a vertex computes only
+    /// when it has messages (plus everyone at superstep 0).
+    fn always_active(&self) -> bool {
+        false
+    }
+
+    /// Hard cap on supersteps (the engine also accepts a run-level cap).
+    fn max_supersteps(&self) -> u32 {
+        u32::MAX
+    }
+
+    /// Checked at the barrier after each superstep with the aggregator
+    /// values reduced during it; returning true ends the run.
+    fn should_halt(&self, _superstep: u32, _aggregates: &Aggregates) -> bool {
+        false
+    }
+
+    /// Approximate serialized size of a message in bytes, for the
+    /// engine's traffic metrics. Override for variable-size messages.
+    fn message_bytes(&self, _msg: &Self::M) -> usize {
+        std::mem::size_of::<Self::M>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Noop;
+    impl VertexProgram for Noop {
+        type V = ();
+        type M = ();
+        fn init(&self, _: VertexId, _: &Csr) {}
+        fn compute(&self, _: &mut dyn Context<()>, _: &mut (), _: &[Envelope<()>]) {}
+    }
+
+    #[test]
+    fn defaults() {
+        let p = Noop;
+        assert!(p.combiner().is_none());
+        assert!(p.aggregators().is_empty());
+        assert!(!p.always_active());
+        assert_eq!(p.max_supersteps(), u32::MAX);
+        assert!(!p.should_halt(0, &Aggregates::default()));
+        assert_eq!(p.message_bytes(&()), 0);
+    }
+}

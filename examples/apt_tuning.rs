@@ -1,0 +1,127 @@
+//! The paper's motivating scenario (§2.2): use the apt query to decide —
+//! per analytic — whether the "skip small updates" approximation is
+//! worth it, then act on the verdict and measure what happened.
+//!
+//! ```sh
+//! cargo run --release --example apt_tuning
+//! ```
+
+use ariadne::optimize::{apt_report, evaluate_optimization};
+use ariadne::queries;
+use ariadne::session::Ariadne;
+use ariadne_analytics::pagerank::{delta_ranks, DeltaPageRank};
+use ariadne_analytics::{ApproxSssp, ApproxWcc, Sssp, Wcc};
+use ariadne_graph::generators::regular::grid;
+use ariadne_graph::generators::{rmat, RmatConfig};
+use ariadne_graph::VertexId;
+use ariadne_pql::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let ariadne = Ariadne::default();
+    let web = rmat(RmatConfig {
+        scale: 10,
+        edge_factor: 10,
+        ..Default::default()
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    let weighted = web.map_weights(|_, _, _| 0.05 + rng.gen::<f64>());
+
+    // ---------------- PageRank, eps = 0.01 ----------------
+    println!("== PageRank, apt with udf_diff, eps = 0.01 ==");
+    let pr = DeltaPageRank::exact(20);
+    let apt = queries::apt("udf_diff", Value::Float(0.01)).unwrap();
+    let run = ariadne.online(&pr, &web, &apt).unwrap();
+    let report = apt_report(&run.query_results, run.metrics.total_activations());
+    println!(
+        "  no_execute={} safe={} unsafe={} ({:.0}% of activations skippable)",
+        report.no_execute,
+        report.safe,
+        report.unsafe_count,
+        report.skippable_fraction * 100.0
+    );
+    println!("  verdict: {}", verdict(report.recommended));
+    if report.recommended {
+        let exact = ariadne.baseline(&pr, &web);
+        let approx = ariadne.baseline(&DeltaPageRank::approximate(20, 0.01), &web);
+        let outcome = evaluate_optimization(
+            &delta_ranks(&exact.values),
+            &delta_ranks(&approx.values),
+            2.0,
+            exact.metrics.elapsed,
+            approx.metrics.elapsed,
+        );
+        println!(
+            "  followed it: {:.2}x speedup, L2 error {:.1e}, medians {:.3} -> {:.3}",
+            outcome.speedup,
+            outcome.relative_error,
+            outcome.median_original,
+            outcome.median_optimized
+        );
+    }
+
+    // ---------------- SSSP, eps = 0.1 ----------------
+    println!("== SSSP, apt with udf_diff, eps = 0.1 ==");
+    let sssp = Sssp::new(VertexId(0));
+    let apt = queries::apt("udf_diff", Value::Float(0.1)).unwrap();
+    let run = ariadne.online(&sssp, &weighted, &apt).unwrap();
+    let report = apt_report(&run.query_results, run.metrics.total_activations());
+    println!(
+        "  no_execute={} safe={} unsafe={}",
+        report.no_execute, report.safe, report.unsafe_count
+    );
+    println!("  verdict: {}", verdict(report.recommended));
+    if report.recommended {
+        let exact = ariadne.baseline(&sssp, &weighted);
+        let approx = ariadne.baseline(&ApproxSssp::new(VertexId(0), 0.1), &weighted);
+        let outcome = evaluate_optimization(
+            &exact.values,
+            &approx.values,
+            1.0,
+            exact.metrics.elapsed,
+            approx.metrics.elapsed,
+        );
+        println!(
+            "  followed it: {:.2}x speedup, L1 error {:.1e}",
+            outcome.speedup, outcome.relative_error
+        );
+    }
+
+    // ---------------- WCC: the rejection (§6.2.2) ----------------
+    println!("== WCC, apt with udf_diff_strict, eps = 1 ==");
+    // Crawl-ordered ids = neighbouring pages have neighbouring ids: a
+    // grid models that, and it is where the broken optimization hurts.
+    let local = grid(40, 25);
+    let apt = queries::apt("udf_diff_strict", Value::Float(1.0)).unwrap();
+    let run = ariadne.online(&Wcc, &local, &apt).unwrap();
+    let report = apt_report(&run.query_results, run.metrics.total_activations());
+    println!(
+        "  no_execute={} safe={} unsafe={}",
+        report.no_execute, report.safe, report.unsafe_count
+    );
+    println!("  verdict: {}", verdict(report.recommended));
+    // Ignore the verdict on purpose, and see why it was right:
+    let exact = ariadne.baseline(&Wcc, &local);
+    let approx = ariadne.baseline(&ApproxWcc::default(), &local);
+    let wrong = exact
+        .values
+        .iter()
+        .zip(&approx.values)
+        .filter(|(a, b)| a != b)
+        .count();
+    println!(
+        "  forcing it anyway mislabels {}/{} vertices ({:.0}%)",
+        wrong,
+        exact.values.len(),
+        100.0 * wrong as f64 / exact.values.len() as f64
+    );
+}
+
+fn verdict(recommended: bool) -> &'static str {
+    if recommended {
+        "adopt the approximate variant"
+    } else {
+        "REJECT the approximate variant"
+    }
+}

@@ -1,0 +1,289 @@
+//! Command-line front-end: run a vertex-centric analytic over an edge
+//! list with a PQL provenance query attached.
+//!
+//! ```text
+//! ariadne-cli --graph edges.txt --analytic sssp --source 0 \
+//!             --query query.pql --param eps=0.1 [--mode online|layered|naive]
+//!
+//! ariadne-cli --generate rmat:10:8 --analytic pagerank --builtin pagerank_check
+//! ```
+//!
+//! Analytic values are printed for the first vertices; every query IDB
+//! relation is printed (truncated).
+
+use ariadne::queries;
+use ariadne::session::Ariadne;
+use ariadne::{compile, CaptureSpec, CompiledQuery};
+use ariadne_analytics::{PageRank, Sssp, Wcc};
+use ariadne_graph::generators::{rmat, RmatConfig};
+use ariadne_graph::{io, Csr, VertexId};
+use ariadne_pql::{Database, Params, Value};
+use ariadne_provenance::ProvEncode;
+use ariadne_vc::VertexProgram;
+use std::process::exit;
+
+struct Options {
+    graph: Option<String>,
+    generate: Option<String>,
+    analytic: String,
+    source: u64,
+    query_file: Option<String>,
+    builtin: Option<String>,
+    params: Vec<(String, String)>,
+    mode: String,
+    threads: usize,
+    supersteps: u32,
+    explain: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ariadne-cli (--graph FILE | --generate rmat:SCALE:DEG) [--explain] \\\n\
+         \x20       --analytic (pagerank|sssp|wcc) [--source ID] [--supersteps N] \\\n\
+         \x20       (--query FILE | --builtin NAME) [--param k=v]... \\\n\
+         \x20       [--mode online|layered|naive] [--threads N]\n\
+         \n\
+         builtins: pagerank_check, sssp_wcc_value_check,\n\
+         \x20         sssp_wcc_no_message_no_change, apt\n\
+         params:   numbers parse as floats/ints; 'vN' parses as vertex id"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        graph: None,
+        generate: None,
+        analytic: "pagerank".into(),
+        source: 0,
+        query_file: None,
+        builtin: None,
+        params: Vec::new(),
+        mode: "online".into(),
+        threads: 1,
+        supersteps: 20,
+        explain: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut next = |what: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{what} needs a value");
+            usage()
+        });
+        match a.as_str() {
+            "--graph" => o.graph = Some(next("--graph")),
+            "--generate" => o.generate = Some(next("--generate")),
+            "--analytic" => o.analytic = next("--analytic"),
+            "--source" => o.source = next("--source").parse().unwrap_or_else(|_| usage()),
+            "--query" => o.query_file = Some(next("--query")),
+            "--builtin" => o.builtin = Some(next("--builtin")),
+            "--mode" => o.mode = next("--mode"),
+            "--explain" => o.explain = true,
+            "--threads" => o.threads = next("--threads").parse().unwrap_or_else(|_| usage()),
+            "--supersteps" => {
+                o.supersteps = next("--supersteps").parse().unwrap_or_else(|_| usage())
+            }
+            "--param" => {
+                let kv = next("--param");
+                match kv.split_once('=') {
+                    Some((k, v)) => o.params.push((k.to_string(), v.to_string())),
+                    None => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    o
+}
+
+fn parse_param_value(s: &str) -> Value {
+    if let Some(id) = s.strip_prefix('v') {
+        if let Ok(n) = id.parse::<u64>() {
+            return Value::Id(n);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Value::Int(n);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::str(s)
+}
+
+fn load_graph(o: &Options) -> Csr {
+    if let Some(path) = &o.graph {
+        return io::load_edge_list(path).unwrap_or_else(|e| {
+            eprintln!("cannot load {path}: {e}");
+            exit(1)
+        });
+    }
+    if let Some(spec) = &o.generate {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() == 3 && parts[0] == "rmat" {
+            let scale: u32 = parts[1].parse().unwrap_or_else(|_| usage());
+            let deg: usize = parts[2].parse().unwrap_or_else(|_| usage());
+            return rmat(RmatConfig {
+                scale,
+                edge_factor: deg,
+                ..Default::default()
+            });
+        }
+        usage()
+    }
+    eprintln!("one of --graph or --generate is required");
+    usage()
+}
+
+fn load_query(o: &Options) -> CompiledQuery {
+    let mut params = Params::new();
+    for (k, v) in &o.params {
+        params = params.with(k, parse_param_value(v));
+    }
+    if let Some(name) = &o.builtin {
+        let q = match name.as_str() {
+            "pagerank_check" => queries::pagerank_check(),
+            "sssp_wcc_value_check" => queries::sssp_wcc_value_check(),
+            "sssp_wcc_no_message_no_change" => queries::sssp_wcc_no_message_no_change(),
+            "apt" => {
+                let eps = o
+                    .params
+                    .iter()
+                    .find(|(k, _)| k == "eps")
+                    .map(|(_, v)| parse_param_value(v))
+                    .unwrap_or(Value::Float(0.01));
+                queries::apt("udf_diff", eps)
+            }
+            other => {
+                eprintln!("unknown builtin {other:?}");
+                usage()
+            }
+        };
+        return q.unwrap_or_else(|e| {
+            eprintln!("query error: {e}");
+            exit(1)
+        });
+    }
+    let Some(path) = &o.query_file else {
+        eprintln!("one of --query or --builtin is required");
+        usage()
+    };
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    compile(&src, params).unwrap_or_else(|e| {
+        eprintln!("query error: {e}");
+        exit(1)
+    })
+}
+
+fn run_mode<A>(o: &Options, ariadne: &Ariadne, analytic: &A, graph: &Csr, query: &CompiledQuery)
+where
+    A: VertexProgram,
+    A::V: ProvEncode + std::fmt::Debug,
+    A::M: ProvEncode,
+{
+    let (results, label): (Database, &str) = match o.mode.as_str() {
+        "online" => {
+            let run = ariadne.online(analytic, graph, query).unwrap_or_else(die);
+            println!(
+                "analytic finished: {} supersteps, {:?}",
+                run.metrics.num_supersteps(),
+                run.metrics.elapsed
+            );
+            print_values(&run.values);
+            (run.query_results, "online")
+        }
+        "layered" | "naive" => {
+            let capture = ariadne
+                .capture(analytic, graph, &CaptureSpec::full())
+                .unwrap_or_else(die);
+            println!(
+                "captured {} tuples ({} bytes)",
+                capture.store.tuple_count(),
+                capture.store.byte_size()
+            );
+            print_values(&capture.values);
+            if o.mode == "layered" {
+                let run = ariadne
+                    .layered(graph, &capture.store, query)
+                    .unwrap_or_else(die);
+                (run.query_results, "layered")
+            } else {
+                let run = ariadne
+                    .naive(graph, &capture.store, query)
+                    .unwrap_or_else(die);
+                (run.database, "naive")
+            }
+        }
+        other => {
+            eprintln!("unknown mode {other:?}");
+            usage()
+        }
+    };
+
+    println!("query results ({label} evaluation):");
+    for pred in query.query().idbs.keys() {
+        let rows = results.sorted(pred);
+        println!("  {pred}: {} rows", rows.len());
+        for row in rows.iter().take(10) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("    ({})", cells.join(", "));
+        }
+        if rows.len() > 10 {
+            println!("    ... {} more", rows.len() - 10);
+        }
+    }
+}
+
+fn die<T>(e: ariadne::session::AriadneError) -> T {
+    eprintln!("error: {e}");
+    exit(1)
+}
+
+fn print_values<V: std::fmt::Debug>(values: &[V]) {
+    let shown = values.len().min(8);
+    println!("first {shown} vertex values: {:?}", &values[..shown]);
+}
+
+fn main() {
+    let o = parse_args();
+    let graph = load_graph(&o);
+    println!(
+        "graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let query = load_query(&o);
+    println!("query direction: {:?}", query.direction());
+    if o.explain {
+        println!("{}", ariadne_pql::explain(query.query()));
+        return;
+    }
+    let mut ariadne = Ariadne::with_threads(o.threads);
+    ariadne.engine.max_supersteps = 10_000;
+
+    match o.analytic.as_str() {
+        "pagerank" => {
+            let pr = PageRank {
+                supersteps: o.supersteps,
+                ..Default::default()
+            };
+            run_mode(&o, &ariadne, &pr, &graph, &query);
+        }
+        "sssp" => {
+            let a = Sssp::new(VertexId(o.source));
+            run_mode(&o, &ariadne, &a, &graph, &query);
+        }
+        "wcc" => run_mode(&o, &ariadne, &Wcc, &graph, &query),
+        other => {
+            eprintln!("unknown analytic {other:?}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Umbrella crate for the Ariadne reproduction: re-exports the workspace
+//! crates and hosts the repository-level examples and integration tests.
+
+pub use ariadne as core;
+pub use ariadne_analytics as analytics;
+pub use ariadne_graph as graph;
+pub use ariadne_pql as pql;
+pub use ariadne_provenance as provenance;
+pub use ariadne_vc as vc;

@@ -1,0 +1,149 @@
+//! The motivating scenario end-to-end (§2.2, §6.2.2): run the apt query
+//! online, read its verdict, and check it predicts reality — the
+//! optimization helps PageRank and SSSP but must be rejected for WCC.
+
+use ariadne::optimize::{apt_report, evaluate_optimization};
+use ariadne::queries;
+use ariadne::session::Ariadne;
+use ariadne_analytics::pagerank::{delta_ranks, DeltaPageRank};
+use ariadne_analytics::{ApproxSssp, ApproxWcc, Sssp, Wcc};
+use ariadne_graph::generators::{rmat, RmatConfig};
+use ariadne_graph::{Csr, VertexId};
+use ariadne_pql::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn web_graph(seed: u64) -> Csr {
+    rmat(RmatConfig {
+        scale: 8,
+        edge_factor: 6,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn apt_recommends_pagerank_optimization_and_it_works() {
+    let g = web_graph(1);
+    let ariadne = Ariadne::default();
+    let analytic = DeltaPageRank::exact(20);
+    let apt = queries::apt("udf_diff", Value::Float(0.01)).unwrap();
+    let run = ariadne.online(&analytic, &g, &apt).unwrap();
+    let report = apt_report(&run.query_results, run.metrics.total_activations());
+
+    assert!(report.no_execute > 0, "nothing skippable: {report:?}");
+    assert!(report.recommended, "apt should endorse PageRank: {report:?}");
+
+    // Follow the recommendation: the approximate variant must be close
+    // and cheaper.
+    let exact = ariadne.baseline(&analytic, &g);
+    let approx = ariadne.baseline(&DeltaPageRank::approximate(20, 0.01), &g);
+    let outcome = evaluate_optimization(
+        &delta_ranks(&exact.values),
+        &delta_ranks(&approx.values),
+        2.0,
+        exact.metrics.elapsed,
+        approx.metrics.elapsed,
+    );
+    assert!(
+        outcome.relative_error < 0.05,
+        "error {:.4} too large",
+        outcome.relative_error
+    );
+    assert!(
+        approx.metrics.total_messages() < exact.metrics.total_messages(),
+        "approximate PageRank should send fewer messages"
+    );
+}
+
+#[test]
+fn apt_recommends_sssp_optimization_and_it_works() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = web_graph(2).map_weights(|_, _, _| rng.gen::<f64>());
+    let ariadne = Ariadne::default();
+    let source = VertexId(0);
+    let apt = queries::apt("udf_diff", Value::Float(0.1)).unwrap();
+    let run = ariadne.online(&Sssp::new(source), &g, &apt).unwrap();
+    let report = apt_report(&run.query_results, run.metrics.total_activations());
+    assert!(report.recommended, "apt should endorse SSSP: {report:?}");
+
+    let exact = ariadne.baseline(&Sssp::new(source), &g);
+    let approx = ariadne.baseline(&ApproxSssp::new(source, 0.1), &g);
+    let outcome = evaluate_optimization(
+        &exact.values,
+        &approx.values,
+        1.0,
+        exact.metrics.elapsed,
+        approx.metrics.elapsed,
+    );
+    assert!(
+        outcome.relative_error < 0.15,
+        "error {:.4} too large",
+        outcome.relative_error
+    );
+    assert!(approx.metrics.total_activations() <= exact.metrics.total_activations());
+}
+
+#[test]
+fn apt_rejects_wcc_optimization_and_rightly_so() {
+    // §6.2.2: for WCC the query proves the developer must not pursue the
+    // optimization — its `safe` table is empty. Component labels are
+    // nominal, so the right comparison UDF is the strict one (only a
+    // zero change is insignificant); with it, no skip is ever endorsed.
+    // (Our WCC messages only travel on updates, so `no_execute` is empty
+    // too; the paper's Giraph WCC also messages from non-updating
+    // vertices, which fills `no_execute` and makes every entry unsafe —
+    // either way the verdict is identical: nothing is safe to skip.)
+    let g = web_graph(3);
+    let ariadne = Ariadne::default();
+    let apt = queries::apt("udf_diff_strict", Value::Float(1.0)).unwrap();
+    let run = ariadne.online(&Wcc, &g, &apt).unwrap();
+    let report = apt_report(&run.query_results, run.metrics.total_activations());
+
+    assert_eq!(report.safe, 0, "WCC skips are never safe: {report:?}");
+    assert!(!report.recommended);
+    assert_eq!(report.no_execute, report.unsafe_count + report.safe);
+
+    // Running the "optimization" anyway is a disaster, as the paper
+    // reports (normalized error ~0.9). Label-change magnitudes depend on
+    // id locality; web crawls are crawl-ordered (neighbours have nearby
+    // ids), which a grid models — single-step label improvements
+    // dominate and the threshold swallows them all.
+    let g = ariadne_graph::generators::regular::grid(30, 20);
+    let exact = ariadne.baseline(&Wcc, &g);
+    let approx = ariadne.baseline(&ApproxWcc::default(), &g);
+    let exact_f: Vec<f64> = exact.values.iter().map(|&v| v as f64).collect();
+    let approx_f: Vec<f64> = approx.values.iter().map(|&v| v as f64).collect();
+    let outcome = evaluate_optimization(
+        &exact_f,
+        &approx_f,
+        2.0,
+        exact.metrics.elapsed,
+        approx.metrics.elapsed,
+    );
+    assert!(
+        outcome.mismatch_fraction > 0.5,
+        "expected most labels wrong, got {:.3}",
+        outcome.mismatch_fraction
+    );
+}
+
+#[test]
+fn apt_skippable_fraction_grows_with_threshold() {
+    let g = web_graph(4);
+    let ariadne = Ariadne::default();
+    let analytic = DeltaPageRank::exact(15);
+    let mut last = 0.0;
+    for eps in [0.001, 0.01, 0.1] {
+        let apt = queries::apt("udf_diff", Value::Float(eps)).unwrap();
+        let run = ariadne.online(&analytic, &g, &apt).unwrap();
+        let report = apt_report(&run.query_results, run.metrics.total_activations());
+        assert!(
+            report.skippable_fraction >= last,
+            "eps {eps}: fraction {} < previous {last}",
+            report.skippable_fraction
+        );
+        last = report.skippable_fraction;
+    }
+    assert!(last > 0.0, "largest threshold still found nothing");
+}

@@ -1,0 +1,220 @@
+//! Size and structure of captured provenance (§3, §6.1, Tables 3–4) plus
+//! the compact ≡ unfolded equivalence.
+
+use ariadne::queries;
+use ariadne::session::Ariadne;
+use ariadne::CaptureSpec;
+use ariadne_analytics::{PageRank, Sssp, Wcc};
+use ariadne_graph::generators::{rmat, RmatConfig};
+use ariadne_graph::{Csr, VertexId};
+use ariadne_provenance::{StoreConfig, UnfoldedGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn graph(seed: u64) -> Csr {
+    rmat(RmatConfig {
+        scale: 7,
+        edge_factor: 5,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn full_provenance_is_larger_than_input() {
+    // The paper's Table 3: full provenance is a multiple of the input
+    // graph (10x for PageRank/SSSP, 5x for WCC at their superstep
+    // counts).
+    let g = graph(1);
+    let input_bytes = g.byte_size();
+    let pr = PageRank {
+        supersteps: 10,
+        ..Default::default()
+    };
+    let run = Ariadne::default()
+        .capture(&pr, &g, &CaptureSpec::full())
+        .unwrap();
+    assert!(
+        run.store.byte_size() > input_bytes,
+        "provenance {} <= input {input_bytes}",
+        run.store.byte_size()
+    );
+    // And it scales with supersteps: half the supersteps, much less data.
+    let pr_short = PageRank {
+        supersteps: 5,
+        ..Default::default()
+    };
+    let short = Ariadne::default()
+        .capture(&pr_short, &g, &CaptureSpec::full())
+        .unwrap();
+    assert!(short.store.byte_size() < run.store.byte_size());
+}
+
+#[test]
+fn provenance_upper_bound_n_times_input() {
+    // §3: "An upper bound on the size of the provenance graph when all
+    // information is captured is n x G_in" — in tuple terms, per
+    // superstep we store at most one value/superstep tuple per vertex
+    // and one tuple per message per edge direction.
+    let g = graph(2);
+    let pr = PageRank {
+        supersteps: 8,
+        ..Default::default()
+    };
+    let run = Ariadne::default()
+        .capture(&pr, &g, &CaptureSpec::full())
+        .unwrap();
+    let n = run.metrics.num_supersteps() as usize;
+    let per_step_bound = 3 * g.num_vertices() + 2 * g.num_edges() + g.num_vertices();
+    assert!(
+        run.store.tuple_count() <= n * per_step_bound,
+        "{} tuples > {} bound",
+        run.store.tuple_count(),
+        n * per_step_bound
+    );
+}
+
+#[test]
+fn custom_capture_much_smaller_than_full() {
+    // Table 4 vs Table 3: the fwd-lineage capture is a fraction of full.
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = graph(3).map_weights(|_, _, _| rng.gen::<f64>());
+    let source = VertexId(0);
+    let ariadne = Ariadne::default();
+    let analytic = Sssp::new(source);
+    let full = ariadne.capture(&analytic, &g, &CaptureSpec::full()).unwrap();
+    let custom = ariadne
+        .capture(
+            &analytic,
+            &g,
+            &queries::capture_forward_lineage(source).unwrap(),
+        )
+        .unwrap();
+    assert!(
+        custom.store.byte_size() * 2 < full.store.byte_size(),
+        "custom {} not well below full {}",
+        custom.store.byte_size(),
+        full.store.byte_size()
+    );
+    assert!(custom.store.tuple_count() > 0);
+}
+
+#[test]
+fn capture_time_overhead_ordering() {
+    // Figure 7's shape: baseline <= custom capture <= full capture in
+    // total work (messages carry payloads, every tuple is materialized).
+    // Wall times at this scale are noisy, so compare bytes moved.
+    let g = graph(4);
+    let ariadne = Ariadne::default();
+    let analytic = Wcc;
+    let baseline = ariadne.baseline(&analytic, &g);
+    let full = ariadne.capture(&analytic, &g, &CaptureSpec::full()).unwrap();
+    assert!(full.store.byte_size() > 0);
+    assert_eq!(
+        baseline.metrics.num_supersteps(),
+        full.metrics.num_supersteps(),
+        "capture must not change the computation"
+    );
+    assert_eq!(baseline.values, full.values);
+}
+
+#[test]
+fn pruned_capture_drops_unchanged_values() {
+    // PageRank recomputes everyone every superstep but most values
+    // barely change late in the run — the §7-style pruned capture keeps
+    // only change points, so it must store strictly fewer tuples than
+    // the raw value capture while keeping every superstep-0 seed.
+    let g = graph(8);
+    let ariadne = Ariadne::default();
+    let pr = PageRank {
+        supersteps: 12,
+        ..Default::default()
+    };
+    let raw = ariadne
+        .capture(&pr, &g, &CaptureSpec::raw(["value", "superstep"]))
+        .unwrap();
+    let pruned = ariadne
+        .capture(&pr, &g, &queries::capture_changed_values().unwrap())
+        .unwrap();
+    assert!(
+        pruned.store.tuple_count() < raw.store.tuple_count(),
+        "pruned {} >= raw {}",
+        pruned.store.tuple_count(),
+        raw.store.tuple_count()
+    );
+    // Every vertex still has its superstep-0 seed row.
+    let layer0 = pruned.store.layer(0);
+    let seeds: usize = layer0
+        .iter()
+        .filter(|(p, _)| p == "prov_changed")
+        .map(|(_, t)| t.len())
+        .sum();
+    assert_eq!(seeds, g.num_vertices());
+}
+
+#[test]
+fn spilling_store_capture_end_to_end() {
+    let g = graph(5);
+    let dir = std::env::temp_dir().join(format!("ariadne-cap-{}", std::process::id()));
+    let ariadne = Ariadne {
+        store: StoreConfig::spilling(10_000, dir.clone()),
+        ..Ariadne::default()
+    };
+    let run = ariadne
+        .capture(
+            &PageRank {
+                supersteps: 6,
+                ..Default::default()
+            },
+            &g,
+            &CaptureSpec::full(),
+        )
+        .unwrap();
+    assert!(run.store.spills() > 0, "expected spills with a 10KB budget");
+    // Layers remain readable after spilling.
+    let q = queries::sssp_wcc_no_message_no_change().unwrap();
+    assert!(ariadne.layered(&g, &run.store, &q).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unfolded_graph_layers_match_supersteps() {
+    // The layer decomposition (Definition 5.1) of a full capture equals
+    // the superstep structure: layer(x, i) == i.
+    let g = graph(6);
+    let run = Ariadne::default()
+        .capture(&Wcc, &g, &CaptureSpec::full())
+        .unwrap();
+    let db = run.store.to_database();
+    let unfolded = UnfoldedGraph::from_database(&db);
+    let layers = unfolded.layers().expect("provenance graphs are acyclic");
+    assert!(layers.is_partition());
+    for &(x, i) in unfolded.nodes() {
+        assert_eq!(
+            layers.layer_of((x, i)),
+            Some(i as usize),
+            "node ({x},{i}) in wrong layer"
+        );
+    }
+    assert_eq!(
+        layers.num_layers() as u32,
+        run.metrics.num_supersteps(),
+        "one layer per superstep"
+    );
+}
+
+#[test]
+fn compact_and_unfolded_agree_on_counts() {
+    // Compact annotations and the unfolded graph carry the same
+    // information: one unfolded node per (vertex, superstep) activation
+    // tuple, message edges per receive tuple.
+    let g = graph(7);
+    let run = Ariadne::default()
+        .capture(&Wcc, &g, &CaptureSpec::full())
+        .unwrap();
+    let db = run.store.to_database();
+    let unfolded = UnfoldedGraph::from_database(&db);
+    assert!(unfolded.num_nodes() >= db.len("superstep"));
+    // Every receive edge appears (plus evolution edges).
+    assert!(unfolded.num_edges() >= db.len("receive_message"));
+}

@@ -1,0 +1,138 @@
+//! End-to-end tests of the `ariadne-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ariadne-cli"))
+}
+
+#[test]
+fn generated_graph_online_builtin() {
+    let out = cli()
+        .args([
+            "--generate",
+            "rmat:7:4",
+            "--analytic",
+            "wcc",
+            "--builtin",
+            "sssp_wcc_no_message_no_change",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("query direction: Local"), "{stdout}");
+    assert!(stdout.contains("problem: 0 rows"), "{stdout}");
+}
+
+#[test]
+fn edge_list_file_and_query_file() {
+    let dir = std::env::temp_dir().join(format!("ariadne-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let graph_path = dir.join("g.txt");
+    std::fs::write(&graph_path, "0 1 1.0\n1 2 1.0\n2 3 1.0\n").unwrap();
+    let query_path = dir.join("q.pql");
+    std::fs::write(
+        &query_path,
+        "dist(x, d, i) :- value(x, d, i), superstep(x, i).\n",
+    )
+    .unwrap();
+
+    let out = cli()
+        .args([
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--analytic",
+            "sssp",
+            "--source",
+            "0",
+            "--query",
+            query_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("graph: 4 vertices, 3 edges"), "{stdout}");
+    assert!(stdout.contains("dist:"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn layered_mode_via_cli() {
+    let out = cli()
+        .args([
+            "--generate",
+            "rmat:6:4",
+            "--analytic",
+            "pagerank",
+            "--supersteps",
+            "6",
+            "--builtin",
+            "pagerank_check",
+            "--mode",
+            "layered",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("captured"), "{stdout}");
+    assert!(stdout.contains("layered evaluation"), "{stdout}");
+    assert!(stdout.contains("check_failed: 0 rows"), "{stdout}");
+}
+
+#[test]
+fn apt_builtin_with_param() {
+    let out = cli()
+        .args([
+            "--generate",
+            "rmat:7:4",
+            "--analytic",
+            "sssp",
+            "--builtin",
+            "apt",
+            "--param",
+            "eps=0.1",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no_execute"), "{stdout}");
+    assert!(stdout.contains("safe"), "{stdout}");
+}
+
+#[test]
+fn explain_prints_plan() {
+    let out = cli()
+        .args([
+            "--generate",
+            "rmat:6:4",
+            "--analytic",
+            "sssp",
+            "--builtin",
+            "apt",
+            "--param",
+            "eps=0.1",
+            "--explain",
+        ])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("direction: Forward"), "{stdout}");
+    assert!(stdout.contains("shipped with messages: change"), "{stdout}");
+    assert!(stdout.contains("stratum 0:"), "{stdout}");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let out = cli().args(["--analytic", "pagerank"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = cli()
+        .args(["--generate", "rmat:6:4", "--analytic", "nonsense", "--builtin", "apt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

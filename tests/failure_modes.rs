@@ -1,0 +1,93 @@
+//! Failure injection: the system must fail loudly and precisely, not
+//! corrupt results.
+
+use ariadne::session::Ariadne;
+use ariadne::{compile, CaptureSpec};
+use ariadne_analytics::Wcc;
+use ariadne_graph::generators::regular::path;
+use ariadne_pql::{Params, UdfRegistry, Value};
+
+#[test]
+fn unknown_udf_fails_the_online_run_loudly() {
+    // A query that references a UDF nobody registered: analysis cannot
+    // tell it from a predicate typo, so evaluation reports it the first
+    // time a vertex reaches the call.
+    let q = compile(
+        "p(x, i) :- value(x, d, i), no_such_udf(d).",
+        Params::new(),
+    )
+    .unwrap();
+    let g = path(3);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = Ariadne::default().online(&Wcc, &g, &q);
+    }));
+    let err = result.unwrap_err();
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("no_such_udf"), "unhelpful panic: {msg}");
+}
+
+#[test]
+fn custom_udfs_can_be_supplied_instead() {
+    // The same query compiles and runs fine once the UDF exists.
+    let mut udfs = UdfRegistry::standard();
+    udfs.register("no_such_udf", |args| {
+        args[0].as_f64().map(|v| v >= 0.0).unwrap_or(false)
+    });
+    let q = ariadne::compile_with(
+        "p(x, i) :- value(x, d, i), no_such_udf(d).",
+        Params::new(),
+        &ariadne_pql::Catalog::standard(),
+        udfs,
+    )
+    .unwrap();
+    let g = path(3);
+    let run = Ariadne::default().online(&Wcc, &g, &q).unwrap();
+    assert!(run.query_results.len("p") > 0);
+}
+
+#[test]
+fn spool_dir_is_created_on_demand() {
+    let dir = std::env::temp_dir()
+        .join(format!("ariadne-missing-{}", std::process::id()))
+        .join("deep")
+        .join("nested");
+    let ariadne = Ariadne {
+        store: ariadne_provenance::StoreConfig::spilling(1, dir.clone()),
+        ..Ariadne::default()
+    };
+    let g = path(4);
+    let run = ariadne.capture(&Wcc, &g, &CaptureSpec::full()).unwrap();
+    assert!(run.store.spills() > 0);
+    std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).ok();
+}
+
+#[test]
+fn empty_graph_runs_everywhere() {
+    let g = ariadne_graph::Csr::empty(0);
+    let ariadne = Ariadne::default();
+    let q = ariadne::queries::sssp_wcc_no_message_no_change().unwrap();
+    let online = ariadne.online(&Wcc, &g, &q).unwrap();
+    assert!(online.values.is_empty());
+    let capture = ariadne.capture(&Wcc, &g, &CaptureSpec::full()).unwrap();
+    assert_eq!(capture.store.tuple_count(), 0);
+    assert!(ariadne.layered(&g, &capture.store, &q).is_ok());
+    assert!(ariadne.naive(&g, &capture.store, &q).is_ok());
+}
+
+#[test]
+fn queries_with_param_type_mismatches_evaluate_to_nothing() {
+    // eps supplied as a string: udf_diff returns false rather than
+    // panicking, so `change` is simply empty.
+    let q = ariadne::queries::apt("udf_diff", Value::str("not-a-number")).unwrap();
+    let g = path(4);
+    let run = Ariadne::default().online(&Wcc, &g, &q).unwrap();
+    assert_eq!(run.query_results.len("change"), 0);
+    // And everything active (i > 0) counts as unsafe-to-skip.
+    assert_eq!(
+        run.query_results.len("no_execute"),
+        run.query_results.len("unsafe")
+    );
+}

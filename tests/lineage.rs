@@ -1,0 +1,198 @@
+//! Forward and backward lineage tracing (Queries 3, 10, 11, 12) checked
+//! against graph-reachability oracles.
+
+use ariadne::queries;
+use ariadne::session::Ariadne;
+use ariadne::CaptureSpec;
+use ariadne_analytics::reference::{backward_reachable, forward_reachable};
+use ariadne_analytics::{Sssp, Wcc};
+use ariadne_graph::generators::regular::{path, tree};
+use ariadne_graph::generators::{rmat, RmatConfig};
+use ariadne_graph::{Csr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+fn weighted(g: Csr, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    g.map_weights(|_, _, _| 0.05 + rng.gen::<f64>())
+}
+
+/// Forward lineage (Query 3): the set of vertices carrying `fwd_lineage`
+/// annotations must equal the vertices reachable from the source —
+/// SSSP's influence set.
+#[test]
+fn forward_lineage_matches_reachability() {
+    let g = weighted(
+        rmat(RmatConfig {
+            scale: 7,
+            edge_factor: 4,
+            seed: 5,
+            ..Default::default()
+        }),
+        5,
+    );
+    let source = VertexId(0);
+    let spec = queries::capture_forward_lineage(source).unwrap();
+    let run = Ariadne::default()
+        .capture(&Sssp::new(source), &g, &spec)
+        .unwrap();
+
+    let mut traced: BTreeSet<u64> = BTreeSet::new();
+    if let Some(max) = run.store.max_superstep() {
+        for s in 0..=max {
+            for (pred, tuples) in run.store.layer(s) {
+                assert_eq!(pred, "fwd_lineage", "only the custom relation persists");
+                for t in tuples {
+                    traced.insert(t[0].as_id().unwrap());
+                }
+            }
+        }
+    }
+    let oracle: BTreeSet<u64> = forward_reachable(&g, source)
+        .iter()
+        .enumerate()
+        .filter(|(_, &r)| r)
+        .map(|(i, _)| i as u64)
+        .collect();
+    assert_eq!(traced, oracle);
+}
+
+/// Backward lineage over the full provenance graph (Query 10): on a
+/// directed path, the lineage of the last vertex's final value is
+/// exactly the source.
+#[test]
+fn backward_lineage_on_path() {
+    let g = path(6);
+    let ariadne = Ariadne::default();
+    let capture = ariadne
+        .capture(&Sssp::new(VertexId(0)), &g, &CaptureSpec::full())
+        .unwrap();
+    let last_step = capture.store.max_superstep().unwrap();
+    // Vertex 5 computes at the last superstep.
+    let q = queries::backward_lineage(VertexId(5), last_step).unwrap();
+    let run = ariadne.layered(&g, &capture.store, &q).unwrap();
+    let lineage = run.query_results.sorted("back_lineage");
+    assert_eq!(lineage.len(), 1);
+    assert_eq!(lineage[0][0].as_id(), Some(0));
+    // The trace itself walks back through every vertex on the path.
+    let trace = run.query_results.sorted("back_trace");
+    assert_eq!(trace.len(), 6);
+}
+
+/// Query 10 layered vs naive: identical results.
+#[test]
+fn backward_layered_matches_naive() {
+    let g = weighted(tree(40, 3), 11);
+    let ariadne = Ariadne::default();
+    let capture = ariadne
+        .capture(&Sssp::new(VertexId(0)), &g, &CaptureSpec::full())
+        .unwrap();
+    let sigma = capture.store.max_superstep().unwrap();
+    // Pick a vertex active in the last superstep.
+    let target = capture
+        .store
+        .layer(sigma)
+        .iter()
+        .find(|(p, _)| p == "superstep")
+        .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
+        .expect("someone was active last");
+    let q = queries::backward_lineage(VertexId(target), sigma).unwrap();
+    let layered = ariadne.layered(&g, &capture.store, &q).unwrap();
+    let naive = ariadne.naive(&g, &capture.store, &q).unwrap();
+    for pred in ["back_trace", "back_lineage"] {
+        assert_eq!(
+            layered.query_results.sorted(pred),
+            naive.database.sorted(pred),
+            "{pred} differs"
+        );
+    }
+}
+
+/// Custom backward capture (Query 11) + Query 12 equals Query 10 over
+/// full capture — with a much smaller store.
+#[test]
+fn custom_backward_equals_full_backward() {
+    let g = weighted(
+        rmat(RmatConfig {
+            scale: 6,
+            edge_factor: 4,
+            seed: 8,
+            ..Default::default()
+        }),
+        8,
+    );
+    let ariadne = Ariadne::default();
+    let analytic = Sssp::new(VertexId(0));
+
+    let full = ariadne.capture(&analytic, &g, &CaptureSpec::full()).unwrap();
+    let custom = ariadne
+        .capture(&analytic, &g, &queries::capture_backward_custom().unwrap())
+        .unwrap();
+    assert!(
+        custom.store.byte_size() < full.store.byte_size(),
+        "custom capture should be smaller: {} vs {}",
+        custom.store.byte_size(),
+        full.store.byte_size()
+    );
+
+    let sigma = full.store.max_superstep().unwrap();
+    let target = full
+        .store
+        .layer(sigma)
+        .iter()
+        .find(|(p, _)| p == "superstep")
+        .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
+        .unwrap();
+
+    let q10 = queries::backward_lineage(VertexId(target), sigma).unwrap();
+    let q12 = queries::backward_lineage_custom(VertexId(target), sigma).unwrap();
+    let full_run = ariadne.layered(&g, &full.store, &q10).unwrap();
+    let custom_run = ariadne.layered(&g, &custom.store, &q12).unwrap();
+
+    // Same lineage: compare the (vertex, value) sets.
+    assert_eq!(
+        full_run.query_results.sorted("back_lineage"),
+        custom_run.query_results.sorted("back_lineage")
+    );
+}
+
+/// Backward lineage vertices are always backward-reachable in the input
+/// graph (the provenance trace is a subset of graph reachability).
+#[test]
+fn backward_trace_subset_of_graph_reachability() {
+    let g = weighted(
+        rmat(RmatConfig {
+            scale: 6,
+            edge_factor: 3,
+            seed: 21,
+            ..Default::default()
+        }),
+        21,
+    );
+    let ariadne = Ariadne::default();
+    let capture = ariadne
+        .capture(&Wcc, &g, &CaptureSpec::full())
+        .unwrap();
+    let sigma = capture.store.max_superstep().unwrap();
+    let target = capture
+        .store
+        .layer(sigma)
+        .iter()
+        .find(|(p, _)| p == "superstep")
+        .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
+        .unwrap();
+    let q = queries::backward_lineage(VertexId(target), sigma).unwrap();
+    let run = ariadne.layered(&g, &capture.store, &q).unwrap();
+    // WCC messages travel both directions, so reachability here means
+    // "within the weakly connected component".
+    let bwd = backward_reachable(&g, VertexId(target));
+    let fwd = forward_reachable(&g, VertexId(target));
+    for t in run.query_results.sorted("back_trace") {
+        let v = t[0].as_id().unwrap() as usize;
+        assert!(
+            bwd[v] || fwd[v],
+            "traced vertex {v} not connected to target {target}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! All three evaluation modes must produce identical query results on
+//! every query class they support (§5): online ≡ layered ≡ naive for
+//! forward/local queries, layered ≡ naive for backward ones.
+
+use ariadne::queries;
+use ariadne::session::Ariadne;
+use ariadne::{CaptureSpec, CompiledQuery};
+use ariadne_analytics::{PageRank, Sssp, Wcc};
+use ariadne_graph::generators::{erdos_renyi, rmat, RmatConfig};
+use ariadne_graph::{Csr, VertexId};
+use ariadne_pql::Value;
+use ariadne_provenance::ProvEncode;
+use ariadne_vc::VertexProgram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn graph(seed: u64) -> Csr {
+    rmat(RmatConfig {
+        scale: 6,
+        edge_factor: 4,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn check_three_modes<A>(analytic: &A, g: &Csr, query: &CompiledQuery)
+where
+    A: VertexProgram,
+    A::V: ProvEncode,
+    A::M: ProvEncode,
+{
+    let ariadne = Ariadne::default();
+    let online = ariadne.online(analytic, g, query).unwrap();
+    let capture = ariadne.capture(analytic, g, &CaptureSpec::full()).unwrap();
+    let layered = ariadne.layered(g, &capture.store, query).unwrap();
+    let naive = ariadne.naive(g, &capture.store, query).unwrap();
+    for pred in query.query().idbs.keys() {
+        let o = online.query_results.sorted(pred);
+        let l = layered.query_results.sorted(pred);
+        let n = naive.database.sorted(pred);
+        assert_eq!(o, n, "online vs naive disagree on {pred:?}");
+        assert_eq!(l, n, "layered vs naive disagree on {pred:?}");
+    }
+}
+
+#[test]
+fn three_modes_agree_sssp_monitoring() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = graph(4).map_weights(|_, _, _| rng.gen::<f64>());
+    let a = Sssp::new(VertexId(0));
+    check_three_modes(&a, &g, &queries::sssp_wcc_value_check().unwrap());
+    check_three_modes(&a, &g, &queries::sssp_wcc_no_message_no_change().unwrap());
+}
+
+#[test]
+fn three_modes_agree_wcc_apt() {
+    let g = erdos_renyi(80, 160, 14);
+    let apt = queries::apt("udf_diff", Value::Float(1.0)).unwrap();
+    check_three_modes(&Wcc, &g, &apt);
+}
+
+#[test]
+fn three_modes_agree_pagerank_check() {
+    let g = graph(6);
+    let pr = PageRank {
+        supersteps: 5,
+        ..Default::default()
+    };
+    check_three_modes(&pr, &g, &queries::pagerank_check().unwrap());
+}
+
+#[test]
+fn three_modes_agree_sssp_apt() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = graph(7).map_weights(|_, _, _| 0.1 + rng.gen::<f64>());
+    let apt = queries::apt("udf_diff", Value::Float(0.1)).unwrap();
+    check_three_modes(&Sssp::new(VertexId(0)), &g, &apt);
+}
+
+#[test]
+fn layered_respects_lemma_5_3() {
+    // Layered evaluation runs at most n+1 rounds for n supersteps.
+    let g = graph(9);
+    let ariadne = Ariadne::default();
+    let capture = ariadne.capture(&Wcc, &g, &CaptureSpec::full()).unwrap();
+    let supersteps = capture.metrics.num_supersteps();
+    let q = queries::sssp_wcc_no_message_no_change().unwrap();
+    let run = ariadne.layered(&g, &capture.store, &q).unwrap();
+    assert!(
+        run.layers <= supersteps,
+        "layered ran {} rounds for {} supersteps",
+        run.layers,
+        supersteps
+    );
+}
+
+#[test]
+fn naive_overflow_guard_fires() {
+    let g = graph(10);
+    let ariadne = Ariadne {
+        naive_budget: Some(10), // tiny cluster memory
+        ..Ariadne::default()
+    };
+    let capture = ariadne.capture(&Wcc, &g, &CaptureSpec::full()).unwrap();
+    let q = queries::sssp_wcc_no_message_no_change().unwrap();
+    let err = ariadne.naive(&g, &capture.store, &q).unwrap_err();
+    assert!(err.to_string().contains("budget"), "{err}");
+    // Layered still works with the same store: the paper's point.
+    assert!(ariadne.layered(&g, &capture.store, &q).is_ok());
+}
+
+#[test]
+fn mixed_queries_only_run_naive() {
+    // The paper's R1 shape: both send and receive guards.
+    let src = "
+        t(y, i) :- superstep(y, i).
+        s(z, i) :- superstep(z, i).
+        r1(x, i) :- t(y, j), receive_message(x, y, m, i), s(z, k), send_message(x, z, m, i).
+    ";
+    let q = ariadne::compile(src, ariadne_pql::Params::new()).unwrap();
+    assert_eq!(q.direction(), ariadne_pql::Direction::Mixed);
+    let g = graph(11);
+    let ariadne_sys = Ariadne::default();
+    let capture = ariadne_sys.capture(&Wcc, &g, &CaptureSpec::full()).unwrap();
+    assert!(ariadne_sys.layered(&g, &capture.store, &q).is_err());
+    assert!(ariadne_sys.online(&Wcc, &g, &q).is_err());
+    let naive = ariadne_sys.naive(&g, &capture.store, &q).unwrap();
+    // r1 holds wherever a vertex both received and sent in one superstep.
+    assert!(naive.database.len("r1") > 0);
+}

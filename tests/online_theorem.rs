@@ -1,0 +1,188 @@
+//! Theorem 5.4 as an executable property: for a forward query Q and
+//! analytic A,
+//!
+//! * `A(G) = π_A(Online_{A,Q}(G))` — the analytic's result is unchanged
+//!   by running the query in lockstep;
+//! * `Q(G_PR) = π_Q(Online_{A,Q}(G))` — the query's online result equals
+//!   evaluating it offline over the captured provenance graph.
+
+use ariadne::queries;
+use ariadne::session::Ariadne;
+use ariadne::CaptureSpec;
+use ariadne::CompiledQuery;
+use ariadne_analytics::{DeltaPageRank, PageRank, Sssp, Wcc};
+use ariadne_graph::generators::{erdos_renyi, rmat, RmatConfig};
+use ariadne_graph::{Csr, VertexId};
+use ariadne_pql::Value;
+use ariadne_provenance::ProvEncode;
+use ariadne_vc::VertexProgram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn test_graph() -> Csr {
+    rmat(RmatConfig {
+        scale: 7,
+        edge_factor: 4,
+        seed: 77,
+        ..Default::default()
+    })
+}
+
+/// Check both halves of Theorem 5.4 for one analytic + query pair.
+fn check_theorem<A>(analytic: &A, graph: &Csr, query: &CompiledQuery)
+where
+    A: VertexProgram,
+    A::V: ProvEncode + PartialEq + std::fmt::Debug,
+    A::M: ProvEncode,
+{
+    let ariadne = Ariadne::default();
+
+    // π_A: analytic values must match the bare run.
+    let baseline = ariadne.baseline(analytic, graph);
+    let online = ariadne.online(analytic, graph, query).unwrap();
+    assert_eq!(baseline.values, online.values, "analytic result disturbed");
+    assert_eq!(
+        baseline.metrics.num_supersteps(),
+        online.metrics.num_supersteps(),
+        "superstep count disturbed"
+    );
+
+    // π_Q: query results must match offline evaluation over captured
+    // provenance.
+    let capture = ariadne
+        .capture(analytic, graph, &CaptureSpec::full())
+        .unwrap();
+    let naive = ariadne.naive(graph, &capture.store, query).unwrap();
+    for pred in query.query().idbs.keys() {
+        assert_eq!(
+            online.query_results.sorted(pred),
+            naive.database.sorted(pred),
+            "IDB {pred:?} differs between online and offline"
+        );
+    }
+}
+
+#[test]
+fn theorem_holds_for_pagerank_query4() {
+    let g = test_graph();
+    let pr = PageRank {
+        supersteps: 6,
+        ..Default::default()
+    };
+    check_theorem(&pr, &g, &queries::pagerank_check().unwrap());
+}
+
+#[test]
+fn theorem_holds_for_sssp_query5_and_6() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = test_graph().map_weights(|_, _, _| rng.gen::<f64>());
+    let sssp = Sssp::new(VertexId(0));
+    check_theorem(&sssp, &g, &queries::sssp_wcc_value_check().unwrap());
+    check_theorem(&sssp, &g, &queries::sssp_wcc_no_message_no_change().unwrap());
+}
+
+#[test]
+fn theorem_holds_for_wcc_query6() {
+    let g = erdos_renyi(120, 200, 9);
+    check_theorem(&Wcc, &g, &queries::sssp_wcc_no_message_no_change().unwrap());
+}
+
+#[test]
+fn theorem_holds_for_apt_on_sssp() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = test_graph().map_weights(|_, _, _| rng.gen::<f64>());
+    let sssp = Sssp::new(VertexId(0));
+    let apt = queries::apt("udf_diff", Value::Float(0.1)).unwrap();
+    check_theorem(&sssp, &g, &apt);
+}
+
+#[test]
+fn theorem_holds_for_apt_on_delta_pagerank() {
+    let g = test_graph();
+    let pr = DeltaPageRank::exact(6);
+    let apt = queries::apt("udf_diff", Value::Float(0.01)).unwrap();
+    check_theorem(&pr, &g, &apt);
+}
+
+#[test]
+fn monitoring_queries_find_no_violations_on_correct_analytics() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = test_graph().map_weights(|_, _, _| rng.gen::<f64>());
+    let ariadne = Ariadne::default();
+    let run = ariadne
+        .online(
+            &Sssp::new(VertexId(0)),
+            &g,
+            &queries::sssp_wcc_value_check().unwrap(),
+        )
+        .unwrap();
+    assert!(run.query_results.sorted("check_failed").is_empty());
+
+    let run = ariadne
+        .online(&Wcc, &g, &queries::sssp_wcc_no_message_no_change().unwrap())
+        .unwrap();
+    assert!(run.query_results.sorted("problem").is_empty());
+}
+
+/// A deliberately broken SSSP that sometimes *increases* its value — the
+/// bug class Query 5 exists to catch.
+struct BuggySssp {
+    inner: Sssp,
+}
+
+impl VertexProgram for BuggySssp {
+    type V = f64;
+    type M = f64;
+
+    fn init(&self, v: VertexId, g: &Csr) -> f64 {
+        self.inner.init(v, g)
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut dyn ariadne_vc::Context<f64>,
+        value: &mut f64,
+        messages: &[ariadne_vc::Envelope<f64>],
+    ) {
+        self.inner.compute(ctx, value, messages);
+        // The bug: vertex 3 inflates its distance whenever it computes
+        // after superstep 1.
+        if ctx.vertex() == VertexId(3) && ctx.superstep() > 1 && value.is_finite() {
+            *value += 10.0;
+        }
+    }
+}
+
+#[test]
+fn query5_catches_injected_bug() {
+    // Vertex 3 is relaxed twice: via the direct heavy edge at superstep 1
+    // and via the lighter two-hop path at superstep 2, where the bug
+    // inflates it — an increase between consecutive activations.
+    let mut b = ariadne_graph::GraphBuilder::new();
+    b.add_edge(VertexId(0), VertexId(3), 5.0);
+    b.add_edge(VertexId(0), VertexId(1), 1.0);
+    b.add_edge(VertexId(1), VertexId(3), 1.0);
+    b.add_edge(VertexId(3), VertexId(4), 1.0);
+    let g = b.build();
+    let buggy = BuggySssp {
+        inner: Sssp::new(VertexId(0)),
+    };
+    let run = Ariadne::default()
+        .online(&buggy, &g, &queries::sssp_wcc_value_check().unwrap())
+        .unwrap();
+    let failures = run.query_results.sorted("check_failed");
+    assert!(
+        failures.iter().any(|t| t[0] == Value::Id(3)),
+        "Query 5 missed the injected monotonicity violation: {failures:?}"
+    );
+}
+
+#[test]
+fn online_rejects_backward_queries() {
+    let g = test_graph();
+    let backward = queries::backward_lineage(VertexId(0), 3).unwrap();
+    let err = Ariadne::default()
+        .online(&Wcc, &g, &backward)
+        .unwrap_err();
+    assert!(err.to_string().contains("online"), "{err}");
+}
