@@ -1,0 +1,302 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the provenance codec uses: an owned, cheaply
+//! sliceable immutable buffer ([`Bytes`]), a growable write buffer
+//! ([`BytesMut`]), and the [`Buf`]/[`BufMut`] cursor traits with the
+//! little-endian accessors the codec calls. Cheap cloning/slicing is
+//! provided by an `Arc<[u8]>` backing store plus offsets.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Read-side cursor over a contiguous buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consume and return one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consume a little-endian `u32`. Panics if short.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Consume a little-endian `u64`. Panics if short.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Consume a little-endian `i64`. Panics if short.
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+
+    /// Consume `len` bytes into a new [`Bytes`]. Panics if short.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+}
+
+/// Write-side interface for growable buffers.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_u64_le(v as u64);
+    }
+
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// An immutable, cheaply cloneable and sliceable byte buffer that also
+/// acts as a consuming read cursor (like upstream `Bytes`).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from_vec(Vec::new())
+    }
+
+    /// Copy `src` into a new buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from_vec(src.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+
+    /// Length of the (unconsumed) buffer.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A zero-copy sub-range of this buffer.
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of bounds for buffer of {} bytes",
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.start += n;
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:02x?})", self.as_slice())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::from_vec(v)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.as_slice()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.as_slice()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.as_slice()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = self.slice(0..len);
+        self.advance(len);
+        out
+    }
+}
+
+/// A growable write buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BytesMut::new();
+        w.put_u8(0xAB);
+        w.put_u32_le(7);
+        w.put_u64_le(u64::MAX - 1);
+        w.put_i64_le(-5);
+        w.put_slice(b"hey");
+        let mut r = w.freeze();
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u32_le(), 7);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
+        assert_eq!(r.get_i64_le(), -5);
+        let tail = r.copy_to_bytes(3);
+        assert_eq!(&tail[..], b"hey");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slices_are_zero_copy_views() {
+        let b = Bytes::copy_from_slice(&[0, 1, 2, 3, 4]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[1, 2, 3]);
+        let s2 = s.slice(1..2);
+        assert_eq!(&s2[..], &[2]);
+        assert_eq!(b.len(), 5, "original untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::copy_from_slice(&[1]).slice(0..2);
+    }
+
+    #[test]
+    fn consuming_reads_advance() {
+        let mut b = Bytes::copy_from_slice(&[9, 9]);
+        assert_eq!(b.remaining(), 2);
+        b.get_u8();
+        assert_eq!(b.remaining(), 1);
+        let rest = b.copy_to_bytes(1);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(b.remaining(), 0);
+    }
+}
