@@ -92,7 +92,7 @@ fn size_row(
     let mut seen = vec![false; graph.num_vertices()];
     if let Some(max) = store.max_superstep() {
         for s in 0..=max {
-            for (_, tuples) in store.layer(s) {
+            for (_, tuples) in store.layer(s).unwrap() {
                 for t in tuples {
                     if let Some(v) = t.first().and_then(|v| v.as_id()) {
                         if (v as usize) < seen.len() {

@@ -78,7 +78,7 @@ pub fn run_layered(
     // queries are negation-free over layer data.
     let mut layer0_owners: BTreeSet<usize> = BTreeSet::new();
     if !ascending {
-        for (pred, tuples) in store.layer(0) {
+        for (pred, tuples) in store.layer(0).map_err(AriadneError::Store)? {
             for t in tuples {
                 if let Some(v) = t.first().and_then(|v| v.as_id()) {
                     let vi = v as usize;
@@ -100,7 +100,7 @@ pub fn run_layered(
             // Already injected up front; just evaluate the owners.
             touched.extend(layer0_owners.iter().copied());
         } else {
-            for (pred, tuples) in store.layer(layer) {
+            for (pred, tuples) in store.layer(layer).map_err(AriadneError::Store)? {
                 for t in tuples {
                     let Some(v) = t.first().and_then(|v| v.as_id()) else {
                         continue;
@@ -221,8 +221,8 @@ mod tests {
         // Hand-build a store: vertex 1 active at supersteps 0 and 2.
         let g = path(3);
         let mut store = ProvStore::new(StoreConfig::in_memory());
-        store.ingest(0, "superstep", vec![vec![Value::Id(1), Value::Int(0)]]);
-        store.ingest(2, "superstep", vec![vec![Value::Id(1), Value::Int(2)]]);
+        store.ingest(0, "superstep", vec![vec![Value::Id(1), Value::Int(0)]]).unwrap();
+        store.ingest(2, "superstep", vec![vec![Value::Id(1), Value::Int(2)]]).unwrap();
         let q = compile("active(x, i) :- superstep(x, i).", Params::new()).unwrap();
         let run = run_layered(&g, &store, &q).unwrap();
         assert_eq!(run.layers, 3); // layers 0, 1 (empty), 2
@@ -234,7 +234,7 @@ mod tests {
         // Tuples for vertices outside the graph are ignored, not a panic.
         let g = path(2);
         let mut store = ProvStore::new(StoreConfig::in_memory());
-        store.ingest(0, "superstep", vec![vec![Value::Id(99), Value::Int(0)]]);
+        store.ingest(0, "superstep", vec![vec![Value::Id(99), Value::Int(0)]]).unwrap();
         let q = compile("active(x, i) :- superstep(x, i).", Params::new()).unwrap();
         let run = run_layered(&g, &store, &q).unwrap();
         assert_eq!(run.query_results.len("active"), 0);

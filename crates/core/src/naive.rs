@@ -79,7 +79,7 @@ pub fn run_naive(
     // Materialize everything at once: all layers into their vertices...
     if let Some(max) = store.max_superstep() {
         for s in 0..=max {
-            for (pred, tuples) in store.layer(s) {
+            for (pred, tuples) in store.layer(s).map_err(AriadneError::Store)? {
                 for t in tuples {
                     if let Some(v) = t.first().and_then(|v| v.as_id()) {
                         if (v as usize) < n {
@@ -204,7 +204,7 @@ pub fn run_centralized(
     store: &ProvStore,
     query: &CompiledQuery,
 ) -> Result<Database, AriadneError> {
-    let mut db = store.to_database();
+    let mut db = store.to_database().map_err(AriadneError::Store)?;
     let analyzed = query.query();
     if analyzed.edbs.contains("edge") {
         for (s, d, _) in graph.edges() {
@@ -237,7 +237,8 @@ mod tests {
                 vec![Value::Id(0), Value::Int(0)],
                 vec![Value::Id(1), Value::Int(0)],
             ],
-        );
+        )
+        .unwrap();
         store
     }
 

@@ -8,8 +8,8 @@ use crate::naive::{run_centralized, run_naive, NaiveRun};
 use crate::online::{OnlineConfig, OnlineProgram, OnlineRun, Persist};
 use ariadne_graph::Csr;
 use ariadne_pql::{Database, Direction, PqlError};
-use ariadne_provenance::{ProvEncode, ProvStore, StoreConfig, StoreWriter};
-use ariadne_vc::{Engine, EngineConfig, RunResult, VertexProgram};
+use ariadne_provenance::{ProvEncode, ProvStore, StoreConfig, StoreError, StoreWriter};
+use ariadne_vc::{Engine, EngineConfig, EngineError, RunResult, VertexProgram};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -35,6 +35,22 @@ pub enum AriadneError {
     },
     /// A language-level error surfaced during evaluation.
     Pql(PqlError),
+    /// The provenance store failed (spill IO, corrupt segment, writer
+    /// drain timeout, or an injected fault).
+    Store(StoreError),
+    /// The engine failed during checkpointed execution or resume
+    /// (snapshot IO, corrupt snapshot, or an injected crash).
+    Engine(EngineError),
+    /// The online query evaluator failed at a vertex (previously a
+    /// panic inside the engine's compute hot path).
+    Query {
+        /// The vertex whose local fixpoint failed.
+        vertex: ariadne_graph::VertexId,
+        /// The superstep at which it failed.
+        superstep: u32,
+        /// The underlying PQL error.
+        source: PqlError,
+    },
 }
 
 impl fmt::Display for AriadneError {
@@ -49,15 +65,47 @@ impl fmt::Display for AriadneError {
                 "naive evaluation would materialize {tuples} tuples, over the {budget}-tuple budget"
             ),
             AriadneError::Pql(e) => write!(f, "{e}"),
+            AriadneError::Store(e) => write!(f, "provenance store failure: {e}"),
+            AriadneError::Engine(e) => write!(f, "engine failure: {e}"),
+            AriadneError::Query {
+                vertex,
+                superstep,
+                source,
+            } => write!(
+                f,
+                "online query evaluation failed at vertex {vertex}, superstep {superstep}: {source}"
+            ),
         }
     }
 }
 
-impl std::error::Error for AriadneError {}
+impl std::error::Error for AriadneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AriadneError::Pql(e) => Some(e),
+            AriadneError::Store(e) => Some(e),
+            AriadneError::Engine(e) => Some(e),
+            AriadneError::Query { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<PqlError> for AriadneError {
     fn from(e: PqlError) -> Self {
         AriadneError::Pql(e)
+    }
+}
+
+impl From<StoreError> for AriadneError {
+    fn from(e: StoreError) -> Self {
+        AriadneError::Store(e)
+    }
+}
+
+impl From<EngineError> for AriadneError {
+    fn from(e: EngineError) -> Self {
+        AriadneError::Engine(e)
     }
 }
 
@@ -202,7 +250,7 @@ impl Ariadne {
         };
         let program = OnlineProgram::new(analytic, config);
         let result = Engine::new(self.engine.clone()).run(&program, graph);
-        let store = writer.finish();
+        let store = writer.finish().map_err(AriadneError::Store)?;
         Ok(CaptureRun {
             values: result.values.into_iter().map(|s| s.value).collect(),
             store,

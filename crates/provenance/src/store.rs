@@ -2,7 +2,7 @@
 //!
 //! Captured tuples are grouped into **segments** keyed by (superstep,
 //! predicate). Segments are held *serialized* (the [`crate::codec`]
-//! binary format, length-delimited batches): ingestion pays the
+//! binary format wrapped in checksummed records): ingestion pays the
 //! serialization cost a real provenance store pays on its write path,
 //! accounting reports the true stored size (Tables 3–4), and spilling a
 //! segment to disk is a plain byte copy. When the in-memory encoded size
@@ -11,46 +11,152 @@
 //! ("When the provenance graph exceeds the size of available RAM, Ariadne
 //! offloads it asynchronously", §6.1).
 //!
+//! # Durability and recovery
+//!
+//! Every batch is framed as a **checksummed record** — a magic header,
+//! the payload length, a CRC32 of the payload, and a footer magic:
+//!
+//! ```text
+//! +--------+---------+----------------+---------+--------+
+//! | "ARSG" | len u64 | CRC32(payload) | payload | "GSRA" |
+//! +--------+---------+----------------+---------+--------+
+//! ```
+//!
+//! Truncated or corrupted spill files therefore surface as typed
+//! [`StoreError::Corrupt`] values naming the file — never a panic. The
+//! spool directory is created lazily on the first spill, and spill IO
+//! failures carry the offending path.
+//!
+//! After a crash, [`ProvStore::resume_from_spool`] re-attaches the
+//! segment files a previous incarnation left behind (validating every
+//! record) and marks them **sealed**: re-ingesting a sealed layer during
+//! replay is an idempotent no-op, so a resumed capture run does not
+//! duplicate already-persisted provenance.
+//!
 //! [`StoreWriter`] wraps a store in a dedicated ingestion thread fed by a
 //! channel, so capture never blocks the analytic's supersteps on
-//! serialization or disk IO.
+//! serialization or disk IO; [`StoreWriter::finish`] drains the queue
+//! with a timeout instead of joining unconditionally.
 //!
 //! Replay for layered evaluation decodes one superstep (= one provenance
 //! layer) at a time, ascending for forward queries or descending for
 //! backward ones (§5.1).
 
-use crate::codec::{decode_tuples, encode_tuples};
+use crate::codec::{decode_tuples, encode_tuples, CodecError};
 use ariadne_pql::{Database, Tuple};
+use ariadne_vc::checkpoint::crc32;
+use ariadne_vc::FaultPlan;
 use crossbeam::channel::{unbounded, Sender};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Magic bytes opening every stored record.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"ARSG";
+/// Magic bytes closing every stored record (truncation tripwire).
+pub const SEGMENT_FOOTER: [u8; 4] = *b"GSRA";
+/// Per-record framing overhead in bytes (header + len + crc + footer).
+const RECORD_OVERHEAD: usize = 4 + 8 + 4 + 4;
+
+/// Default drain deadline for [`StoreWriter::finish`].
+pub const DEFAULT_FINISH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Typed failures from the provenance store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure; `path` names the file or directory involved.
+    Io {
+        /// The spool file or directory the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A stored segment failed record validation (magic, length, CRC,
+    /// footer) or tuple decoding.
+    Corrupt {
+        /// The offending spool file (or `<memory>` for in-memory data).
+        path: PathBuf,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A [`FaultPlan`] failed this spill write on purpose.
+    InjectedSpillFailure {
+        /// The zero-based ordinal of the failed spill attempt.
+        attempt: u64,
+    },
+    /// The writer thread is gone (panicked or already finished).
+    WriterDead,
+    /// The writer thread did not drain its queue within the deadline.
+    FinishTimeout {
+        /// The deadline that elapsed.
+        timeout: Duration,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "store io error at {}: {source}", path.display())
+            }
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt segment {}: {detail}", path.display())
+            }
+            StoreError::InjectedSpillFailure { attempt } => {
+                write!(f, "injected failure of spill write #{attempt}")
+            }
+            StoreError::WriterDead => write!(f, "store writer thread is gone"),
+            StoreError::FinishTimeout { timeout } => {
+                write!(f, "store writer did not drain within {timeout:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Corrupt {
+            path: PathBuf::from("<memory>"),
+            detail: e.to_string(),
+        }
+    }
+}
 
 /// Store configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct StoreConfig {
     /// In-memory budget in encoded bytes before segments spill.
     pub memory_budget: usize,
     /// Where spilled segments go; `None` disables spilling (the store
     /// then grows without bound, like the paper's failed ALS capture).
+    /// The directory is created on the first spill, not eagerly.
     pub spool_dir: Option<PathBuf>,
-}
-
-impl Default for StoreConfig {
-    fn default() -> Self {
-        StoreConfig {
-            memory_budget: 256 << 20,
-            spool_dir: None,
-        }
-    }
+    /// Scripted fault injection for spill writes (crash-recovery tests).
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl StoreConfig {
     /// An unbounded in-memory store (tests, small runs).
     pub fn in_memory() -> Self {
-        Self::default()
+        StoreConfig {
+            memory_budget: 256 << 20,
+            spool_dir: None,
+            fault: None,
+        }
     }
 
     /// A store that spills past `budget` bytes into `dir`.
@@ -58,18 +164,28 @@ impl StoreConfig {
         StoreConfig {
             memory_budget: budget,
             spool_dir: Some(dir),
+            fault: None,
         }
+    }
+
+    /// Attach a fault plan consulted on every spill write.
+    pub fn with_fault(mut self, fault: Arc<FaultPlan>) -> Self {
+        self.fault = Some(fault);
+        self
     }
 }
 
-/// One (superstep, predicate) segment: encoded batches in memory plus an
+/// One (superstep, predicate) segment: encoded records in memory plus an
 /// optional spilled prefix on disk.
 #[derive(Debug, Default)]
 struct Segment {
-    /// Length-delimited encoded batches.
+    /// Concatenated checksummed records.
     mem: Vec<u8>,
     mem_tuples: usize,
     disk: Option<DiskPart>,
+    /// Sealed segments were fully persisted by a previous incarnation
+    /// (see [`ProvStore::resume_from_spool`]); re-ingests are dropped.
+    sealed: bool,
 }
 
 #[derive(Debug)]
@@ -90,41 +206,177 @@ pub struct ProvStore {
     spills: usize,
 }
 
-impl ProvStore {
-    /// Create a store.
-    pub fn new(config: StoreConfig) -> Self {
-        if let Some(dir) = &config.spool_dir {
-            std::fs::create_dir_all(dir).expect("cannot create spool directory");
+/// Append one checksummed record framing `payload` to `buf`.
+fn append_record(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.extend_from_slice(&SEGMENT_MAGIC);
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&SEGMENT_FOOTER);
+}
+
+/// Decode a concatenation of checksummed records, validating each frame,
+/// appending decoded tuples to `out`. `origin` names the data source in
+/// errors.
+fn decode_records(data: &[u8], origin: &Path, out: &mut Vec<Tuple>) -> Result<(), StoreError> {
+    let corrupt = |detail: String| StoreError::Corrupt {
+        path: origin.to_path_buf(),
+        detail,
+    };
+    let mut off = 0usize;
+    while off < data.len() {
+        if data.len() - off < RECORD_OVERHEAD {
+            return Err(corrupt(format!(
+                "truncated record header at offset {off} ({} trailing bytes)",
+                data.len() - off
+            )));
         }
+        if data[off..off + 4] != SEGMENT_MAGIC {
+            return Err(corrupt(format!("bad record magic at offset {off}")));
+        }
+        let len = u64::from_le_bytes(data[off + 4..off + 12].try_into().unwrap()) as usize;
+        let stored_crc = u32::from_le_bytes(data[off + 12..off + 16].try_into().unwrap());
+        let body_start = off + 16;
+        let footer_start = match body_start.checked_add(len) {
+            Some(e) if e + 4 <= data.len() => e,
+            _ => {
+                return Err(corrupt(format!(
+                    "record at offset {off} claims {len} payload bytes past end of data"
+                )))
+            }
+        };
+        let payload = &data[body_start..footer_start];
+        let actual_crc = crc32(payload);
+        if actual_crc != stored_crc {
+            return Err(corrupt(format!(
+                "CRC mismatch at offset {off}: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            )));
+        }
+        if data[footer_start..footer_start + 4] != SEGMENT_FOOTER {
+            return Err(corrupt(format!("bad record footer at offset {footer_start}")));
+        }
+        let batch = bytes::Bytes::copy_from_slice(payload);
+        out.extend(
+            decode_tuples(batch).map_err(|e| corrupt(format!("tuple decode failed: {e}")))?,
+        );
+        off = footer_start + 4;
+    }
+    Ok(())
+}
+
+/// The spool file name for a (superstep, predicate) segment.
+fn segment_path(dir: &Path, superstep: u32, pred: &str) -> PathBuf {
+    dir.join(format!("seg-{superstep}-{pred}.bin"))
+}
+
+/// Parse a spool file name back into its (superstep, predicate) key.
+fn parse_segment_name(name: &str) -> Option<(u32, String)> {
+    let stem = name.strip_prefix("seg-")?.strip_suffix(".bin")?;
+    let (step, pred) = stem.split_once('-')?;
+    Some((step.parse().ok()?, pred.to_string()))
+}
+
+impl ProvStore {
+    /// Create a store. Never touches the filesystem — the spool
+    /// directory is created on the first spill.
+    pub fn new(config: StoreConfig) -> Self {
         ProvStore {
             config,
             ..Default::default()
         }
     }
 
-    /// Ingest a batch of tuples for (superstep, pred), serializing them.
-    pub fn ingest(&mut self, superstep: u32, pred: &str, tuples: Vec<Tuple>) {
-        if tuples.is_empty() {
-            return;
+    /// Re-open a store over the spool directory a previous incarnation
+    /// spilled into, validating every record of every segment file.
+    ///
+    /// Recovered segments are **sealed**: subsequent [`ProvStore::ingest`]
+    /// calls for their (superstep, predicate) keys are dropped, which
+    /// makes replaying already-persisted layers after a crash idempotent.
+    /// A missing or empty spool directory yields an empty store.
+    pub fn resume_from_spool(config: StoreConfig) -> Result<Self, StoreError> {
+        let mut store = ProvStore::new(config);
+        let Some(dir) = store.config.spool_dir.clone() else {
+            return Ok(store);
+        };
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(store),
+            Err(e) => return Err(StoreError::Io { path: dir, source: e }),
+        };
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::Io {
+                path: dir.clone(),
+                source: e,
+            })?;
+            let name = entry.file_name();
+            let Some(key) = parse_segment_name(&name.to_string_lossy()) else {
+                continue;
+            };
+            let path = entry.path();
+            let mut data = Vec::new();
+            File::open(&path)
+                .and_then(|mut f| f.read_to_end(&mut data))
+                .map_err(|e| StoreError::Io {
+                    path: path.clone(),
+                    source: e,
+                })?;
+            let mut tuples = Vec::new();
+            decode_records(&data, &path, &mut tuples)?;
+            store.tuples += tuples.len();
+            store.disk_bytes += data.len();
+            store.segments.insert(
+                key,
+                Segment {
+                    mem: Vec::new(),
+                    mem_tuples: 0,
+                    disk: Some(DiskPart {
+                        path,
+                        bytes: data.len(),
+                        tuples: tuples.len(),
+                    }),
+                    sealed: true,
+                },
+            );
         }
-        let batch = encode_tuples(&tuples);
+        Ok(store)
+    }
+
+    /// Ingest a batch of tuples for (superstep, pred), serializing them
+    /// into a checksummed record. Re-ingesting into a sealed (recovered)
+    /// segment is an idempotent no-op. Spill IO failures surface as
+    /// typed errors naming the path.
+    pub fn ingest(
+        &mut self,
+        superstep: u32,
+        pred: &str,
+        tuples: Vec<Tuple>,
+    ) -> Result<(), StoreError> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
         let seg = self
             .segments
             .entry((superstep, pred.to_string()))
             .or_default();
+        if seg.sealed {
+            // This layer was fully persisted before the crash we are
+            // recovering from; the replay's re-ingest is dropped.
+            return Ok(());
+        }
+        let batch = encode_tuples(&tuples);
         self.tuples += tuples.len();
         seg.mem_tuples += tuples.len();
-        seg.mem
-            .extend_from_slice(&(batch.len() as u64).to_le_bytes());
-        seg.mem.extend_from_slice(&batch);
-        self.mem_bytes += batch.len() + 8;
-        self.maybe_spill();
+        let before = seg.mem.len();
+        append_record(&mut seg.mem, &batch);
+        self.mem_bytes += seg.mem.len() - before;
+        self.maybe_spill()
     }
 
-    fn maybe_spill(&mut self) {
+    fn maybe_spill(&mut self) -> Result<(), StoreError> {
         let Some(dir) = self.config.spool_dir.clone() else {
-            return;
+            return Ok(());
         };
+        let mut dir_ready = false;
         while self.mem_bytes > self.config.memory_budget {
             // Spill the largest in-memory segment.
             let key = match self
@@ -134,18 +386,38 @@ impl ProvStore {
                 .max_by_key(|(_, s)| s.mem.len())
             {
                 Some((k, _)) => k.clone(),
-                None => return,
+                None => return Ok(()),
             };
+            if !dir_ready {
+                // Lazy spool-dir creation: only a store that actually
+                // spills needs the directory to exist.
+                std::fs::create_dir_all(&dir).map_err(|e| StoreError::Io {
+                    path: dir.clone(),
+                    source: e,
+                })?;
+                dir_ready = true;
+            }
+            if let Some(fault) = &self.config.fault {
+                if fault.take_spill_failure() {
+                    return Err(StoreError::InjectedSpillFailure {
+                        attempt: fault.spill_attempts() - 1,
+                    });
+                }
+            }
             let seg = self.segments.get_mut(&key).expect("segment exists");
-            let path = dir.join(format!("seg-{}-{}.bin", key.0, key.1));
+            let path = segment_path(&dir, key.0, &key.1);
+            let io = |e| StoreError::Io {
+                path: path.clone(),
+                source: e,
+            };
             let mut file = OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(&path)
-                .expect("cannot open spool file");
-            file.write_all(&seg.mem).expect("cannot write spool file");
+                .map_err(io)?;
+            file.write_all(&seg.mem).map_err(io)?;
             let disk = seg.disk.get_or_insert(DiskPart {
-                path,
+                path: path.clone(),
                 bytes: 0,
                 tuples: 0,
             });
@@ -157,11 +429,13 @@ impl ProvStore {
             seg.mem_tuples = 0;
             self.spills += 1;
         }
+        Ok(())
     }
 
     /// All tuples of one provenance layer (= superstep), per predicate,
-    /// decoding from memory and any spilled parts.
-    pub fn layer(&self, superstep: u32) -> Vec<(String, Vec<Tuple>)> {
+    /// decoding from memory and any spilled parts. Corruption or IO
+    /// failure on a spilled part is a typed error naming the file.
+    pub fn layer(&self, superstep: u32) -> Result<Vec<(String, Vec<Tuple>)>, StoreError> {
         let mut out = Vec::new();
         let range = (superstep, String::new())..(superstep + 1, String::new());
         for ((_, pred), seg) in self.segments.range(range) {
@@ -170,13 +444,16 @@ impl ProvStore {
                 let mut data = Vec::with_capacity(disk.bytes);
                 File::open(&disk.path)
                     .and_then(|mut f| f.read_to_end(&mut data))
-                    .expect("cannot read spool file");
-                decode_batches(&data, &mut tuples);
+                    .map_err(|e| StoreError::Io {
+                        path: disk.path.clone(),
+                        source: e,
+                    })?;
+                decode_records(&data, &disk.path, &mut tuples)?;
             }
-            decode_batches(&seg.mem, &mut tuples);
+            decode_records(&seg.mem, Path::new("<memory>"), &mut tuples)?;
             out.push((pred.clone(), tuples));
         }
-        out
+        Ok(out)
     }
 
     /// The largest captured superstep, if any.
@@ -185,18 +462,18 @@ impl ProvStore {
     }
 
     /// Load everything into one database (centralized evaluation).
-    pub fn to_database(&self) -> Database {
+    pub fn to_database(&self) -> Result<Database, StoreError> {
         let mut db = Database::new();
         if let Some(max) = self.max_superstep() {
             for s in 0..=max {
-                for (pred, tuples) in self.layer(s) {
+                for (pred, tuples) in self.layer(s)? {
                     for t in tuples {
                         db.insert(&pred, t);
                     }
                 }
             }
         }
-        db
+        Ok(db)
     }
 
     /// Total stored (encoded) bytes, memory + disk — the quantity in
@@ -219,17 +496,10 @@ impl ProvStore {
     pub fn tuple_count(&self) -> usize {
         self.tuples
     }
-}
 
-/// Decode a concatenation of length-delimited batches.
-fn decode_batches(data: &[u8], out: &mut Vec<Tuple>) {
-    let mut off = 0usize;
-    while off + 8 <= data.len() {
-        let len = u64::from_le_bytes(data[off..off + 8].try_into().unwrap()) as usize;
-        off += 8;
-        let batch = bytes::Bytes::copy_from_slice(&data[off..off + len]);
-        off += len;
-        out.extend(decode_tuples(batch).expect("corrupt stored segment"));
+    /// Number of sealed (recovered, idempotent-on-re-ingest) segments.
+    pub fn sealed_segments(&self) -> usize {
+        self.segments.values().filter(|s| s.sealed).count()
     }
 }
 
@@ -247,7 +517,8 @@ enum WriterMsg {
 /// block on serialization or spill IO.
 pub struct StoreWriter {
     sender: Sender<WriterMsg>,
-    handle: JoinHandle<ProvStore>,
+    done: crossbeam::channel::Receiver<Result<ProvStore, StoreError>>,
+    handle: JoinHandle<()>,
 }
 
 /// Cloneable ingestion handle usable from vertex programs.
@@ -257,40 +528,62 @@ pub struct StoreSender {
 }
 
 impl StoreSender {
-    /// Queue a batch for ingestion.
+    /// Queue a batch for ingestion. If the writer thread has died (for
+    /// example after a spill failure) the batch is dropped; the failure
+    /// itself is reported by [`StoreWriter::finish`], keeping this
+    /// hot-path call infallible.
     pub fn ingest(&self, superstep: u32, pred: &str, tuples: Vec<Tuple>) {
         if tuples.is_empty() {
             return;
         }
-        self.sender
-            .send(WriterMsg::Ingest {
-                superstep,
-                pred: pred.to_string(),
-                tuples,
-            })
-            .expect("store writer thread died");
+        let _ = self.sender.send(WriterMsg::Ingest {
+            superstep,
+            pred: pred.to_string(),
+            tuples,
+        });
     }
 }
 
 impl StoreWriter {
-    /// Spawn the writer thread.
+    /// Spawn the writer thread over a fresh store.
     pub fn spawn(config: StoreConfig) -> Self {
+        Self::spawn_with(move || Ok(ProvStore::new(config)))
+    }
+
+    /// Spawn the writer thread over a store recovered from its spool
+    /// directory (crash recovery; see [`ProvStore::resume_from_spool`]).
+    pub fn spawn_resuming(config: StoreConfig) -> Self {
+        Self::spawn_with(move || ProvStore::resume_from_spool(config))
+    }
+
+    fn spawn_with<F>(make: F) -> Self
+    where
+        F: FnOnce() -> Result<ProvStore, StoreError> + Send + 'static,
+    {
         let (sender, receiver) = unbounded();
+        let (done_tx, done_rx) = unbounded();
         let handle = std::thread::spawn(move || {
-            let mut store = ProvStore::new(config);
-            while let Ok(msg) = receiver.recv() {
-                match msg {
-                    WriterMsg::Ingest {
-                        superstep,
-                        pred,
-                        tuples,
-                    } => store.ingest(superstep, &pred, tuples),
-                    WriterMsg::Finish => break,
+            let result = (|| {
+                let mut store = make()?;
+                while let Ok(msg) = receiver.recv() {
+                    match msg {
+                        WriterMsg::Ingest {
+                            superstep,
+                            pred,
+                            tuples,
+                        } => store.ingest(superstep, &pred, tuples)?,
+                        WriterMsg::Finish => break,
+                    }
                 }
-            }
-            store
+                Ok(store)
+            })();
+            let _ = done_tx.send(result);
         });
-        StoreWriter { sender, handle }
+        StoreWriter {
+            sender,
+            done: done_rx,
+            handle,
+        }
     }
 
     /// A cloneable ingestion handle.
@@ -300,12 +593,30 @@ impl StoreWriter {
         }
     }
 
-    /// Drain the queue and return the finished store.
-    pub fn finish(self) -> ProvStore {
-        self.sender
-            .send(WriterMsg::Finish)
-            .expect("store writer thread died");
-        self.handle.join().expect("store writer thread panicked")
+    /// Drain the queue and return the finished store, waiting at most
+    /// [`DEFAULT_FINISH_TIMEOUT`]. The first ingestion error (for
+    /// example a spill IO failure) is returned here.
+    pub fn finish(self) -> Result<ProvStore, StoreError> {
+        self.finish_timeout(DEFAULT_FINISH_TIMEOUT)
+    }
+
+    /// Drain the queue with an explicit deadline. On timeout the writer
+    /// thread is abandoned (it holds only its channel endpoints) and a
+    /// typed error is returned instead of blocking forever.
+    pub fn finish_timeout(self, timeout: Duration) -> Result<ProvStore, StoreError> {
+        // The writer may already be gone (errored out); the Finish send
+        // then fails, but the result channel still holds its report.
+        let _ = self.sender.send(WriterMsg::Finish);
+        match self.done.recv_timeout(timeout) {
+            Ok(result) => {
+                let _ = self.handle.join();
+                result
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                Err(StoreError::FinishTimeout { timeout })
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(StoreError::WriterDead),
+        }
     }
 }
 
@@ -318,43 +629,52 @@ mod tests {
         vec![Value::Id(v), Value::Int(i)]
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ariadne-{tag}-{}", std::process::id()))
+    }
+
     #[test]
     fn ingest_and_layer_roundtrip() {
         let mut store = ProvStore::new(StoreConfig::in_memory());
-        store.ingest(0, "superstep", vec![tuple(1, 0), tuple(2, 0)]);
-        store.ingest(1, "superstep", vec![tuple(1, 1)]);
+        store
+            .ingest(0, "superstep", vec![tuple(1, 0), tuple(2, 0)])
+            .unwrap();
+        store.ingest(1, "superstep", vec![tuple(1, 1)]).unwrap();
         assert_eq!(store.tuple_count(), 3);
         assert_eq!(store.max_superstep(), Some(1));
-        let l0 = store.layer(0);
+        let l0 = store.layer(0).unwrap();
         assert_eq!(l0.len(), 1);
         assert_eq!(l0[0].1.len(), 2);
-        assert_eq!(store.layer(1)[0].1, vec![tuple(1, 1)]);
-        assert!(store.layer(9).is_empty());
+        assert_eq!(store.layer(1).unwrap()[0].1, vec![tuple(1, 1)]);
+        assert!(store.layer(9).unwrap().is_empty());
     }
 
     #[test]
     fn multiple_batches_per_segment() {
         let mut store = ProvStore::new(StoreConfig::in_memory());
         for k in 0..5 {
-            store.ingest(0, "value", vec![tuple(k, 0)]);
+            store.ingest(0, "value", vec![tuple(k, 0)]).unwrap();
         }
-        let layer = store.layer(0);
+        let layer = store.layer(0).unwrap();
         assert_eq!(layer[0].1.len(), 5);
         assert_eq!(layer[0].1[4], tuple(4, 0));
     }
 
     #[test]
     fn spilling_keeps_data_readable() {
-        let dir = std::env::temp_dir().join(format!("ariadne-spill-{}", std::process::id()));
+        let dir = temp_dir("spill");
+        std::fs::remove_dir_all(&dir).ok();
         let mut store = ProvStore::new(StoreConfig::spilling(64, dir.clone()));
         for s in 0..4u32 {
-            store.ingest(s, "value", (0..20).map(|v| tuple(v, s as i64)).collect());
+            store
+                .ingest(s, "value", (0..20).map(|v| tuple(v, s as i64)).collect())
+                .unwrap();
         }
         assert!(store.spills() > 0, "nothing spilled");
         assert!(store.disk_bytes() > 0);
         // All layers still fully readable.
         for s in 0..4u32 {
-            let layer = store.layer(s);
+            let layer = store.layer(s).unwrap();
             assert_eq!(layer[0].1.len(), 20, "layer {s}");
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -362,28 +682,138 @@ mod tests {
 
     #[test]
     fn spilled_segment_accepts_more_data() {
-        let dir = std::env::temp_dir().join(format!("ariadne-spill2-{}", std::process::id()));
+        let dir = temp_dir("spill2");
+        std::fs::remove_dir_all(&dir).ok();
         let mut store = ProvStore::new(StoreConfig::spilling(32, dir.clone()));
-        store.ingest(0, "value", (0..20).map(|v| tuple(v, 0)).collect());
+        store
+            .ingest(0, "value", (0..20).map(|v| tuple(v, 0)).collect())
+            .unwrap();
         assert!(store.spills() > 0);
         // Same segment gets more tuples after spilling.
-        store.ingest(0, "value", vec![tuple(99, 0)]);
-        let layer = store.layer(0);
+        store.ingest(0, "value", vec![tuple(99, 0)]).unwrap();
+        let layer = store.layer(0).unwrap();
         assert_eq!(layer[0].1.len(), 21);
         assert!(layer[0].1.contains(&tuple(99, 0)));
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
+    fn spool_dir_created_lazily() {
+        let dir = temp_dir("lazy-spool");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ProvStore::new(StoreConfig::spilling(1 << 20, dir.clone()));
+        store.ingest(0, "value", vec![tuple(1, 1)]).unwrap();
+        assert!(!dir.exists(), "no spill yet, so no directory yet");
+        let mut store = ProvStore::new(StoreConfig::spilling(8, dir.clone()));
+        store
+            .ingest(0, "value", (0..20).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        assert!(dir.exists(), "first spill creates the directory");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_spill_file_is_typed_error() {
+        let dir = temp_dir("corrupt-spill");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ProvStore::new(StoreConfig::spilling(8, dir.clone()));
+        store
+            .ingest(0, "value", (0..20).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        assert!(store.spills() > 0);
+        // Flip a byte inside the spilled payload.
+        let path = segment_path(&dir, 0, "value");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match store.layer(0) {
+            Err(StoreError::Corrupt { path: p, detail }) => {
+                assert_eq!(p, path);
+                assert!(
+                    detail.contains("CRC") || detail.contains("magic") || detail.contains("footer"),
+                    "unexpected detail: {detail}"
+                );
+            }
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+        // Truncation is also typed, not a panic.
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(matches!(store.layer(0), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_from_spool_seals_and_dedups() {
+        let dir = temp_dir("resume-spool");
+        std::fs::remove_dir_all(&dir).ok();
+        // First incarnation spills two layers fully, then "crashes".
+        let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store
+            .ingest(1, "value", (0..10).map(|v| tuple(v, 1)).collect())
+            .unwrap();
+        let persisted = store.tuple_count();
+        drop(store);
+
+        // Second incarnation recovers the spool and replays layer 0 and
+        // 1 (idempotent) plus a genuinely new layer 2.
+        let mut store = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+        assert_eq!(store.tuple_count(), persisted);
+        assert_eq!(store.sealed_segments(), 2);
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store
+            .ingest(1, "value", (0..10).map(|v| tuple(v, 1)).collect())
+            .unwrap();
+        store
+            .ingest(2, "value", (0..10).map(|v| tuple(v, 2)).collect())
+            .unwrap();
+        assert_eq!(store.tuple_count(), persisted + 10, "replay deduplicated");
+        for s in 0..3u32 {
+            assert_eq!(store.layer(s).unwrap()[0].1.len(), 10, "layer {s}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_from_missing_spool_is_empty_store() {
+        let dir = temp_dir("resume-missing");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir)).unwrap();
+        assert_eq!(store.tuple_count(), 0);
+    }
+
+    #[test]
+    fn injected_spill_failure_is_typed() {
+        let dir = temp_dir("spill-fault");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = FaultPlan::new();
+        plan.fail_spill_write(0);
+        let mut store =
+            ProvStore::new(StoreConfig::spilling(8, dir.clone()).with_fault(Arc::clone(&plan)));
+        let err = store
+            .ingest(0, "value", (0..20).map(|v| tuple(v, 0)).collect())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InjectedSpillFailure { attempt: 0 }));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn to_database_loads_everything() {
         let mut store = ProvStore::new(StoreConfig::in_memory());
-        store.ingest(0, "superstep", vec![tuple(1, 0)]);
-        store.ingest(
-            2,
-            "value",
-            vec![vec![Value::Id(1), Value::Float(0.5), Value::Int(2)]],
-        );
-        let db = store.to_database();
+        store.ingest(0, "superstep", vec![tuple(1, 0)]).unwrap();
+        store
+            .ingest(
+                2,
+                "value",
+                vec![vec![Value::Id(1), Value::Float(0.5), Value::Int(2)]],
+            )
+            .unwrap();
+        let db = store.to_database().unwrap();
         assert_eq!(db.len("superstep"), 1);
         assert_eq!(db.len("value"), 1);
     }
@@ -399,25 +829,47 @@ mod tests {
         .join()
         .unwrap();
         sender.ingest(1, "superstep", vec![tuple(7, 1)]);
-        let store = writer.finish();
+        let store = writer.finish().unwrap();
         assert_eq!(store.tuple_count(), 2);
+    }
+
+    #[test]
+    fn writer_surfaces_spill_failure_at_finish() {
+        let dir = temp_dir("writer-fault");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = FaultPlan::new();
+        plan.fail_spill_write(0);
+        let writer =
+            StoreWriter::spawn(StoreConfig::spilling(8, dir.clone()).with_fault(Arc::clone(&plan)));
+        let sender = writer.sender();
+        sender.ingest(0, "value", (0..20).map(|v| tuple(v, 0)).collect());
+        // Further sends after the writer died are silently dropped, not
+        // a panic on the hot path.
+        sender.ingest(1, "value", vec![tuple(1, 1)]);
+        match writer.finish() {
+            Err(StoreError::InjectedSpillFailure { attempt: 0 }) => {}
+            other => panic!("expected injected spill failure, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn byte_accounting_reports_encoded_size() {
         let mut store = ProvStore::new(StoreConfig::in_memory());
         let before = store.byte_size();
-        store.ingest(
-            0,
-            "value",
-            vec![vec![Value::Id(1), Value::str("payload"), Value::Int(0)]],
-        );
+        store
+            .ingest(
+                0,
+                "value",
+                vec![vec![Value::Id(1), Value::str("payload"), Value::Int(0)]],
+            )
+            .unwrap();
         let after = store.byte_size();
         assert!(after > before);
         // Encoded size is compact: id (9) + str (5 + 7) + int (9) +
         // framing, well under 100 bytes.
         assert!(after - before < 100, "{}", after - before);
-        store.ingest(0, "value", vec![]); // empty batch is a no-op
+        store.ingest(0, "value", vec![]).unwrap(); // empty batch is a no-op
         assert_eq!(store.tuple_count(), 1);
     }
 }

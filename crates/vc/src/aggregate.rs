@@ -78,7 +78,7 @@ impl AggOp {
 }
 
 /// A store of named aggregators with their reduction ops.
-#[derive(Default, Clone, Debug)]
+#[derive(Default, Clone, Debug, PartialEq)]
 pub struct Aggregates {
     ops: HashMap<String, AggOp>,
     current: HashMap<String, AggValue>,
@@ -137,6 +137,37 @@ impl Aggregates {
     /// Rotate at the barrier: current becomes previous, current clears.
     pub fn rotate(&mut self) {
         self.previous = std::mem::take(&mut self.current);
+    }
+
+    /// Decompose into sorted `(ops, current, previous)` vectors — the
+    /// deterministic form the checkpoint codec serializes.
+    #[allow(clippy::type_complexity)]
+    pub fn to_parts(
+        &self,
+    ) -> (
+        Vec<(String, AggOp)>,
+        Vec<(String, AggValue)>,
+        Vec<(String, AggValue)>,
+    ) {
+        fn sorted<V: Copy>(m: &HashMap<String, V>) -> Vec<(String, V)> {
+            let mut v: Vec<(String, V)> = m.iter().map(|(k, &x)| (k.clone(), x)).collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        }
+        (sorted(&self.ops), sorted(&self.current), sorted(&self.previous))
+    }
+
+    /// Rebuild a store from [`Aggregates::to_parts`] output.
+    pub fn from_parts(
+        ops: Vec<(String, AggOp)>,
+        current: Vec<(String, AggValue)>,
+        previous: Vec<(String, AggValue)>,
+    ) -> Aggregates {
+        Aggregates {
+            ops: ops.into_iter().collect(),
+            current: current.into_iter().collect(),
+            previous: previous.into_iter().collect(),
+        }
     }
 
     /// A worker-local clone with the same registrations and empty buffers.

@@ -6,11 +6,17 @@
 //! order never depends on thread scheduling. Tests rely on this.
 
 use crate::aggregate::{AggValue, Aggregates};
+use crate::checkpoint::{
+    checkpoint_path, load_latest_checkpoint, CheckpointConfig, EngineCheckpoint, EngineError,
+    Snapshot,
+};
 use crate::context::Context;
+use crate::fault::FaultPlan;
 use crate::message::Envelope;
 use crate::metrics::{RunMetrics, SuperstepMetrics};
 use crate::program::VertexProgram;
 use ariadne_graph::{Csr, VertexId};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Engine-level run configuration.
@@ -23,6 +29,12 @@ pub struct EngineConfig {
     /// Whether to honour the program's message combiner. Ariadne turns
     /// this off when per-source message provenance must be preserved.
     pub use_combiner: bool,
+    /// Barrier snapshotting; honoured by [`Engine::run_checkpointed`]
+    /// and [`Engine::resume`] ([`Engine::run`] never touches disk).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Scripted fault injection; honoured by the fallible entry points
+    /// only. `None` costs one branch per superstep.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for EngineConfig {
@@ -31,6 +43,8 @@ impl Default for EngineConfig {
             threads: 1,
             max_supersteps: 10_000,
             use_combiner: true,
+            checkpoint: None,
+            fault: None,
         }
     }
 }
@@ -88,22 +102,144 @@ impl Engine {
     }
 
     /// Run `program` over `graph` to completion.
+    ///
+    /// This is the infallible hot path: it never touches disk and never
+    /// consults the fault plan, regardless of configuration. Use
+    /// [`Engine::run_checkpointed`] for fault-tolerant execution.
     pub fn run<P: VertexProgram>(&self, program: &P, graph: &Csr) -> RunResult<P::V> {
+        let state = fresh_state(program, graph);
+        match self.drive(program, graph, state, &mut NoSink, None) {
+            Ok(result) => result,
+            Err(e) => unreachable!("no sink and no faults: drive cannot fail ({e})"),
+        }
+    }
+
+    /// Run `program` with barrier snapshotting per the engine's
+    /// [`CheckpointConfig`], honouring any scripted [`FaultPlan`].
+    ///
+    /// A snapshot of the initial state (superstep 0) is written before
+    /// the first superstep, then one every `every_n_supersteps`
+    /// barriers, so [`Engine::resume`] always has a recovery point no
+    /// matter where a crash lands. Without a checkpoint configuration
+    /// this degrades to a fallible [`Engine::run`] that still honours
+    /// kill faults.
+    pub fn run_checkpointed<P>(
+        &self,
+        program: &P,
+        graph: &Csr,
+    ) -> Result<RunResult<P::V>, EngineError>
+    where
+        P: VertexProgram,
+        P::V: Snapshot,
+        P::M: Snapshot,
+    {
+        let state = fresh_state(program, graph);
+        self.drive_checkpointed(program, graph, state, true)
+    }
+
+    /// Resume from the newest valid snapshot under the configured
+    /// checkpoint directory and run to completion (continuing to write
+    /// snapshots).
+    ///
+    /// Because the engine is deterministic, the returned [`RunResult`]
+    /// is bit-identical (values, aggregates, superstep count and
+    /// per-superstep counters) to what the uninterrupted run would have
+    /// produced. Corrupt snapshot files are skipped in favour of older
+    /// valid ones.
+    pub fn resume<P>(&self, program: &P, graph: &Csr) -> Result<RunResult<P::V>, EngineError>
+    where
+        P: VertexProgram,
+        P::V: Snapshot,
+        P::M: Snapshot,
+    {
+        let cfg = self
+            .config
+            .checkpoint
+            .as_ref()
+            .ok_or(EngineError::NotConfigured)?;
+        let ckpt = load_latest_checkpoint::<P::V, P::M>(&cfg.dir)?;
+        self.resume_from(program, graph, ckpt)
+    }
+
+    /// Resume from an explicit, already-validated checkpoint.
+    pub fn resume_from<P>(
+        &self,
+        program: &P,
+        graph: &Csr,
+        checkpoint: EngineCheckpoint<P::V, P::M>,
+    ) -> Result<RunResult<P::V>, EngineError>
+    where
+        P: VertexProgram,
+        P::V: Snapshot,
+        P::M: Snapshot,
+    {
+        if checkpoint.values.len() != graph.num_vertices() {
+            return Err(EngineError::GraphMismatch {
+                snapshot_vertices: checkpoint.values.len(),
+                graph_vertices: graph.num_vertices(),
+            });
+        }
+        let state = LoopState {
+            superstep: checkpoint.superstep,
+            values: checkpoint.values,
+            inbox: checkpoint.inbox,
+            aggregates: checkpoint.aggregates,
+            metrics: checkpoint.metrics,
+        };
+        self.drive_checkpointed(program, graph, state, false)
+    }
+
+    /// Shared fallible driver: installs the snapshot sink (when
+    /// configured) and optionally writes the starting-state snapshot.
+    fn drive_checkpointed<P>(
+        &self,
+        program: &P,
+        graph: &Csr,
+        state: LoopState<P>,
+        write_initial: bool,
+    ) -> Result<RunResult<P::V>, EngineError>
+    where
+        P: VertexProgram,
+        P::V: Snapshot,
+        P::M: Snapshot,
+    {
+        let fault = self.config.fault.as_deref();
+        match self.config.checkpoint.as_ref() {
+            Some(cfg) => {
+                if write_initial {
+                    write_state_snapshot(cfg, fault, &state)?;
+                }
+                let mut sink = DirSink { cfg, fault };
+                self.drive(program, graph, state, &mut sink, fault)
+            }
+            None => self.drive(program, graph, state, &mut NoSink, fault),
+        }
+    }
+
+    /// The BSP superstep loop, generic over what happens at barriers.
+    ///
+    /// `sink.on_barrier` runs at every barrier the run *continues*
+    /// past (a finished run returns instead of snapshotting); `fault`
+    /// can kill the run at the top of a superstep.
+    fn drive<P: VertexProgram>(
+        &self,
+        program: &P,
+        graph: &Csr,
+        mut st: LoopState<P>,
+        sink: &mut dyn BarrierSink<P>,
+        fault: Option<&FaultPlan>,
+    ) -> Result<RunResult<P::V>, EngineError> {
         let start = Instant::now();
+        let base_elapsed = st.metrics.elapsed;
         let n = graph.num_vertices();
-        let mut values: Vec<P::V> = (0..n)
-            .map(|i| program.init(VertexId(i as u64), graph))
-            .collect();
-        let mut aggregates = Aggregates::new(program.aggregators());
-        let mut metrics = RunMetrics::default();
 
         if n == 0 {
-            metrics.elapsed = start.elapsed();
-            return RunResult {
-                values,
-                metrics,
-                aggregates,
-            };
+            st.metrics.elapsed = base_elapsed + start.elapsed();
+            return Ok(RunResult {
+                values: st.values,
+                metrics: st.metrics,
+                aggregates: st.aggregates,
+            });
         }
 
         let combiner = if self.config.use_combiner {
@@ -120,12 +256,18 @@ impl Engine {
         let max_supersteps = self.config.max_supersteps.min(program.max_supersteps());
         let always_active = program.always_active();
 
-        // Messages delivered to the *current* superstep, per vertex.
-        let mut inbox: Vec<Vec<Envelope<P::M>>> = (0..n).map(|_| Vec::new()).collect();
-
-        let mut superstep: u32 = 0;
         loop {
             let step_start = Instant::now();
+            let superstep = st.superstep;
+
+            // Scripted crash: the "worker" dies before computing this
+            // superstep, exactly as if the process was killed between
+            // barriers. One-shot, so a resume sails past this point.
+            if let Some(f) = fault {
+                if f.take_kill(superstep) {
+                    return Err(EngineError::InjectedCrash { superstep });
+                }
+            }
 
             // Phase 1: compute. Workers own contiguous chunks of values
             // and inboxes; each produces per-destination-chunk outboxes.
@@ -136,10 +278,10 @@ impl Engine {
             let mut active_total = 0usize;
 
             {
-                let value_chunks: Vec<&mut [P::V]> = values.chunks_mut(chunk_size).collect();
+                let value_chunks: Vec<&mut [P::V]> = st.values.chunks_mut(chunk_size).collect();
                 let inbox_chunks: Vec<&mut [Vec<Envelope<P::M>>]> =
-                    inbox.chunks_mut(chunk_size).collect();
-                let agg_ref = &aggregates;
+                    st.inbox.chunks_mut(chunk_size).collect();
+                let agg_ref = &st.aggregates;
                 let results: Vec<WorkerOutput<P::M>> = if threads == 1 {
                     value_chunks
                         .into_iter()
@@ -195,7 +337,7 @@ impl Engine {
 
             // Barrier: merge aggregates.
             for wa in &worker_aggs {
-                aggregates.merge_current(wa);
+                st.aggregates.merge_current(wa);
             }
 
             // Phase 2: deliver messages into next-superstep inboxes.
@@ -230,7 +372,7 @@ impl Engine {
             };
             let (messages_sent, message_bytes) = {
                 let inbox_chunks: Vec<&mut [Vec<Envelope<P::M>>]> =
-                    inbox.chunks_mut(chunk_size).collect();
+                    st.inbox.chunks_mut(chunk_size).collect();
                 let counts: Vec<(usize, usize)> = if threads == 1 {
                     inbox_chunks
                         .into_iter()
@@ -253,7 +395,7 @@ impl Engine {
                     .fold((0, 0), |(s, b), (cs, cb)| (s + cs, b + cb))
             };
 
-            metrics.supersteps.push(SuperstepMetrics {
+            st.metrics.supersteps.push(SuperstepMetrics {
                 superstep,
                 active_vertices: active_total,
                 messages_sent,
@@ -262,22 +404,144 @@ impl Engine {
             });
 
             // Termination checks at the barrier.
-            let halted = program.should_halt(superstep, &aggregates);
-            aggregates.rotate();
+            let halted = program.should_halt(superstep, &st.aggregates);
+            st.aggregates.rotate();
             let no_traffic = messages_sent == 0 && !always_active;
-            superstep += 1;
-            if halted || no_traffic || superstep >= max_supersteps {
+            st.superstep = superstep + 1;
+            if halted || no_traffic || st.superstep >= max_supersteps {
                 break;
             }
+
+            // Barrier snapshot hook for runs that continue. The sink
+            // decides whether this barrier is on its interval; the
+            // recorded elapsed time covers everything up to here so a
+            // resumed run reports a sensible total.
+            st.metrics.elapsed = base_elapsed + start.elapsed();
+            sink.on_barrier(&st)?;
         }
 
-        metrics.elapsed = start.elapsed();
-        RunResult {
-            values,
-            metrics,
-            aggregates,
+        st.metrics.elapsed = base_elapsed + start.elapsed();
+        Ok(RunResult {
+            values: st.values,
+            metrics: st.metrics,
+            aggregates: st.aggregates,
+        })
+    }
+}
+
+/// Mutable engine state that is live across a barrier — exactly what a
+/// checkpoint captures.
+struct LoopState<P: VertexProgram> {
+    /// The next superstep to execute.
+    superstep: u32,
+    /// Vertex values.
+    values: Vec<P::V>,
+    /// Messages delivered for superstep `superstep`, per vertex.
+    inbox: Vec<Vec<Envelope<P::M>>>,
+    /// Aggregator state (rotated: `previous` holds the last barrier's
+    /// reductions).
+    aggregates: Aggregates,
+    /// Metrics recorded so far; `elapsed` is the accumulated wall time.
+    metrics: RunMetrics,
+}
+
+/// Initial state for a fresh run of `program` over `graph`.
+fn fresh_state<P: VertexProgram>(program: &P, graph: &Csr) -> LoopState<P> {
+    let n = graph.num_vertices();
+    LoopState {
+        superstep: 0,
+        values: (0..n)
+            .map(|i| program.init(VertexId(i as u64), graph))
+            .collect(),
+        inbox: (0..n).map(|_| Vec::new()).collect(),
+        aggregates: Aggregates::new(program.aggregators()),
+        metrics: RunMetrics::default(),
+    }
+}
+
+/// What happens at a barrier the run continues past.
+trait BarrierSink<P: VertexProgram> {
+    fn on_barrier(&mut self, state: &LoopState<P>) -> Result<(), EngineError>;
+}
+
+/// No-op sink for plain `run`.
+struct NoSink;
+
+impl<P: VertexProgram> BarrierSink<P> for NoSink {
+    fn on_barrier(&mut self, _state: &LoopState<P>) -> Result<(), EngineError> {
+        Ok(())
+    }
+}
+
+/// Snapshot-writing sink honouring the checkpoint interval and any
+/// scripted checkpoint corruption.
+struct DirSink<'a> {
+    cfg: &'a CheckpointConfig,
+    fault: Option<&'a FaultPlan>,
+}
+
+impl<P> BarrierSink<P> for DirSink<'_>
+where
+    P: VertexProgram,
+    P::V: Snapshot,
+    P::M: Snapshot,
+{
+    fn on_barrier(&mut self, state: &LoopState<P>) -> Result<(), EngineError> {
+        if state.superstep % self.cfg.interval() == 0 {
+            write_state_snapshot(self.cfg, self.fault, state)?;
+        }
+        Ok(())
+    }
+}
+
+/// Serialize `state` into a checkpoint file (field-by-field, matching
+/// [`EngineCheckpoint`]'s layout, without cloning the state), then apply
+/// any scripted corruption to the file that just landed.
+fn write_state_snapshot<P>(
+    cfg: &CheckpointConfig,
+    fault: Option<&FaultPlan>,
+    state: &LoopState<P>,
+) -> Result<(), EngineError>
+where
+    P: VertexProgram,
+    P::V: Snapshot,
+    P::M: Snapshot,
+{
+    let mut payload = Vec::new();
+    state.superstep.write_snap(&mut payload);
+    state.values.write_snap(&mut payload);
+    state.inbox.write_snap(&mut payload);
+    state.aggregates.write_snap(&mut payload);
+    state.metrics.write_snap(&mut payload);
+
+    std::fs::create_dir_all(&cfg.dir).map_err(|e| EngineError::Io {
+        path: cfg.dir.clone(),
+        source: e,
+    })?;
+    let path = checkpoint_path(&cfg.dir, state.superstep);
+    crate::checkpoint::write_versioned(&path, &payload)?;
+
+    if let Some(f) = fault {
+        if f.take_corruption(state.superstep) {
+            corrupt_snapshot_file(&path)?;
         }
     }
+    Ok(())
+}
+
+/// Flip a payload byte so the file's CRC no longer matches (the
+/// `FaultPlan::corrupt_checkpoint` effect).
+fn corrupt_snapshot_file(path: &std::path::Path) -> Result<(), EngineError> {
+    let io = |e| EngineError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    };
+    let mut bytes = std::fs::read(path).map_err(io)?;
+    // Offset 16 is the first payload byte (after magic+version+len).
+    if let Some(b) = bytes.get_mut(16) {
+        *b ^= 0xA5;
+    }
+    std::fs::write(path, &bytes).map_err(io)
 }
 
 struct WorkerOutput<M> {
@@ -653,6 +917,54 @@ mod tests {
         for v in &r.values {
             assert_eq!(v.as_slice(), &[None, Some(3.0), Some(3.0)]);
         }
+    }
+
+    #[test]
+    fn crash_and_resume_is_bit_identical() {
+        let g = cycle(8);
+        let dir = std::env::temp_dir().join(format!("ariadne-engine-resume-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let baseline = Engine::new(EngineConfig::sequential()).run(&MinFlood, &g);
+
+        let plan = FaultPlan::new();
+        plan.kill_at_superstep(3);
+        let engine = Engine::new(EngineConfig {
+            checkpoint: Some(CheckpointConfig::new(&dir, 2)),
+            fault: Some(Arc::clone(&plan)),
+            ..EngineConfig::sequential()
+        });
+        match engine.run_checkpointed(&MinFlood, &g) {
+            Err(EngineError::InjectedCrash { superstep: 3 }) => {}
+            other => panic!("expected injected crash at superstep 3, got {other:?}"),
+        }
+
+        let resumed = engine.resume(&MinFlood, &g).expect("resume");
+        assert_eq!(resumed.values, baseline.values);
+        assert_eq!(resumed.supersteps(), baseline.supersteps());
+        assert_eq!(resumed.aggregates, baseline.aggregates);
+        for (a, b) in resumed
+            .metrics
+            .supersteps
+            .iter()
+            .zip(&baseline.metrics.supersteps)
+        {
+            assert_eq!(
+                (a.superstep, a.active_vertices, a.messages_sent, a.message_bytes),
+                (b.superstep, b.active_vertices, b.messages_sent, b.message_bytes),
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_config_is_typed_error() {
+        let g = path(2);
+        let engine = Engine::new(EngineConfig::sequential());
+        assert!(matches!(
+            engine.resume(&MinFlood, &g),
+            Err(EngineError::NotConfigured)
+        ));
     }
 
     #[test]

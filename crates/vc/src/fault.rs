@@ -1,0 +1,154 @@
+//! Deterministic fault injection for crash-recovery testing.
+//!
+//! A [`FaultPlan`] scripts failures at exact points in an otherwise
+//! deterministic execution: kill the run at the top of superstep `s`,
+//! fail the `n`-th provenance spill write, corrupt the checkpoint file
+//! written at barrier `c`. Components consult the plan through
+//! `Option<Arc<FaultPlan>>` hooks — a `None` plan costs one branch and
+//! touches no locks, so production paths pay nothing.
+//!
+//! Every fault is **one-shot**: it is consumed the first time it fires.
+//! That matters for recovery tests — when a run is killed at superstep
+//! `s` and resumed from an earlier snapshot, the loop passes superstep
+//! `s` again, and a re-triggering fault would livelock the test. The
+//! counters survive in the plan itself (it is shared via `Arc`), so a
+//! resume using the same plan replays cleanly past the crash point.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A scripted set of one-shot failures, shareable across the engine and
+/// the provenance store via `Arc`.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Supersteps at which the engine dies before computing.
+    kills: Mutex<BTreeSet<u32>>,
+    /// Zero-based ordinals of spill writes that fail.
+    spill_failures: Mutex<BTreeSet<u64>>,
+    /// Running count of spill-write attempts observed.
+    spill_attempts: AtomicU64,
+    /// Barrier supersteps whose checkpoint file gets corrupted after
+    /// being written.
+    corruptions: Mutex<BTreeSet<u32>>,
+}
+
+impl FaultPlan {
+    /// An empty plan behind an `Arc`, ready to be scripted and shared.
+    pub fn new() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::default())
+    }
+
+    // -- scripting ----------------------------------------------------
+
+    /// Kill the run at the top of superstep `s` (before any compute).
+    /// The engine surfaces this as `EngineError::InjectedCrash`.
+    pub fn kill_at_superstep(&self, s: u32) -> &Self {
+        self.kills.lock().unwrap().insert(s);
+        self
+    }
+
+    /// Make the `n`-th (zero-based) provenance spill write fail with an
+    /// IO error.
+    pub fn fail_spill_write(&self, n: u64) -> &Self {
+        self.spill_failures.lock().unwrap().insert(n);
+        self
+    }
+
+    /// Corrupt the checkpoint file written at barrier superstep `s`
+    /// immediately after it lands on disk (flips payload bytes so the
+    /// CRC no longer matches).
+    pub fn corrupt_checkpoint(&self, s: u32) -> &Self {
+        self.corruptions.lock().unwrap().insert(s);
+        self
+    }
+
+    // -- hooks (consume on fire) --------------------------------------
+
+    /// Engine hook: should the run die at superstep `s`? Consumes the
+    /// fault when it fires.
+    pub fn take_kill(&self, s: u32) -> bool {
+        self.kills.lock().unwrap().remove(&s)
+    }
+
+    /// Store hook: record one spill-write attempt; `true` means this
+    /// attempt must fail. Consumes the fault when it fires.
+    pub fn take_spill_failure(&self) -> bool {
+        let n = self.spill_attempts.fetch_add(1, Ordering::SeqCst);
+        self.spill_failures.lock().unwrap().remove(&n)
+    }
+
+    /// Checkpoint hook: should the snapshot at barrier `s` be corrupted?
+    /// Consumes the fault when it fires.
+    pub fn take_corruption(&self, s: u32) -> bool {
+        self.corruptions.lock().unwrap().remove(&s)
+    }
+
+    // -- introspection ------------------------------------------------
+
+    /// Faults scripted but not yet fired (useful for asserting a test
+    /// actually exercised its plan).
+    pub fn pending(&self) -> usize {
+        self.kills.lock().unwrap().len()
+            + self.spill_failures.lock().unwrap().len()
+            + self.corruptions.lock().unwrap().len()
+    }
+
+    /// Spill-write attempts observed so far.
+    pub fn spill_attempts(&self) -> u64 {
+        self.spill_attempts.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_is_one_shot() {
+        let plan = FaultPlan::new();
+        plan.kill_at_superstep(3);
+        assert!(!plan.take_kill(2));
+        assert!(plan.take_kill(3));
+        assert!(!plan.take_kill(3), "fault must be consumed");
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn spill_failure_targets_exact_ordinal() {
+        let plan = FaultPlan::new();
+        plan.fail_spill_write(1);
+        assert!(!plan.take_spill_failure()); // attempt 0
+        assert!(plan.take_spill_failure()); // attempt 1 fails
+        assert!(!plan.take_spill_failure()); // attempt 2
+        assert_eq!(plan.spill_attempts(), 3);
+    }
+
+    #[test]
+    fn corruption_consumed_once() {
+        let plan = FaultPlan::new();
+        plan.corrupt_checkpoint(4).corrupt_checkpoint(8);
+        assert_eq!(plan.pending(), 2);
+        assert!(plan.take_corruption(4));
+        assert!(!plan.take_corruption(4));
+        assert_eq!(plan.pending(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let plan = FaultPlan::new();
+        plan.fail_spill_write(0).fail_spill_write(5);
+        let fired: usize = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let p = Arc::clone(&plan);
+                    s.spawn(move || usize::from(p.take_spill_failure()))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(fired, 1, "exactly attempt 0 fails among 4 attempts");
+    }
+}

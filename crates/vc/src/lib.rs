@@ -59,15 +59,21 @@
 //! ```
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod context;
 pub mod engine;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod program;
 
 pub use aggregate::{AggOp, AggValue, Aggregates};
+pub use checkpoint::{
+    CheckpointConfig, EngineCheckpoint, EngineError, SnapError, Snapshot, SNAPSHOT_VERSION,
+};
 pub use context::Context;
 pub use engine::{Engine, EngineConfig, RunResult};
+pub use fault::FaultPlan;
 pub use message::{Combiner, Envelope, MaxCombiner, MinCombiner, SumCombiner};
 pub use metrics::{RunMetrics, SuperstepMetrics};
 pub use program::VertexProgram;

@@ -57,7 +57,8 @@ fn main() {
     let target = full
         .store
         .layer(sigma)
-        .iter()
+        .unwrap()
+        .into_iter()
         .find(|(p, _)| p == "superstep")
         .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
         .map(VertexId)

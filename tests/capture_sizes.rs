@@ -143,7 +143,7 @@ fn pruned_capture_drops_unchanged_values() {
         raw.store.tuple_count()
     );
     // Every vertex still has its superstep-0 seed row.
-    let layer0 = pruned.store.layer(0);
+    let layer0 = pruned.store.layer(0).unwrap();
     let seeds: usize = layer0
         .iter()
         .filter(|(p, _)| p == "prov_changed")
@@ -185,7 +185,7 @@ fn unfolded_graph_layers_match_supersteps() {
     let run = Ariadne::default()
         .capture(&Wcc, &g, &CaptureSpec::full())
         .unwrap();
-    let db = run.store.to_database();
+    let db = run.store.to_database().unwrap();
     let unfolded = UnfoldedGraph::from_database(&db);
     let layers = unfolded.layers().expect("provenance graphs are acyclic");
     assert!(layers.is_partition());
@@ -212,7 +212,7 @@ fn compact_and_unfolded_agree_on_counts() {
     let run = Ariadne::default()
         .capture(&Wcc, &g, &CaptureSpec::full())
         .unwrap();
-    let db = run.store.to_database();
+    let db = run.store.to_database().unwrap();
     let unfolded = UnfoldedGraph::from_database(&db);
     assert!(unfolded.num_nodes() >= db.len("superstep"));
     // Every receive edge appears (plus evolution edges).

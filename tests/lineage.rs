@@ -41,7 +41,7 @@ fn forward_lineage_matches_reachability() {
     let mut traced: BTreeSet<u64> = BTreeSet::new();
     if let Some(max) = run.store.max_superstep() {
         for s in 0..=max {
-            for (pred, tuples) in run.store.layer(s) {
+            for (pred, tuples) in run.store.layer(s).unwrap() {
                 assert_eq!(pred, "fwd_lineage", "only the custom relation persists");
                 for t in tuples {
                     traced.insert(t[0].as_id().unwrap());
@@ -93,7 +93,8 @@ fn backward_layered_matches_naive() {
     let target = capture
         .store
         .layer(sigma)
-        .iter()
+        .unwrap()
+        .into_iter()
         .find(|(p, _)| p == "superstep")
         .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
         .expect("someone was active last");
@@ -140,7 +141,8 @@ fn custom_backward_equals_full_backward() {
     let target = full
         .store
         .layer(sigma)
-        .iter()
+        .unwrap()
+        .into_iter()
         .find(|(p, _)| p == "superstep")
         .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
         .unwrap();
@@ -178,7 +180,8 @@ fn backward_trace_subset_of_graph_reachability() {
     let target = capture
         .store
         .layer(sigma)
-        .iter()
+        .unwrap()
+        .into_iter()
         .find(|(p, _)| p == "superstep")
         .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
         .unwrap();

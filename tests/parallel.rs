@@ -70,8 +70,8 @@ fn parallel_capture_matches_sequential_capture() {
     let max = seq.store.max_superstep().unwrap();
     assert_eq!(par.store.max_superstep(), Some(max));
     for s in 0..=max {
-        let mut a: Vec<_> = seq.store.layer(s);
-        let mut b: Vec<_> = par.store.layer(s);
+        let mut a: Vec<_> = seq.store.layer(s).unwrap();
+        let mut b: Vec<_> = par.store.layer(s).unwrap();
         a.iter_mut().for_each(|(_, t)| t.sort());
         b.iter_mut().for_each(|(_, t)| t.sort());
         assert_eq!(a, b, "layer {s} differs");

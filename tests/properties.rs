@@ -71,7 +71,7 @@ proptest! {
         let ariadne = Ariadne::default();
         let capture = ariadne.capture(&Wcc, &g, &CaptureSpec::full()).unwrap();
         let Some(sigma) = capture.store.max_superstep() else { return Ok(()); };
-        let Some(target) = capture.store.layer(sigma).iter()
+        let Some(target) = capture.store.layer(sigma).unwrap().into_iter()
             .find(|(p, _)| p == "superstep")
             .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
         else { return Ok(()); };
@@ -95,7 +95,7 @@ proptest! {
         let ariadne = Ariadne::default();
         let run = ariadne.capture(&Wcc, &g, &CaptureSpec::full()).unwrap();
         prop_assert_eq!(run.values.clone(), weakly_connected_components(&g));
-        let db = run.store.to_database();
+        let db = run.store.to_database().unwrap();
         let unfolded = UnfoldedGraph::from_database(&db);
         let layers = unfolded.layers().expect("acyclic");
         prop_assert!(layers.is_partition());
