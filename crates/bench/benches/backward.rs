@@ -30,7 +30,8 @@ fn bench_backward(c: &mut Criterion) {
     let sigma = full.max_superstep().unwrap();
     let target = full
         .layer(sigma)
-        .iter()
+        .unwrap()
+        .into_iter()
         .find(|(p, _)| p == "superstep")
         .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
         .map(VertexId)

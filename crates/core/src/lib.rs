@@ -51,10 +51,17 @@ pub mod online;
 pub mod optimize;
 pub mod queries;
 pub mod session;
+pub mod snap;
 pub mod state;
 
 pub use capture::CaptureSpec;
 pub use compile::{compile, compile_with, CompiledQuery};
 pub use custom::CustomProv;
-pub use online::{OnlineProgram, OnlineRun};
-pub use session::Ariadne;
+pub use online::{OnlineProgram, OnlineRun, QueryFailure};
+pub use session::{Ariadne, AriadneError};
+
+// Fault-tolerance surface: checkpointing, typed engine/store errors and
+// the deterministic fault-injection harness, re-exported so users drive
+// everything through this crate.
+pub use ariadne_provenance::{StoreConfig, StoreError};
+pub use ariadne_vc::{CheckpointConfig, EngineConfig, EngineError, FaultPlan, Snapshot};

@@ -21,13 +21,14 @@
 use crate::custom::CustomProv;
 use crate::state::QueryState;
 use ariadne_graph::{Csr, VertexId};
-use ariadne_pql::{Evaluator, Tuple};
+use ariadne_pql::{Evaluator, PqlError, Tuple};
 use ariadne_provenance::edb::{NeededEdbs, VertexStepRecord};
 use ariadne_provenance::store::StoreSender;
 use ariadne_provenance::ProvEncode;
 use ariadne_vc::{AggOp, AggValue, Aggregates, Combiner, Context, Envelope, VertexProgram};
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Persistence half of a capture run.
 #[derive(Clone)]
@@ -83,16 +84,62 @@ pub struct OnlineMsg<M> {
     pub payload: Arc<Vec<(String, Vec<Tuple>)>>,
 }
 
+/// A query-evaluation failure captured inside the engine's compute hot
+/// path (previously a panic). The engine halts at the next barrier and
+/// the session surfaces this as a typed error.
+#[derive(Debug)]
+pub struct QueryFailure {
+    /// The vertex whose local fixpoint failed.
+    pub vertex: VertexId,
+    /// The superstep at which it failed.
+    pub superstep: u32,
+    /// The underlying language error (e.g. an unknown UDF).
+    pub source: PqlError,
+}
+
 /// The online wrapper program. See module docs.
 pub struct OnlineProgram<'a, A: VertexProgram> {
     analytic: &'a A,
     config: OnlineConfig<A>,
+    /// Fast flag checked at barriers; avoids the mutex on the hot path.
+    failed: AtomicBool,
+    /// The (deterministically) first failure: minimum (superstep, vertex).
+    failure: Mutex<Option<QueryFailure>>,
 }
 
 impl<'a, A: VertexProgram> OnlineProgram<'a, A> {
     /// Wrap `analytic` with the given query configuration.
     pub fn new(analytic: &'a A, config: OnlineConfig<A>) -> Self {
-        OnlineProgram { analytic, config }
+        OnlineProgram {
+            analytic,
+            config,
+            failed: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Record a query failure. Keeps the minimum (superstep, vertex)
+    /// failure so the reported error is deterministic regardless of
+    /// worker interleaving.
+    fn record_failure(&self, vertex: VertexId, superstep: u32, source: PqlError) {
+        let mut slot = self.failure.lock().unwrap();
+        let replace = match &*slot {
+            None => true,
+            Some(f) => (superstep, vertex.0) < (f.superstep, f.vertex.0),
+        };
+        if replace {
+            *slot = Some(QueryFailure {
+                vertex,
+                superstep,
+                source,
+            });
+        }
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// Take the recorded failure, if any (checked after the run).
+    pub fn take_failure(&self) -> Option<QueryFailure> {
+        self.failure.lock().unwrap().take()
     }
 }
 
@@ -178,12 +225,15 @@ where
             }
         }
 
-        // 5. Local incremental fixpoint.
+        // 5. Local incremental fixpoint. Errors abort the run at the next
+        // barrier (via should_halt) instead of panicking the worker; the
+        // analytic's deferred sends are dropped, which is fine because
+        // the whole run is discarded.
         if let Some(evaluator) = &cfg.evaluator {
-            state
-                .q
-                .evaluate(evaluator, vertex)
-                .unwrap_or_else(|e| panic!("online query evaluation failed: {e}"));
+            if let Err(e) = state.q.evaluate(evaluator, vertex) {
+                self.record_failure(vertex, superstep, e);
+                return;
+            }
         }
 
         // 6. Persist capture predicates.
@@ -230,7 +280,7 @@ where
     }
 
     fn should_halt(&self, superstep: u32, aggregates: &Aggregates) -> bool {
-        self.analytic.should_halt(superstep, aggregates)
+        self.failed.load(Ordering::Acquire) || self.analytic.should_halt(superstep, aggregates)
     }
 
     fn message_bytes(&self, msg: &Self::M) -> usize {

@@ -9,7 +9,7 @@ use crate::online::{OnlineConfig, OnlineProgram, OnlineRun, Persist};
 use ariadne_graph::Csr;
 use ariadne_pql::{Database, Direction, PqlError};
 use ariadne_provenance::{ProvEncode, ProvStore, StoreConfig, StoreError, StoreWriter};
-use ariadne_vc::{Engine, EngineConfig, EngineError, RunResult, VertexProgram};
+use ariadne_vc::{Engine, EngineConfig, EngineError, RunResult, Snapshot, VertexProgram};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -145,6 +145,42 @@ impl Ariadne {
         Engine::new(self.engine.clone()).run(analytic, graph)
     }
 
+    /// Run the bare analytic with barrier checkpoints per
+    /// [`EngineConfig::checkpoint`]; a crashed run can be resumed with
+    /// [`Ariadne::resume_baseline`].
+    pub fn baseline_checkpointed<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+    ) -> Result<RunResult<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: Snapshot,
+        A::M: Snapshot,
+    {
+        Engine::new(self.engine.clone())
+            .run_checkpointed(analytic, graph)
+            .map_err(AriadneError::Engine)
+    }
+
+    /// Resume a crashed [`Ariadne::baseline_checkpointed`] run from its
+    /// latest valid checkpoint; determinism makes the completed result
+    /// bit-identical to an uninterrupted run.
+    pub fn resume_baseline<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+    ) -> Result<RunResult<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: Snapshot,
+        A::M: Snapshot,
+    {
+        Engine::new(self.engine.clone())
+            .resume(analytic, graph)
+            .map_err(AriadneError::Engine)
+    }
+
     /// Online evaluation: run `analytic` and `query` in lockstep (§5.2).
     pub fn online<A>(
         &self,
@@ -189,6 +225,88 @@ impl Ariadne {
         };
         let program = OnlineProgram::new(analytic, config);
         let result = Engine::new(self.engine.clone()).run(&program, graph);
+        check_query_failure(&program)?;
+        Ok(finish_online(result, &analyzed.idbs))
+    }
+
+    /// Online evaluation with barrier checkpoints: like
+    /// [`Ariadne::online`], but the engine snapshots the wrapped state
+    /// (analytic value *and* query partition) per
+    /// [`EngineConfig::checkpoint`], so a crashed run can be resumed with
+    /// [`Ariadne::resume_online`].
+    pub fn online_checkpointed<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        query: &CompiledQuery,
+    ) -> Result<OnlineRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode + Snapshot,
+        A::M: ProvEncode + Snapshot,
+    {
+        self.online_engine(analytic, graph, query, |engine, program, graph| {
+            engine.run_checkpointed(program, graph)
+        })
+    }
+
+    /// Resume a crashed [`Ariadne::online_checkpointed`] run from its
+    /// latest valid checkpoint. The analytic, graph, query and engine
+    /// configuration must be identical to the original run; the result
+    /// is then bit-identical to an uninterrupted run.
+    pub fn resume_online<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        query: &CompiledQuery,
+    ) -> Result<OnlineRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode + Snapshot,
+        A::M: ProvEncode + Snapshot,
+    {
+        self.online_engine(analytic, graph, query, |engine, program, graph| {
+            engine.resume(program, graph)
+        })
+    }
+
+    /// Shared driver for the checkpointed/resumed online variants.
+    fn online_engine<A, F>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        query: &CompiledQuery,
+        drive: F,
+    ) -> Result<OnlineRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode + Snapshot,
+        A::M: ProvEncode + Snapshot,
+        F: FnOnce(
+            &Engine,
+            &OnlineProgram<'_, A>,
+            &Csr,
+        )
+            -> Result<RunResult<crate::online::OnlineState<A::V>>, EngineError>,
+    {
+        if !query.direction().supports_online() {
+            return Err(AriadneError::UnsupportedMode {
+                mode: "online",
+                direction: query.direction(),
+            });
+        }
+        let analyzed = query.query();
+        let config = OnlineConfig {
+            evaluator: Some(query.evaluator().clone()),
+            needed: Arc::new(analyzed.edbs.clone()),
+            shipped: Arc::new(analyzed.shipped.clone()),
+            persist: None,
+            custom: None,
+        };
+        let program = OnlineProgram::new(analytic, config);
+        let engine = Engine::new(self.engine.clone());
+        let result = drive(&engine, &program, graph).map_err(AriadneError::Engine)?;
+        check_query_failure(&program)?;
         Ok(finish_online(result, &analyzed.idbs))
     }
 
@@ -250,7 +368,111 @@ impl Ariadne {
         };
         let program = OnlineProgram::new(analytic, config);
         let result = Engine::new(self.engine.clone()).run(&program, graph);
-        let store = writer.finish().map_err(AriadneError::Store)?;
+        // Drain the writer before deciding the outcome so its thread
+        // never leaks; a query failure takes precedence over store state.
+        let store = writer.finish();
+        check_query_failure(&program)?;
+        let store = store.map_err(AriadneError::Store)?;
+        Ok(CaptureRun {
+            values: result.values.into_iter().map(|s| s.value).collect(),
+            store,
+            metrics: result.metrics,
+        })
+    }
+
+    /// Capture with barrier checkpoints: like [`Ariadne::capture`], but
+    /// the engine snapshots the wrapped state per
+    /// [`EngineConfig::checkpoint`] and the store spools to disk, so a
+    /// crashed capture can be resumed with [`Ariadne::resume_capture`].
+    pub fn capture_checkpointed<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        spec: &CaptureSpec,
+    ) -> Result<CaptureRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode + Snapshot,
+        A::M: ProvEncode + Snapshot,
+    {
+        self.capture_engine(analytic, graph, spec, false)
+    }
+
+    /// Resume a crashed [`Ariadne::capture_checkpointed`] run: the engine
+    /// restarts from its latest valid snapshot, and the store writer
+    /// re-attaches the spill segments already persisted by the crashed
+    /// run (re-ingestion of already-sealed layers is an idempotent
+    /// no-op), so the recovered store equals an uninterrupted capture.
+    pub fn resume_capture<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        spec: &CaptureSpec,
+    ) -> Result<CaptureRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode + Snapshot,
+        A::M: ProvEncode + Snapshot,
+    {
+        self.capture_engine(analytic, graph, spec, true)
+    }
+
+    /// Shared driver for the checkpointed/resumed capture variants.
+    fn capture_engine<A>(
+        &self,
+        analytic: &A,
+        graph: &Csr,
+        spec: &CaptureSpec,
+        resuming: bool,
+    ) -> Result<CaptureRun<A::V>, AriadneError>
+    where
+        A: VertexProgram,
+        A::V: ProvEncode + Snapshot,
+        A::M: ProvEncode + Snapshot,
+    {
+        if !spec.supports_online() {
+            let direction = spec
+                .query
+                .as_ref()
+                .map(|q| q.direction())
+                .unwrap_or(Direction::Local);
+            return Err(AriadneError::UnsupportedMode {
+                mode: "capture",
+                direction,
+            });
+        }
+        let writer = if resuming {
+            StoreWriter::spawn_resuming(self.store.clone())
+        } else {
+            StoreWriter::spawn(self.store.clone())
+        };
+        let persist = Persist {
+            sender: writer.sender(),
+            preds: Arc::new(spec.persist_preds()),
+        };
+        let shipped: BTreeSet<String> = spec
+            .query
+            .as_ref()
+            .map(|q| q.query().shipped.clone())
+            .unwrap_or_default();
+        let config = OnlineConfig {
+            evaluator: spec.query.as_ref().map(|q| q.evaluator().clone()),
+            needed: Arc::new(spec.needed()),
+            shipped: Arc::new(shipped),
+            persist: Some(persist),
+            custom: None,
+        };
+        let program = OnlineProgram::new(analytic, config);
+        let engine = Engine::new(self.engine.clone());
+        let result = if resuming {
+            engine.resume(&program, graph)
+        } else {
+            engine.run_checkpointed(&program, graph)
+        };
+        let store = writer.finish();
+        let result = result.map_err(AriadneError::Engine)?;
+        check_query_failure(&program)?;
+        let store = store.map_err(AriadneError::Store)?;
         Ok(CaptureRun {
             values: result.values.into_iter().map(|s| s.value).collect(),
             store,
@@ -289,6 +511,19 @@ impl Ariadne {
         query: &CompiledQuery,
     ) -> Result<Database, AriadneError> {
         run_centralized(graph, store, query)
+    }
+}
+
+/// Surface a query failure recorded inside the wrapped program as a
+/// typed error (it used to panic the engine worker).
+fn check_query_failure<A: VertexProgram>(program: &OnlineProgram<'_, A>) -> Result<(), AriadneError> {
+    match program.take_failure() {
+        Some(f) => Err(AriadneError::Query {
+            vertex: f.vertex,
+            superstep: f.superstep,
+            source: f.source,
+        }),
+        None => Ok(()),
     }
 }
 

@@ -20,10 +20,10 @@ pub struct QueryState {
     /// Activation history for `evolution` generation.
     pub tracker: EdbTracker,
     /// Per-predicate counts already piggybacked to neighbours.
-    ship_marks: BTreeMap<String, usize>,
+    pub(crate) ship_marks: BTreeMap<String, usize>,
     /// Per-predicate counts already persisted to the store.
-    persist_marks: BTreeMap<String, usize>,
-    statics_done: bool,
+    pub(crate) persist_marks: BTreeMap<String, usize>,
+    pub(crate) statics_done: bool,
 }
 
 impl QueryState {

@@ -36,6 +36,36 @@ pub struct EvalState {
     agg_input_sizes: BTreeMap<usize, usize>,
 }
 
+impl EvalState {
+    /// Decompose into plain, deterministically ordered parts — used by
+    /// checkpointing to serialize the delta frontiers.
+    #[allow(clippy::type_complexity)]
+    pub fn to_parts(&self) -> (Vec<(usize, String, usize)>, Vec<usize>, Vec<(usize, usize)>) {
+        let frontiers = self
+            .frontiers
+            .iter()
+            .map(|((s, p), n)| (*s, p.clone(), *n))
+            .collect();
+        let mut scan_free: Vec<usize> = self.ran_scan_free.iter().copied().collect();
+        scan_free.sort_unstable();
+        let aggs = self.agg_input_sizes.iter().map(|(k, v)| (*k, *v)).collect();
+        (frontiers, scan_free, aggs)
+    }
+
+    /// Rebuild from [`EvalState::to_parts`] output.
+    pub fn from_parts(
+        frontiers: Vec<(usize, String, usize)>,
+        ran_scan_free: Vec<usize>,
+        agg_input_sizes: Vec<(usize, usize)>,
+    ) -> Self {
+        EvalState {
+            frontiers: frontiers.into_iter().map(|(s, p, n)| ((s, p), n)).collect(),
+            ran_scan_free: ran_scan_free.into_iter().collect(),
+            agg_input_sizes: agg_input_sizes.into_iter().collect(),
+        }
+    }
+}
+
 /// A compiled query plus UDFs, ready to evaluate against databases.
 #[derive(Clone, Debug)]
 pub struct Evaluator {

@@ -53,6 +53,12 @@ impl EdbTracker {
         self.last_active
     }
 
+    /// Rebuild a tracker from a recorded activation history — used when
+    /// restoring per-vertex state from a checkpoint.
+    pub fn from_last_active(last_active: Option<u32>) -> Self {
+        EdbTracker { last_active }
+    }
+
     /// Generate the needed EDB tuples for one vertex-superstep and
     /// advance the activation history.
     pub fn tuples(

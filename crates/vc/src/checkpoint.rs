@@ -389,6 +389,17 @@ impl<A: Snapshot, B: Snapshot> Snapshot for (A, B) {
     }
 }
 
+impl<A: Snapshot, B: Snapshot, C: Snapshot> Snapshot for (A, B, C) {
+    fn write_snap(&self, out: &mut Vec<u8>) {
+        self.0.write_snap(out);
+        self.1.write_snap(out);
+        self.2.write_snap(out);
+    }
+    fn read_snap(input: &mut &[u8]) -> Result<Self, SnapError> {
+        Ok((A::read_snap(input)?, B::read_snap(input)?, C::read_snap(input)?))
+    }
+}
+
 impl Snapshot for VertexId {
     fn write_snap(&self, out: &mut Vec<u8>) {
         self.0.write_snap(out);

@@ -487,7 +487,7 @@ where
     P::M: Snapshot,
 {
     fn on_barrier(&mut self, state: &LoopState<P>) -> Result<(), EngineError> {
-        if state.superstep % self.cfg.interval() == 0 {
+        if state.superstep.is_multiple_of(self.cfg.interval()) {
             write_state_snapshot(self.cfg, self.fault, state)?;
         }
         Ok(())

@@ -1,0 +1,332 @@
+//! Crash/resume determinism: an injected crash at *any* superstep,
+//! followed by a resume from the latest valid snapshot, must yield
+//! results bit-identical to an uninterrupted run — for the bare engine,
+//! the online wrapper and capture runs (store included). Corrupted
+//! snapshots fall back or fail with typed errors, never panics.
+
+use ariadne::session::{Ariadne, AriadneError};
+use ariadne::{queries, CaptureSpec, CheckpointConfig, EngineConfig, EngineError, FaultPlan};
+use ariadne_analytics::{PageRank, Sssp, Wcc};
+use ariadne_graph::generators::erdos_renyi::erdos_renyi;
+use ariadne_graph::generators::regular::{cycle, path};
+use ariadne_graph::{Csr, VertexId};
+use ariadne_vc::{RunMetrics, RunResult, VertexProgram};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A unique scratch directory per test invocation.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ariadne-cr-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn ckpt_session(dir: &Path, every: u32, fault: Option<Arc<FaultPlan>>) -> Ariadne {
+    Ariadne {
+        engine: EngineConfig {
+            checkpoint: Some(CheckpointConfig::new(dir.to_path_buf(), every)),
+            fault,
+            ..EngineConfig::default()
+        },
+        ..Ariadne::default()
+    }
+}
+
+/// Per-superstep deterministic counters.
+type Counters = Vec<(u32, usize, usize, usize)>;
+
+/// Everything deterministic about a run (wall-clock times excluded).
+fn fingerprint<V: Clone>(r: &RunResult<V>) -> (Vec<V>, Counters) {
+    (r.values.clone(), counters(&r.metrics))
+}
+
+fn counters(m: &RunMetrics) -> Counters {
+    m.supersteps
+        .iter()
+        .map(|s| (s.superstep, s.active_vertices, s.messages_sent, s.message_bytes))
+        .collect()
+}
+
+/// Crash at superstep `kill`, resume, and check the result against the
+/// uninterrupted reference. Returns whether the fault actually fired
+/// (kills beyond the last superstep never trigger).
+fn crash_resume_matches<A>(analytic: &A, graph: &Csr, reference: &RunResult<A::V>, kill: u32) -> bool
+where
+    A: VertexProgram,
+    A::V: ariadne::Snapshot + Clone + PartialEq + std::fmt::Debug,
+    A::M: ariadne::Snapshot,
+{
+    let dir = scratch(&format!("k{kill}"));
+    let plan = FaultPlan::new();
+    plan.kill_at_superstep(kill);
+    let crashed = ckpt_session(&dir, 2, Some(plan)).baseline_checkpointed(analytic, graph);
+    match crashed {
+        Err(AriadneError::Engine(EngineError::InjectedCrash { superstep })) => {
+            assert_eq!(superstep, kill);
+        }
+        Ok(_) => {
+            // The run finished before the fault point; nothing to resume.
+            std::fs::remove_dir_all(&dir).ok();
+            return false;
+        }
+        Err(other) => panic!("unexpected failure: {other}"),
+    }
+    let resumed = ckpt_session(&dir, 2, None)
+        .resume_baseline(analytic, graph)
+        .expect("resume after crash");
+    assert_eq!(
+        fingerprint(reference),
+        fingerprint(&resumed),
+        "kill at superstep {kill} diverged"
+    );
+    assert_eq!(reference.aggregates, resumed.aggregates);
+    std::fs::remove_dir_all(&dir).ok();
+    true
+}
+
+#[test]
+fn pagerank_resume_is_bit_identical_at_every_superstep() {
+    let g = erdos_renyi(40, 160, 7);
+    let pr = PageRank {
+        supersteps: 6,
+        ..PageRank::default()
+    };
+    let reference = Ariadne::default().baseline(&pr, &g);
+    let mut fired = 0;
+    for kill in 0..reference.supersteps() {
+        if crash_resume_matches(&pr, &g, &reference, kill) {
+            fired += 1;
+        }
+    }
+    assert!(fired >= 3, "want >=3 exercised fault points, got {fired}");
+}
+
+#[test]
+fn sssp_resume_is_bit_identical_at_every_superstep() {
+    let g = erdos_renyi(40, 160, 11);
+    let sssp = Sssp::new(VertexId(0));
+    let reference = Ariadne::default().baseline(&sssp, &g);
+    let mut fired = 0;
+    for kill in 0..reference.supersteps() {
+        if crash_resume_matches(&sssp, &g, &reference, kill) {
+            fired += 1;
+        }
+    }
+    assert!(fired >= 3, "want >=3 exercised fault points, got {fired}");
+}
+
+#[test]
+fn wcc_resume_is_bit_identical_at_every_superstep() {
+    let g = cycle(16);
+    let reference = Ariadne::default().baseline(&Wcc, &g);
+    let mut fired = 0;
+    for kill in 0..reference.supersteps() {
+        if crash_resume_matches(&Wcc, &g, &reference, kill) {
+            fired += 1;
+        }
+    }
+    assert!(fired >= 3, "want >=3 exercised fault points, got {fired}");
+}
+
+#[test]
+fn parallel_resume_matches_sequential_reference() {
+    // Crash a 4-worker run and resume with 4 workers: still identical to
+    // the sequential uninterrupted reference (engine determinism).
+    let g = erdos_renyi(40, 160, 3);
+    let pr = PageRank {
+        supersteps: 6,
+        ..PageRank::default()
+    };
+    let reference = Ariadne::default().baseline(&pr, &g);
+    let dir = scratch("par");
+    let plan = FaultPlan::new();
+    plan.kill_at_superstep(3);
+    let mut crashed = ckpt_session(&dir, 2, Some(plan));
+    crashed.engine.threads = 4;
+    assert!(matches!(
+        crashed.baseline_checkpointed(&pr, &g),
+        Err(AriadneError::Engine(EngineError::InjectedCrash { superstep: 3 }))
+    ));
+    let mut resumer = ckpt_session(&dir, 2, None);
+    resumer.engine.threads = 4;
+    let resumed = resumer.resume_baseline(&pr, &g).unwrap();
+    assert_eq!(fingerprint(&reference), fingerprint(&resumed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn online_run_resumes_with_query_state() {
+    // The query partition (database, frontiers, marks) is part of the
+    // snapshot: resuming mid-run loses no derived tuples.
+    let g = path(8);
+    let q = queries::sssp_wcc_no_message_no_change().unwrap();
+    let reference = Ariadne::default().online(&Wcc, &g, &q).unwrap();
+
+    let dir = scratch("online");
+    let plan = FaultPlan::new();
+    plan.kill_at_superstep(2);
+    let err = ckpt_session(&dir, 1, Some(plan))
+        .online_checkpointed(&Wcc, &g, &q)
+        .expect_err("fault must fire");
+    assert!(matches!(
+        err,
+        AriadneError::Engine(EngineError::InjectedCrash { superstep: 2 })
+    ));
+    let resumed = ckpt_session(&dir, 1, None)
+        .resume_online(&Wcc, &g, &q)
+        .unwrap();
+    assert_eq!(reference.values, resumed.values);
+    for name in ["no_message", "no_change"] {
+        assert_eq!(
+            reference.query_results.sorted(name),
+            resumed.query_results.sorted(name),
+            "relation {name} diverged across resume"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn capture_resume_recovers_an_identical_store() {
+    // Crash a spooling capture, resume it, and compare every layer of the
+    // recovered store against an uninterrupted capture. Already-spilled
+    // layers are re-attached (sealed) and re-ingestions are no-ops.
+    let g = path(8);
+
+    let ref_dir = scratch("cap-ref");
+    let mut reference_session = ckpt_session(&ref_dir.join("ckpt"), 1, None);
+    reference_session.store =
+        ariadne::StoreConfig::spilling(1, ref_dir.join("spool"));
+    let reference = reference_session
+        .capture_checkpointed(&Wcc, &g, &CaptureSpec::full())
+        .unwrap();
+
+    let dir = scratch("cap");
+    let plan = FaultPlan::new();
+    plan.kill_at_superstep(2);
+    let mut crashed_session = ckpt_session(&dir.join("ckpt"), 1, Some(plan));
+    crashed_session.store = ariadne::StoreConfig::spilling(1, dir.join("spool"));
+    let err = crashed_session
+        .capture_checkpointed(&Wcc, &g, &CaptureSpec::full())
+        .expect_err("fault must fire");
+    assert!(matches!(
+        err,
+        AriadneError::Engine(EngineError::InjectedCrash { superstep: 2 })
+    ));
+
+    let mut resume_session = ckpt_session(&dir.join("ckpt"), 1, None);
+    resume_session.store = ariadne::StoreConfig::spilling(1, dir.join("spool"));
+    let resumed = resume_session
+        .resume_capture(&Wcc, &g, &CaptureSpec::full())
+        .unwrap();
+
+    assert_eq!(reference.values, resumed.values);
+    assert_eq!(reference.store.tuple_count(), resumed.store.tuple_count());
+    assert_eq!(reference.store.max_superstep(), resumed.store.max_superstep());
+    if let Some(max) = reference.store.max_superstep() {
+        for s in 0..=max {
+            let mut a = reference.store.layer(s).unwrap();
+            let mut b = resumed.store.layer(s).unwrap();
+            for (_, t) in a.iter_mut().chain(b.iter_mut()) {
+                t.sort();
+            }
+            a.sort_by(|x, y| x.0.cmp(&y.0));
+            b.sort_by(|x, y| x.0.cmp(&y.0));
+            assert_eq!(a, b, "layer {s} diverged across resume");
+        }
+    }
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_newest_checkpoint_falls_back_to_older_one() {
+    let g = cycle(12);
+    let reference = Ariadne::default().baseline(&Wcc, &g);
+
+    let dir = scratch("fallback");
+    let plan = FaultPlan::new();
+    plan.kill_at_superstep(4).corrupt_checkpoint(3);
+    assert!(matches!(
+        ckpt_session(&dir, 1, Some(plan)).baseline_checkpointed(&Wcc, &g),
+        Err(AriadneError::Engine(EngineError::InjectedCrash { superstep: 4 }))
+    ));
+    // The superstep-3 snapshot is corrupt; resume silently falls back to
+    // the superstep-2 one and still converges to the same result.
+    let resumed = ckpt_session(&dir, 1, None)
+        .resume_baseline(&Wcc, &g)
+        .unwrap();
+    assert_eq!(fingerprint(&reference), fingerprint(&resumed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_checkpoints_corrupt_is_a_typed_error() {
+    let g = cycle(8);
+    let dir = scratch("allbad");
+    let plan = FaultPlan::new();
+    plan.kill_at_superstep(2);
+    assert!(ckpt_session(&dir, 1, Some(plan))
+        .baseline_checkpointed(&Wcc, &g)
+        .is_err());
+    // Truncate every snapshot to garbage.
+    let mut clobbered = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().and_then(|e| e.to_str()) == Some("snap") {
+            std::fs::write(&p, b"AR").unwrap();
+            clobbered += 1;
+        }
+    }
+    assert!(clobbered > 0, "expected snapshot files in {dir:?}");
+    let err = ckpt_session(&dir, 1, None)
+        .resume_baseline(&Wcc, &g)
+        .expect_err("all-corrupt checkpoints must fail loudly");
+    assert!(
+        matches!(
+            err,
+            AriadneError::Engine(EngineError::Corrupt { .. } | EngineError::Io { .. })
+        ),
+        "expected typed corruption error, got {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_checkpoints_is_a_typed_error() {
+    let g = cycle(8);
+    let dir = scratch("none");
+    let err = ckpt_session(&dir, 1, None)
+        .resume_baseline(&Wcc, &g)
+        .expect_err("nothing to resume from");
+    assert!(matches!(
+        err,
+        AriadneError::Engine(EngineError::NoCheckpoint { .. } | EngineError::Io { .. })
+    ));
+}
+
+#[test]
+fn graph_mismatch_on_resume_is_a_typed_error() {
+    let g = cycle(12);
+    let dir = scratch("mismatch");
+    let plan = FaultPlan::new();
+    plan.kill_at_superstep(2);
+    assert!(ckpt_session(&dir, 1, Some(plan))
+        .baseline_checkpointed(&Wcc, &g)
+        .is_err());
+    // Resuming against a differently-sized graph must be rejected, not
+    // silently produce garbage.
+    let smaller = cycle(6);
+    let err = ckpt_session(&dir, 1, None)
+        .resume_baseline(&Wcc, &smaller)
+        .expect_err("graph mismatch must be rejected");
+    assert!(matches!(
+        err,
+        AriadneError::Engine(EngineError::GraphMismatch { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -11,22 +11,36 @@ use ariadne_pql::{Params, UdfRegistry, Value};
 fn unknown_udf_fails_the_online_run_loudly() {
     // A query that references a UDF nobody registered: analysis cannot
     // tell it from a predicate typo, so evaluation reports it the first
-    // time a vertex reaches the call.
+    // time a vertex reaches the call — as a typed error naming the
+    // failing vertex and superstep, not a worker panic.
     let q = compile(
         "p(x, i) :- value(x, d, i), no_such_udf(d).",
         Params::new(),
     )
     .unwrap();
     let g = path(3);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let _ = Ariadne::default().online(&Wcc, &g, &q);
-    }));
-    let err = result.unwrap_err();
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
-    assert!(msg.contains("no_such_udf"), "unhelpful panic: {msg}");
+    let err = Ariadne::default()
+        .online(&Wcc, &g, &q)
+        .expect_err("an unknown UDF must fail the run");
+    match &err {
+        ariadne::AriadneError::Query {
+            vertex,
+            superstep,
+            source,
+        } => {
+            // Every vertex hits the UDF in its first active superstep;
+            // the reported failure is the deterministic minimum.
+            assert_eq!(*vertex, ariadne_graph::VertexId(0));
+            assert_eq!(*superstep, 0);
+            assert!(
+                source.to_string().contains("no_such_udf"),
+                "unhelpful error: {source}"
+            );
+        }
+        other => panic!("expected AriadneError::Query, got {other:?}"),
+    }
+    // The error chain is preserved for callers using `Error::source`.
+    assert!(std::error::Error::source(&err).is_some());
 }
 
 #[test]
@@ -62,6 +76,35 @@ fn spool_dir_is_created_on_demand() {
     let run = ariadne.capture(&Wcc, &g, &CaptureSpec::full()).unwrap();
     assert!(run.store.spills() > 0);
     std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).ok();
+}
+
+#[test]
+fn unwritable_spool_dir_is_a_typed_io_error() {
+    // Point the spool at a child of a regular file: the directory cannot
+    // be created, and the failure must surface as a typed IO error
+    // carrying the offending path — not a panic, and works even when the
+    // test runs privileged (unlike permission-bit tricks).
+    let file = std::env::temp_dir().join(format!("ariadne-flat-{}", std::process::id()));
+    std::fs::write(&file, b"not a directory").unwrap();
+    let dir = file.join("spool");
+    let ariadne = Ariadne {
+        store: ariadne_provenance::StoreConfig::spilling(1, dir.clone()),
+        ..Ariadne::default()
+    };
+    let g = path(4);
+    let err = ariadne
+        .capture(&Wcc, &g, &CaptureSpec::full())
+        .expect_err("spilling into an uncreatable dir must fail");
+    match &err {
+        ariadne::AriadneError::Store(ariadne::StoreError::Io { path, .. }) => {
+            assert!(
+                path.starts_with(&file),
+                "error path {path:?} should point into {file:?}"
+            );
+        }
+        other => panic!("expected StoreError::Io, got {other:?}"),
+    }
+    std::fs::remove_file(&file).ok();
 }
 
 #[test]
