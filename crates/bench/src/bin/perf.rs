@@ -1,0 +1,441 @@
+//! Message-plane performance harness: flat vs naive, baseline vs capture.
+//!
+//! Runs PageRank, SSSP and WCC on seeded R-MAT graphs under both message
+//! planes ([`MessagePlane::Flat`] and [`MessagePlane::Naive`]) at a sweep
+//! of thread counts, in both baseline mode (combiners honoured) and
+//! capture mode (combiners disabled, as a provenance-capture run
+//! requires), and writes the measurements as JSON.
+//!
+//! Reported per run: supersteps/sec, messages/sec, payload bytes moved,
+//! peak buffered bytes (the in-flight footprint of the message plane) and
+//! allocator traffic (calls + bytes, via a counting global allocator).
+//!
+//! ```text
+//! cargo run --release -p ariadne-bench --bin perf -- \
+//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr2.json] [--quick]
+//! ```
+//!
+//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr2.json").
+
+use ariadne_analytics::{PageRank, Sssp, Wcc};
+use ariadne_graph::generators::rmat::{rmat, RmatConfig};
+use ariadne_graph::{Csr, VertexId};
+use ariadne_vc::{Engine, EngineConfig, MessagePlane, RunMetrics, VertexProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------
+
+/// Wraps the system allocator and counts every allocation. The counters
+/// are monotonic; callers diff snapshots around a region of interest.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counters are
+// lock-free atomics and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // Count only the growth so realloc chains aren't double-counted.
+        ALLOC_BYTES.fetch_add(new_size.saturating_sub(layout.size()) as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------
+
+/// One measured engine run.
+struct Measurement {
+    analytic: &'static str,
+    plane: MessagePlane,
+    mode: &'static str, // "baseline" | "capture"
+    threads: usize,
+    supersteps: u32,
+    messages: usize,
+    message_bytes: usize,
+    buffered_messages: usize,
+    buffered_bytes: usize,
+    peak_buffered_bytes: usize,
+    /// Best-of-reps wall time, seconds.
+    secs: f64,
+    /// Allocator calls during the measured (last) repetition.
+    alloc_calls: u64,
+    /// Allocator bytes requested during the measured repetition.
+    alloc_bytes: u64,
+}
+
+impl Measurement {
+    fn supersteps_per_sec(&self) -> f64 {
+        self.supersteps as f64 / self.secs.max(1e-9)
+    }
+    fn messages_per_sec(&self) -> f64 {
+        self.messages as f64 / self.secs.max(1e-9)
+    }
+}
+
+fn plane_name(p: MessagePlane) -> &'static str {
+    match p {
+        MessagePlane::Flat => "flat",
+        MessagePlane::Naive => "naive",
+    }
+}
+
+/// Run `program` `reps` times; keep the best wall time and the last
+/// repetition's metrics + allocator deltas (steady-state behaviour).
+fn measure<P: VertexProgram>(
+    analytic: &'static str,
+    program: &P,
+    graph: &Csr,
+    plane: MessagePlane,
+    mode: &'static str,
+    threads: usize,
+    reps: usize,
+) -> Measurement {
+    let config = EngineConfig {
+        threads,
+        use_combiner: mode == "baseline",
+        plane,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::new(config);
+
+    let mut best = f64::INFINITY;
+    let mut last_metrics: Option<RunMetrics> = None;
+    let mut alloc_calls = 0u64;
+    let mut alloc_bytes = 0u64;
+    for _ in 0..reps.max(1) {
+        let before = alloc_snapshot();
+        let start = Instant::now();
+        let result = engine.run(program, graph);
+        let secs = start.elapsed().as_secs_f64();
+        let after = alloc_snapshot();
+        best = best.min(secs);
+        alloc_calls = after.0 - before.0;
+        alloc_bytes = after.1 - before.1;
+        last_metrics = Some(result.metrics);
+    }
+    let m = last_metrics.expect("at least one repetition");
+    Measurement {
+        analytic,
+        plane,
+        mode,
+        threads,
+        supersteps: m.num_supersteps(),
+        messages: m.total_messages(),
+        message_bytes: m.total_message_bytes(),
+        buffered_messages: m.total_buffered_messages(),
+        buffered_bytes: m.total_buffered_bytes(),
+        peak_buffered_bytes: m.peak_buffered_bytes(),
+        secs: best,
+        alloc_calls,
+        alloc_bytes,
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON (hand-rolled; the workspace is offline and carries no serde)
+// ---------------------------------------------------------------------
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn measurement_json(m: &Measurement) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"analytic\":\"{}\",\"plane\":\"{}\",\"mode\":\"{}\",\"threads\":{},\
+         \"supersteps\":{},\"messages\":{},\"message_bytes\":{},\
+         \"buffered_messages\":{},\"buffered_bytes\":{},\"peak_buffered_bytes\":{},\
+         \"secs\":{},\"supersteps_per_sec\":{},\"messages_per_sec\":{},\
+         \"alloc_calls\":{},\"alloc_bytes\":{}}}",
+        m.analytic,
+        plane_name(m.plane),
+        m.mode,
+        m.threads,
+        m.supersteps,
+        m.messages,
+        m.message_bytes,
+        m.buffered_messages,
+        m.buffered_bytes,
+        m.peak_buffered_bytes,
+        json_f64(m.secs),
+        json_f64(m.supersteps_per_sec()),
+        json_f64(m.messages_per_sec()),
+        m.alloc_calls,
+        m.alloc_bytes,
+    );
+    s
+}
+
+// ---------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------
+
+struct Cli {
+    scale: u32,
+    edge_factor: usize,
+    threads: Vec<usize>,
+    reps: usize,
+    out: String,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        scale: 13,
+        edge_factor: 16,
+        threads: vec![1, 2, 4, 8],
+        reps: 3,
+        out: "BENCH_pr2.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--scale" => cli.scale = value("--scale").parse().expect("--scale: integer"),
+            "--edge-factor" => {
+                cli.edge_factor = value("--edge-factor").parse().expect("--edge-factor: integer")
+            }
+            "--threads" => {
+                cli.threads = value("--threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads: comma-separated integers"))
+                    .collect()
+            }
+            "--reps" => cli.reps = value("--reps").parse().expect("--reps: integer"),
+            "--out" => cli.out = value("--out"),
+            "--quick" => {
+                cli.scale = 9;
+                cli.edge_factor = 8;
+                cli.threads = vec![1, 2];
+                cli.reps = 1;
+            }
+            other => panic!(
+                "unknown argument {other} (expected --scale/--edge-factor/--threads/--reps/--out/--quick)"
+            ),
+        }
+    }
+    assert!(!cli.threads.is_empty(), "--threads must name at least one count");
+    cli
+}
+
+// ---------------------------------------------------------------------
+// Main
+// ---------------------------------------------------------------------
+
+fn main() {
+    let cli = parse_cli();
+
+    eprintln!(
+        "perf: rmat scale={} edge_factor={} threads={:?} reps={}",
+        cli.scale, cli.edge_factor, cli.threads, cli.reps
+    );
+    let graph = rmat(RmatConfig {
+        scale: cli.scale,
+        edge_factor: cli.edge_factor,
+        seed: 0xBE2C4,
+        ..RmatConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let weighted = graph.map_weights(|_, _, _| 0.001 + rng.gen::<f64>());
+    eprintln!(
+        "perf: graph has {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let pagerank = PageRank {
+        supersteps: 10,
+        ..PageRank::default()
+    };
+    let sssp = Sssp::new(VertexId(0));
+    let wcc = Wcc;
+
+    let mut runs: Vec<Measurement> = Vec::new();
+    for &plane in &[MessagePlane::Flat, MessagePlane::Naive] {
+        for &threads in &cli.threads {
+            for &mode in &["baseline", "capture"] {
+                eprintln!(
+                    "perf: plane={} threads={} mode={}",
+                    plane_name(plane),
+                    threads,
+                    mode
+                );
+                runs.push(measure(
+                    "pagerank", &pagerank, &graph, plane, mode, threads, cli.reps,
+                ));
+                runs.push(measure(
+                    "sssp", &sssp, &weighted, plane, mode, threads, cli.reps,
+                ));
+                runs.push(measure("wcc", &wcc, &graph, plane, mode, threads, cli.reps));
+            }
+        }
+    }
+
+    // Cross-checks: both planes must agree on logical message traffic.
+    for a in &runs {
+        for b in &runs {
+            if a.analytic == b.analytic && a.mode == b.mode && a.threads == b.threads {
+                assert_eq!(
+                    (a.supersteps, a.messages, a.message_bytes),
+                    (b.supersteps, b.messages, b.message_bytes),
+                    "planes disagree on logical traffic for {} {} t={}",
+                    a.analytic,
+                    a.mode,
+                    a.threads
+                );
+            }
+        }
+    }
+
+    // Summary: flat-over-naive supersteps/sec speedup per (analytic, threads)
+    // in baseline mode, plus the SSSP combiner-path allocation comparison.
+    let lookup = |analytic: &str, plane: MessagePlane, mode: &str, threads: usize| {
+        runs.iter().find(|m| {
+            m.analytic == analytic && m.plane == plane && m.mode == mode && m.threads == threads
+        })
+    };
+    let speedup_map = |mode: &str| {
+        let mut out = String::from("{");
+        for (i, &threads) in cli.threads.iter().enumerate() {
+            let flat = lookup("pagerank", MessagePlane::Flat, mode, threads);
+            let naive = lookup("pagerank", MessagePlane::Naive, mode, threads);
+            let ratio = match (flat, naive) {
+                (Some(f), Some(n)) => f.supersteps_per_sec() / n.supersteps_per_sec(),
+                _ => f64::NAN,
+            };
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{threads}\":{}", json_f64(ratio));
+        }
+        out.push('}');
+        out
+    };
+    let speedups = speedup_map("baseline");
+    let capture_speedups = speedup_map("capture");
+
+    let max_threads = *cli.threads.iter().max().unwrap();
+    let sssp_flat = lookup("sssp", MessagePlane::Flat, "baseline", max_threads).unwrap();
+    let sssp_naive = lookup("sssp", MessagePlane::Naive, "baseline", max_threads).unwrap();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr2/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"command\": \"cargo run --release -p ariadne-bench --bin perf\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{\"generator\": \"rmat\", \"scale\": {}, \"edge_factor\": {}, \"vertices\": {}, \"edges\": {}}},",
+        cli.scale,
+        cli.edge_factor,
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let _ = writeln!(
+        json,
+        "  \"threads\": [{}],",
+        cli.threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let _ = writeln!(json, "  \"reps\": {},", cli.reps);
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        let sep = if i + 1 < runs.len() { "," } else { "" };
+        let _ = writeln!(json, "    {}{}", measurement_json(m), sep);
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"summary\": {{");
+    let _ = writeln!(
+        json,
+        "    \"pagerank_flat_over_naive_supersteps_per_sec\": {speedups},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"pagerank_capture_flat_over_naive_supersteps_per_sec\": {capture_speedups},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"sssp_baseline_alloc_calls\": {{\"flat\": {}, \"naive\": {}}},",
+        sssp_flat.alloc_calls, sssp_naive.alloc_calls
+    );
+    let _ = writeln!(
+        json,
+        "    \"sssp_baseline_buffered_bytes\": {{\"flat\": {}, \"naive\": {}}}",
+        sssp_flat.buffered_bytes, sssp_naive.buffered_bytes
+    );
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&cli.out, &json).expect("write output JSON");
+    eprintln!("perf: wrote {}", cli.out);
+
+    // Human-readable recap on stdout.
+    println!(
+        "{:<9} {:<6} {:<9} {:>3} {:>6} {:>12} {:>14} {:>14} {:>12} {:>12}",
+        "analytic",
+        "plane",
+        "mode",
+        "thr",
+        "steps",
+        "steps/s",
+        "msgs/s",
+        "bytes",
+        "peak_buf",
+        "allocs"
+    );
+    for m in &runs {
+        println!(
+            "{:<9} {:<6} {:<9} {:>3} {:>6} {:>12.1} {:>14.0} {:>14} {:>12} {:>12}",
+            m.analytic,
+            plane_name(m.plane),
+            m.mode,
+            m.threads,
+            m.supersteps,
+            m.supersteps_per_sec(),
+            m.messages_per_sec(),
+            m.message_bytes,
+            m.peak_buffered_bytes,
+            m.alloc_calls
+        );
+    }
+}

@@ -175,6 +175,18 @@ impl Csr {
         self.vertices().max_by_key(|&v| (self.out_degree(v), std::cmp::Reverse(v.0)))
     }
 
+    /// The out-adjacency offset array: `out_offsets()[i]` is the number of
+    /// out-edges owned by vertices `0..i`, i.e. the exclusive prefix sum of
+    /// out-degrees, with a final entry equal to [`Csr::num_edges`].
+    ///
+    /// The parallel engine uses this to cut degree-weighted chunk
+    /// boundaries so each worker owns ~equal edge work rather than ~equal
+    /// vertex counts (power-law graphs are badly imbalanced otherwise).
+    #[inline]
+    pub fn out_offsets(&self) -> &[usize] {
+        &self.out_offsets
+    }
+
     /// Approximate in-memory footprint in bytes of the CSR arrays.
     ///
     /// Used as the "input graph size" denominator in Tables 3 and 4.

@@ -32,5 +32,5 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, EdgeRef};
-pub use partition::HashPartitioner;
+pub use partition::{ChunkTable, HashPartitioner};
 pub use types::{Direction, VertexId};

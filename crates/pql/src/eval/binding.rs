@@ -97,7 +97,50 @@ pub fn for_each_valuation_steps<'r>(
     emit: &mut dyn FnMut(&Env<'r>),
 ) -> Result<(), PqlError> {
     let mut env = seed.clone();
-    descend(rule, steps, db, udfs, 0, &mut env, pivot, emit)
+    let mut scratch = ScanScratch::default();
+    descend(rule, steps, db, udfs, 0, &mut env, pivot, &mut scratch, emit)
+}
+
+/// Reusable scan buffers threaded through [`descend`].
+///
+/// Scans are the inner loop of semi-naive join evaluation: every probe
+/// used to clone the relation's posting list and allocate fresh
+/// column/key/binding vectors. These buffers amortize all of that to one
+/// allocation per recursion depth per rule invocation. `cols`/`key` are
+/// only live while probing (dead before the recursive call), so a single
+/// pair serves every depth; the per-depth buffers round-trip through
+/// `pools`, a stack of recycled `Vec`s.
+#[derive(Default)]
+struct ScanScratch {
+    /// Bound column positions of the scan currently probing.
+    cols: Vec<usize>,
+    /// Key values aligned with `cols`.
+    key: Vec<Value>,
+    /// Recycled index buffers (candidate postings, free/added argument
+    /// positions). Each recursion depth pops what it needs and pushes it
+    /// back before returning.
+    pools: Vec<Vec<usize>>,
+}
+
+impl ScanScratch {
+    fn take(&mut self) -> Vec<usize> {
+        let mut v = self.pools.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    fn put(&mut self, v: Vec<usize>) {
+        self.pools.push(v);
+    }
+}
+
+/// The variable name at argument position `pos` (positions in the free
+/// list always hold `Term::Var`s by construction).
+fn var_at(args: &[Term], pos: usize) -> &str {
+    match &args[pos] {
+        Term::Var(v) => v.as_str(),
+        other => unreachable!("free scan position {pos} holds non-variable {other:?}"),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -109,6 +152,7 @@ fn descend<'r>(
     at: usize,
     env: &mut Env<'r>,
     pivot: Option<&Pivot>,
+    scratch: &mut ScanScratch,
     emit: &mut dyn FnMut(&Env<'r>),
 ) -> Result<(), PqlError> {
     let Some(step) = steps.get(at) else {
@@ -124,10 +168,13 @@ fn descend<'r>(
             let Some(rel) = db.relation(pred) else {
                 return Ok(()); // empty relation: no valuations
             };
-            // Partition argument positions into bound (filter) and free.
-            let mut cols = Vec::new();
-            let mut key = Vec::new();
-            let mut free: Vec<(usize, &str)> = Vec::new();
+            // Partition argument positions into bound (filter) and free,
+            // into the shared scratch buffers (live only until the probe).
+            let mut cols = std::mem::take(&mut scratch.cols);
+            let mut key = std::mem::take(&mut scratch.key);
+            cols.clear();
+            key.clear();
+            let mut free = scratch.take();
             for (pos, t) in args.iter().enumerate() {
                 match t {
                     Term::Var(v) => match env.get(v.as_str()) {
@@ -135,13 +182,16 @@ fn descend<'r>(
                             cols.push(pos);
                             key.push(val.clone());
                         }
-                        None => free.push((pos, v)),
+                        None => free.push(pos),
                     },
                     Term::Const(c) => {
                         cols.push(pos);
                         key.push(c.clone());
                     }
                     other => {
+                        scratch.put(free);
+                        scratch.cols = cols;
+                        scratch.key = key;
                         return Err(PqlError::analysis(
                             rule.line,
                             format!("unexpected term {other:?} in scan of {pred:?}"),
@@ -149,24 +199,45 @@ fn descend<'r>(
                     }
                 }
             }
-            let candidates: Vec<usize> = if cols.is_empty() {
-                (0..rel.len()).collect()
-            } else {
-                rel.select(&cols, &key)
-            };
             let window = pivot.and_then(|p| (p.step == at).then(|| p.window.clone()));
             // Existence-only scans (all free vars anonymous): one witness
-            // suffices, and nothing needs binding.
+            // suffices, and nothing needs binding or materializing.
             if *exists_only {
-                let witnessed = candidates.iter().any(|idx| {
-                    window.as_ref().map(|w| w.contains(idx)).unwrap_or(true)
-                });
+                let witnessed = if cols.is_empty() {
+                    match &window {
+                        Some(w) => w.start < rel.len(),
+                        None => !rel.is_empty(),
+                    }
+                } else {
+                    rel.matches_any(&cols, &key, |idx| {
+                        window.as_ref().map(|w| w.contains(&idx)).unwrap_or(true)
+                    })
+                };
+                scratch.put(free);
+                key.clear();
+                scratch.cols = cols;
+                scratch.key = key;
                 if witnessed {
-                    return descend(rule, steps, db, udfs, at + 1, env, pivot, emit);
+                    return descend(rule, steps, db, udfs, at + 1, env, pivot, scratch, emit);
                 }
                 return Ok(());
             }
-            for idx in candidates {
+            // Materialize candidates into a recycled buffer; the index
+            // borrow is dropped before descending, so self-joins re-enter
+            // the relation safely.
+            let mut candidates = scratch.take();
+            if cols.is_empty() {
+                candidates.extend(0..rel.len());
+            } else {
+                rel.select_into(&cols, &key, &mut candidates);
+            }
+            // Release the probe buffers for deeper scans before recursing.
+            key.clear();
+            scratch.cols = cols;
+            scratch.key = key;
+            let mut added = scratch.take();
+            let mut result = Ok(());
+            for &idx in &candidates {
                 if let Some(w) = &window {
                     if !w.contains(&idx) {
                         continue;
@@ -174,9 +245,10 @@ fn descend<'r>(
                 }
                 let tuple = rel.get(idx);
                 // Bind free positions; repeated free variables must agree.
-                let mut added: Vec<&str> = Vec::new();
+                added.clear();
                 let mut ok = true;
-                for &(pos, var) in &free {
+                for &pos in &free {
+                    let var = var_at(args, pos);
                     match env.get(var) {
                         Some(existing) => {
                             if *existing != tuple[pos] {
@@ -186,18 +258,28 @@ fn descend<'r>(
                         }
                         None => {
                             env.insert(var, tuple[pos].clone());
-                            added.push(var);
+                            added.push(pos);
                         }
                     }
                 }
                 if ok {
-                    descend(rule, steps, db, udfs, at + 1, env, pivot, emit)?;
+                    if let Err(e) =
+                        descend(rule, steps, db, udfs, at + 1, env, pivot, scratch, emit)
+                    {
+                        result = Err(e);
+                    }
                 }
-                for var in added {
-                    env.remove(var);
+                for &pos in &added {
+                    env.remove(var_at(args, pos));
+                }
+                if result.is_err() {
+                    break;
                 }
             }
-            Ok(())
+            scratch.put(added);
+            scratch.put(candidates);
+            scratch.put(free);
+            result
         }
         Step::Neg { pred, args } => {
             let tuple: Option<Vec<Value>> = args.iter().map(|t| eval_term(t, env)).collect();
@@ -211,7 +293,7 @@ fn descend<'r>(
             if present {
                 Ok(())
             } else {
-                descend(rule, steps, db, udfs, at + 1, env, pivot, emit)
+                descend(rule, steps, db, udfs, at + 1, env, pivot, scratch, emit)
             }
         }
         Step::Assign { var, term } => {
@@ -221,14 +303,14 @@ fn descend<'r>(
             match env.get(var.as_str()) {
                 Some(existing) => {
                     if existing.num_eq(&value) {
-                        descend(rule, steps, db, udfs, at + 1, env, pivot, emit)
+                        descend(rule, steps, db, udfs, at + 1, env, pivot, scratch, emit)
                     } else {
                         Ok(())
                     }
                 }
                 None => {
                     env.insert(var.as_str(), value);
-                    let r = descend(rule, steps, db, udfs, at + 1, env, pivot, emit);
+                    let r = descend(rule, steps, db, udfs, at + 1, env, pivot, scratch, emit);
                     env.remove(var.as_str());
                     r
                 }
@@ -239,7 +321,7 @@ fn descend<'r>(
                 return Ok(());
             };
             if eval_compare(&a, *op, &b) {
-                descend(rule, steps, db, udfs, at + 1, env, pivot, emit)
+                descend(rule, steps, db, udfs, at + 1, env, pivot, scratch, emit)
             } else {
                 Ok(())
             }
@@ -256,7 +338,7 @@ fn descend<'r>(
                 return Ok(());
             };
             if f(&vals) {
-                descend(rule, steps, db, udfs, at + 1, env, pivot, emit)
+                descend(rule, steps, db, udfs, at + 1, env, pivot, scratch, emit)
             } else {
                 Ok(())
             }

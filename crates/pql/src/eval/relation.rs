@@ -92,19 +92,69 @@ impl Relation {
 
     /// Indices of tuples matching `key` values at `cols` (builds the
     /// index on first use). `cols` must be sorted and non-empty.
+    ///
+    /// Allocates a fresh `Vec` per probe; the join inner loop uses
+    /// [`Relation::select_into`] instead, which reuses a caller buffer.
     pub fn select(&self, cols: &[usize], key: &[Value]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.select_into(cols, key, &mut out);
+        out
+    }
+
+    /// Like [`Relation::select`], but writes the matching tuple indices
+    /// into `out` (cleared first) instead of allocating. A miss leaves
+    /// `out` empty without touching the heap. The internal index borrow
+    /// is released before returning, so callers may re-enter this
+    /// relation (self-joins) while iterating `out`.
+    pub fn select_into(&self, cols: &[usize], key: &[Value], out: &mut Vec<usize>) {
+        out.clear();
+        let mut indexes = self.indexes.borrow_mut();
+        let index = self.index_for(&mut indexes, cols);
+        if let Some(postings) = index.get(key) {
+            out.extend_from_slice(postings);
+        }
+    }
+
+    /// Whether any tuple matching `key` at `cols` satisfies `pred`
+    /// (short-circuits on the first witness). Existence-only scans use
+    /// this to probe the borrowed index without materializing matches.
+    ///
+    /// `pred` must not re-enter this relation's index (the internal
+    /// borrow is held while it runs); the evaluator only checks delta
+    /// windows, which is index-free.
+    pub fn matches_any(
+        &self,
+        cols: &[usize],
+        key: &[Value],
+        mut pred: impl FnMut(usize) -> bool,
+    ) -> bool {
+        let mut indexes = self.indexes.borrow_mut();
+        let index = self.index_for(&mut indexes, cols);
+        index
+            .get(key)
+            .is_some_and(|postings| postings.iter().any(|&idx| pred(idx)))
+    }
+
+    /// The index over `cols`, built on first use. `cols` must be sorted
+    /// and non-empty.
+    fn index_for<'a>(
+        &self,
+        indexes: &'a mut HashMap<Vec<usize>, Index>,
+        cols: &[usize],
+    ) -> &'a Index {
         debug_assert!(!cols.is_empty());
         debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
-        let mut indexes = self.indexes.borrow_mut();
-        let index = indexes.entry(cols.to_vec()).or_insert_with(|| {
+        // `entry(cols.to_vec())` would clone `cols` on every probe; only
+        // pay that on the build path.
+        if !indexes.contains_key(cols) {
             let mut idx: Index = HashMap::new();
             for (i, t) in self.tuples.iter().enumerate() {
                 let key: Vec<Value> = cols.iter().map(|&c| t[c].clone()).collect();
                 idx.entry(key).or_default().push(i);
             }
-            idx
-        });
-        index.get(key).cloned().unwrap_or_default()
+            indexes.insert(cols.to_vec(), idx);
+        }
+        &indexes[cols]
     }
 
     /// The tuple at `idx`.
@@ -183,6 +233,40 @@ mod tests {
         let hits = r.select(&[0, 1], &[Value::Int(2), Value::Int(20)]);
         assert_eq!(hits, vec![1]);
         assert!(r.select(&[0], &[Value::Int(7)]).is_empty());
+    }
+
+    #[test]
+    fn select_into_reuses_buffer_and_clears_on_miss() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 10]));
+        r.insert(t(&[1, 30]));
+        let mut buf = Vec::new();
+        r.select_into(&[0], &[Value::Int(1)], &mut buf);
+        assert_eq!(buf, vec![0, 1]);
+        let cap = buf.capacity();
+        // A miss clears the buffer without reallocating.
+        r.select_into(&[0], &[Value::Int(9)], &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(buf.capacity(), cap);
+        // A second hit refills the same buffer.
+        r.select_into(&[0], &[Value::Int(1)], &mut buf);
+        assert_eq!(buf, vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_any_short_circuits() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 10]));
+        r.insert(t(&[1, 30]));
+        r.insert(t(&[2, 20]));
+        let mut probed = Vec::new();
+        assert!(r.matches_any(&[0], &[Value::Int(1)], |idx| {
+            probed.push(idx);
+            true
+        }));
+        assert_eq!(probed, vec![0]); // stopped at the first witness
+        assert!(!r.matches_any(&[0], &[Value::Int(9)], |_| true));
+        assert!(!r.matches_any(&[0], &[Value::Int(1)], |_| false));
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //! superstep counts to an uninterrupted run — the determinism tests
 //! rely on this.
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (version 2)
+//!
+//! Version 2 extends the [`SuperstepMetrics`] encoding with the buffered
+//! message/byte counters introduced by the flat message plane
+//! (`buffered_messages`, `buffered_bytes`). Version-1 files are rejected
+//! with a typed error; there is no silent migration.
 //!
 //! ```text
 //! +---------+---------+-------------+-----------+----------------+
@@ -37,7 +42,7 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ARSN";
 
 /// Current snapshot format version. Bump on any layout change; readers
 /// reject other versions with a typed error rather than misparsing.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// When and where the engine writes barrier snapshots.
 #[derive(Clone, Debug)]
@@ -493,6 +498,8 @@ impl Snapshot for SuperstepMetrics {
         self.active_vertices.write_snap(out);
         self.messages_sent.write_snap(out);
         self.message_bytes.write_snap(out);
+        self.buffered_messages.write_snap(out);
+        self.buffered_bytes.write_snap(out);
         self.elapsed.write_snap(out);
     }
     fn read_snap(input: &mut &[u8]) -> Result<Self, SnapError> {
@@ -501,6 +508,8 @@ impl Snapshot for SuperstepMetrics {
             active_vertices: usize::read_snap(input)?,
             messages_sent: usize::read_snap(input)?,
             message_bytes: usize::read_snap(input)?,
+            buffered_messages: usize::read_snap(input)?,
+            buffered_bytes: usize::read_snap(input)?,
             elapsed: Duration::read_snap(input)?,
         })
     }

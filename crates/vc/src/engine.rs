@@ -4,6 +4,32 @@
 //! into contiguous chunks, each worker emits messages in vertex order, and
 //! inbox merging scans workers in a fixed order — so message delivery
 //! order never depends on thread scheduling. Tests rely on this.
+//!
+//! Two message-plane implementations share that contract
+//! ([`MessagePlane`]):
+//!
+//! * **Flat** (the default): per-(worker, destination-chunk) outbox
+//!   buffers recycled across supersteps, a flat offset-table inbox per
+//!   chunk filled by a two-pass counting scatter (messages move, they are
+//!   never cloned), degree-weighted chunk boundaries cut from the CSR
+//!   out-degree prefix sums, and *sender-side* combining for combiners
+//!   that declare themselves [`Combiner::is_exact`].
+//! * **Naive**: the original per-vertex `Vec<Vec<_>>` plane, kept
+//!   byte-for-byte in behaviour as an A/B baseline for the perf harness.
+//!
+//! Combining policy (see [`Combiner::is_exact`] for the full argument):
+//! sender-side combining partitions the per-destination fold by chunk
+//! layout, which is only bit-stable for grouping-insensitive (exact)
+//! combiners such as min/max selection. Non-exact combiners — floating
+//! point sums — are still honoured, but at delivery time in global sender
+//! order, which keeps N-thread runs bit-identical to 1-thread runs and
+//! combined runs bit-identical to uncombined capture runs.
+//!
+//! Aggregator reductions in the flat plane are folded per fixed-size
+//! *sender block* (a function of the graph size only) and merged in
+//! global block order at the barrier, so floating-point aggregates are
+//! also bit-identical at every thread count; chunk boundaries are aligned
+//! to the block size to make blocks nest inside chunks.
 
 use crate::aggregate::{AggValue, Aggregates};
 use crate::checkpoint::{
@@ -12,12 +38,25 @@ use crate::checkpoint::{
 };
 use crate::context::Context;
 use crate::fault::FaultPlan;
-use crate::message::Envelope;
+use crate::message::{Combiner, Envelope};
 use crate::metrics::{RunMetrics, SuperstepMetrics};
 use crate::program::VertexProgram;
-use ariadne_graph::{Csr, VertexId};
+use ariadne_graph::{ChunkTable, Csr, VertexId};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Which message-plane implementation a run uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum MessagePlane {
+    /// Flat recycled buffers, degree-weighted chunking and sender-side
+    /// combining for exact combiners (the default).
+    #[default]
+    Flat,
+    /// The historical per-vertex `Vec` plane: fresh nested allocations
+    /// every superstep and a `clone` per delivered message. Kept as the
+    /// A/B baseline the bench harness measures the flat plane against.
+    Naive,
+}
 
 /// Engine-level run configuration.
 #[derive(Clone, Debug)]
@@ -29,6 +68,10 @@ pub struct EngineConfig {
     /// Whether to honour the program's message combiner. Ariadne turns
     /// this off when per-source message provenance must be preserved.
     pub use_combiner: bool,
+    /// Which message-plane implementation to run (default
+    /// [`MessagePlane::Flat`]). Both planes produce identical values,
+    /// aggregates and superstep counts.
+    pub plane: MessagePlane,
     /// Barrier snapshotting; honoured by [`Engine::run_checkpointed`]
     /// and [`Engine::resume`] ([`Engine::run`] never touches disk).
     pub checkpoint: Option<CheckpointConfig>,
@@ -43,6 +86,7 @@ impl Default for EngineConfig {
             threads: 1,
             max_supersteps: 10_000,
             use_combiner: true,
+            plane: MessagePlane::Flat,
             checkpoint: None,
             fault: None,
         }
@@ -80,6 +124,72 @@ impl<V> RunResult<V> {
     /// Number of supersteps the analytic executed.
     pub fn supersteps(&self) -> u32 {
         self.metrics.num_supersteps()
+    }
+}
+
+/// One outbox buffer: destination-tagged envelopes bound for one chunk.
+type OutboxBuf<M> = Vec<(VertexId, Envelope<M>)>;
+
+/// One worker's per-destination-chunk outbox buffers.
+type OutboxSet<M> = Vec<OutboxBuf<M>>;
+
+/// Sender-side combining index: destination id → (chunk, index) of the
+/// buffered envelope holding that destination's accumulator.
+///
+/// This sits on the per-message hot path, so it is a dense epoch-stamped
+/// array rather than a hash map: a probe is one bounds-checked load and
+/// one compare, and resetting between supersteps is `O(1)` (bump the
+/// epoch; the backing arrays are never cleared). The tables are recycled
+/// through the engine's pool alongside the outbox shells, so their
+/// `O(|V|)`-per-worker footprint is allocated once per run.
+#[derive(Default)]
+struct DedupTable {
+    /// Epoch stamp per destination; an entry is live iff its stamp
+    /// equals the current epoch.
+    stamp: Vec<u32>,
+    /// `(chunk, index)` of the live accumulator, valid only when stamped.
+    loc: Vec<(u32, usize)>,
+    /// Current epoch. 0 is reserved as "never stamped".
+    epoch: u32,
+}
+
+impl DedupTable {
+    /// Start a fresh superstep over `n` destinations: size the arrays and
+    /// invalidate every previous entry by bumping the epoch.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.loc.resize(n, (0, 0));
+        }
+        self.epoch = match self.epoch.checked_add(1) {
+            Some(e) => e,
+            None => {
+                // Epoch wrapped: stale stamps could collide, so clear
+                // them once every 2^32 supersteps.
+                self.stamp.fill(0);
+                1
+            }
+        };
+    }
+
+    /// The buffered accumulator for destination `v`, if this worker has
+    /// already sent to `v` this superstep.
+    #[inline]
+    fn get(&self, v: usize) -> Option<(usize, usize)> {
+        if self.stamp[v] == self.epoch {
+            let (c, i) = self.loc[v];
+            Some((c as usize, i))
+        } else {
+            None
+        }
+    }
+
+    /// Record that destination `v`'s accumulator lives at
+    /// `outboxes[chunk][idx]`.
+    #[inline]
+    fn insert(&mut self, v: usize, chunk: usize, idx: usize) {
+        self.stamp[v] = self.epoch;
+        self.loc[v] = (chunk as u32, idx);
     }
 }
 
@@ -182,7 +292,7 @@ impl Engine {
         let state = LoopState {
             superstep: checkpoint.superstep,
             values: checkpoint.values,
-            inbox: checkpoint.inbox,
+            inbox: InboxRepr::PerVertex(checkpoint.inbox),
             aggregates: checkpoint.aggregates,
             metrics: checkpoint.metrics,
         };
@@ -216,12 +326,40 @@ impl Engine {
         }
     }
 
-    /// The BSP superstep loop, generic over what happens at barriers.
-    ///
-    /// `sink.on_barrier` runs at every barrier the run *continues*
-    /// past (a finished run returns instead of snapshotting); `fault`
-    /// can kill the run at the top of a superstep.
+    /// Dispatch to the configured message plane. Both planes implement
+    /// the same deterministic BSP loop; see the module docs for how they
+    /// differ mechanically.
     fn drive<P: VertexProgram>(
+        &self,
+        program: &P,
+        graph: &Csr,
+        st: LoopState<P>,
+        sink: &mut dyn BarrierSink<P>,
+        fault: Option<&FaultPlan>,
+    ) -> Result<RunResult<P::V>, EngineError> {
+        if graph.num_vertices() == 0 {
+            return Ok(RunResult {
+                values: st.values,
+                metrics: st.metrics,
+                aggregates: st.aggregates,
+            });
+        }
+        match self.config.plane {
+            MessagePlane::Flat => self.drive_flat(program, graph, st, sink, fault),
+            MessagePlane::Naive => self.drive_naive(program, graph, st, sink, fault),
+        }
+    }
+
+    /// The flat message plane.
+    ///
+    /// Per superstep: phase 1 runs each chunk's vertices against a
+    /// read-only flat inbox, buffering sends into recycled per-(worker,
+    /// destination-chunk) buffers (combined at the sender for exact
+    /// combiners); phase 2 counts arrivals per destination, then moves
+    /// every envelope into a flat `ChunkInbox` with a counting scatter.
+    /// The pair of inbox sets is double-buffered, so after the first few
+    /// supersteps the steady state allocates nothing.
+    fn drive_flat<P: VertexProgram>(
         &self,
         program: &P,
         graph: &Csr,
@@ -233,14 +371,268 @@ impl Engine {
         let base_elapsed = st.metrics.elapsed;
         let n = graph.num_vertices();
 
-        if n == 0 {
-            st.metrics.elapsed = base_elapsed + start.elapsed();
-            return Ok(RunResult {
-                values: st.values,
-                metrics: st.metrics,
-                aggregates: st.aggregates,
+        let combiner = if self.config.use_combiner {
+            program.combiner()
+        } else {
+            None
+        };
+        // Sender-side combining regroups the per-destination fold by
+        // chunk layout; only exact combiners are bit-stable under that.
+        let sender_combining = combiner.as_deref().is_some_and(|c| c.is_exact());
+        let threads = self.config.threads.max(1).min(n);
+        // The aggregate block size depends on the graph only, never the
+        // thread count; chunk boundaries snap to it so blocks nest in
+        // chunks and the barrier merge happens in global block order.
+        let block = sender_block_size(n);
+        let table = ChunkTable::degree_weighted(graph, threads, block);
+        let num_chunks = table.num_chunks();
+        debug_assert_eq!(table.num_vertices(), n);
+        let max_supersteps = self.config.max_supersteps.min(program.max_supersteps());
+        let always_active = program.always_active();
+
+        // This plane keeps the inbox flat; fresh and resumed states
+        // arrive per-vertex and are converted once here. The flat data
+        // is the concatenation of per-vertex lists in vertex order, so
+        // the conversion is layout-only: resume stays bit-identical.
+        let repr = std::mem::replace(&mut st.inbox, InboxRepr::PerVertex(Vec::new()));
+        st.inbox = InboxRepr::Flat(repr.into_flat(&table));
+
+        // Recycled buffers: the spare inbox set double-buffers against
+        // `st.inbox`; outbox shells and dedup maps round-trip through
+        // pools; `cursors` is per-destination-chunk scatter scratch.
+        let mut spare: Vec<ChunkInbox<P::M>> = (0..num_chunks)
+            .map(|c| ChunkInbox::empty(table.bounds(c)))
+            .collect();
+        let mut box_pool: Vec<Vec<(VertexId, Envelope<P::M>)>> = Vec::new();
+        let mut dedup_pool: Vec<DedupTable> = Vec::new();
+        let mut cursors: Vec<Vec<usize>> = (0..num_chunks).map(|_| Vec::new()).collect();
+
+        loop {
+            let step_start = Instant::now();
+            let superstep = st.superstep;
+
+            // Scripted crash: the "worker" dies before computing this
+            // superstep, exactly as if the process was killed between
+            // barriers. One-shot, so a resume sails past this point.
+            if let Some(f) = fault {
+                if f.take_kill(superstep) {
+                    return Err(EngineError::InjectedCrash { superstep });
+                }
+            }
+
+            // Phase 1: compute. Workers own contiguous degree-weighted
+            // chunks of values and read the flat inbox immutably.
+            let mut worker_out: Vec<FlatWorkerOutput<P::M>> = Vec::with_capacity(num_chunks);
+            let mut active_total = 0usize;
+            {
+                let inbox_chunks: &[ChunkInbox<P::M>] = match &st.inbox {
+                    InboxRepr::Flat(v) => v,
+                    InboxRepr::PerVertex(_) => unreachable!("flat plane keeps a flat inbox"),
+                };
+                let value_chunks = split_by_table(&mut st.values, &table);
+                let agg_ref = &st.aggregates;
+                let table_ref = &table;
+                let sender = if sender_combining {
+                    combiner.as_deref()
+                } else {
+                    None
+                };
+                let prepped: Vec<(OutboxSet<P::M>, DedupTable)> = (0..num_chunks)
+                    .map(|_| {
+                        (
+                            take_bufs(&mut box_pool, num_chunks),
+                            dedup_pool.pop().unwrap_or_default(),
+                        )
+                    })
+                    .collect();
+                let results: Vec<FlatWorkerOutput<P::M>> = if num_chunks == 1 {
+                    value_chunks
+                        .into_iter()
+                        .zip(inbox_chunks)
+                        .zip(prepped)
+                        .enumerate()
+                        .map(|(c, ((vals, ibx), (boxes, dedup)))| {
+                            run_chunk_flat::<P>(
+                                program,
+                                graph,
+                                superstep,
+                                always_active,
+                                table_ref.bounds(c),
+                                vals,
+                                ibx,
+                                agg_ref,
+                                table_ref,
+                                sender,
+                                block,
+                                boxes,
+                                dedup,
+                            )
+                        })
+                        .collect()
+                } else {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = value_chunks
+                            .into_iter()
+                            .zip(inbox_chunks)
+                            .zip(prepped)
+                            .enumerate()
+                            .map(|(c, ((vals, ibx), (boxes, dedup)))| {
+                                scope.spawn(move || {
+                                    run_chunk_flat::<P>(
+                                        program,
+                                        graph,
+                                        superstep,
+                                        always_active,
+                                        table_ref.bounds(c),
+                                        vals,
+                                        ibx,
+                                        agg_ref,
+                                        table_ref,
+                                        sender,
+                                        block,
+                                        boxes,
+                                        dedup,
+                                    )
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                };
+                for out in results {
+                    active_total += out.active;
+                    worker_out.push(out);
+                }
+            }
+
+            // Barrier: merge per-block aggregate partials in global block
+            // order (workers own consecutive block runs, so scanning
+            // workers then blocks *is* block order), and recycle the
+            // dedup tables (epoch-stamped, so no clearing is needed).
+            for wo in &mut worker_out {
+                for ab in &wo.agg_blocks {
+                    st.aggregates.merge_current(ab);
+                }
+                dedup_pool.push(std::mem::take(&mut wo.dedup));
+            }
+
+            // Phase 2: deliver. Transpose outboxes to per-destination
+            // producer lists ([worker][dest] → [dest][worker]) by move,
+            // scatter into the spare inbox set, then recycle the drained
+            // shells. Producers are scanned in worker order and each
+            // buffer is in emission order, so the flat inbox holds each
+            // vertex's messages in global sender order.
+            let (messages_sent, message_bytes, buffered_messages, buffered_bytes) = {
+                let mut transposed: Vec<OutboxSet<P::M>> = (0..num_chunks)
+                    .map(|d| {
+                        worker_out
+                            .iter_mut()
+                            .map(|wo| std::mem::take(&mut wo.outboxes[d]))
+                            .collect()
+                    })
+                    .collect();
+                let deliver = combiner.as_deref();
+                let counts: Vec<(usize, usize, usize, usize)> = if num_chunks == 1 {
+                    spare
+                        .iter_mut()
+                        .zip(transposed.iter_mut())
+                        .zip(cursors.iter_mut())
+                        .map(|((sp, bufs), cur)| {
+                            deliver_chunk_flat::<P>(program, deliver, sp, bufs, cur)
+                        })
+                        .collect()
+                } else {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = spare
+                            .iter_mut()
+                            .zip(transposed.iter_mut())
+                            .zip(cursors.iter_mut())
+                            .map(|((sp, bufs), cur)| {
+                                scope.spawn(move || {
+                                    deliver_chunk_flat::<P>(program, deliver, sp, bufs, cur)
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().unwrap()).collect()
+                    })
+                };
+                for bufs in &mut transposed {
+                    for b in bufs.drain(..) {
+                        debug_assert!(b.is_empty(), "delivery must drain every producer buffer");
+                        box_pool.push(b);
+                    }
+                }
+                counts
+                    .into_iter()
+                    .fold((0, 0, 0, 0), |(s, b, m, mb), (cs, cb, cm, cmb)| {
+                        (s + cs, b + cb, m + cm, mb + cmb)
+                    })
+            };
+
+            // Swap the freshly-delivered inbox set in; the one compute
+            // just read becomes next superstep's spare (its contents are
+            // cleared, capacity kept, at the next delivery).
+            if let InboxRepr::Flat(cur) = &mut st.inbox {
+                std::mem::swap(cur, &mut spare);
+            }
+
+            st.metrics.supersteps.push(SuperstepMetrics {
+                superstep,
+                active_vertices: active_total,
+                messages_sent,
+                message_bytes,
+                buffered_messages,
+                buffered_bytes,
+                elapsed: step_start.elapsed(),
             });
+
+            // Termination checks at the barrier.
+            let halted = program.should_halt(superstep, &st.aggregates);
+            st.aggregates.rotate();
+            let no_traffic = messages_sent == 0 && !always_active;
+            st.superstep = superstep + 1;
+            if halted || no_traffic || st.superstep >= max_supersteps {
+                break;
+            }
+
+            // Barrier snapshot hook for runs that continue. The sink
+            // decides whether this barrier is on its interval; the
+            // recorded elapsed time covers everything up to here so a
+            // resumed run reports a sensible total.
+            st.metrics.elapsed = base_elapsed + start.elapsed();
+            sink.on_barrier(&st)?;
         }
+
+        st.metrics.elapsed = base_elapsed + start.elapsed();
+        Ok(RunResult {
+            values: st.values,
+            metrics: st.metrics,
+            aggregates: st.aggregates,
+        })
+    }
+
+    /// The naive message plane: the engine's original superstep loop,
+    /// preserved as a measurable baseline (fresh nested `Vec` allocations
+    /// each superstep, one clone per delivered message, uniform vertex
+    /// chunking, delivery-side combining only).
+    fn drive_naive<P: VertexProgram>(
+        &self,
+        program: &P,
+        graph: &Csr,
+        mut st: LoopState<P>,
+        sink: &mut dyn BarrierSink<P>,
+        fault: Option<&FaultPlan>,
+    ) -> Result<RunResult<P::V>, EngineError> {
+        let start = Instant::now();
+        let base_elapsed = st.metrics.elapsed;
+        let n = graph.num_vertices();
+
+        // This plane keeps the inbox per-vertex (a flat-repr state can
+        // only reach here if a caller round-trips state between planes,
+        // but the normalization is cheap insurance).
+        let pv = std::mem::replace(&mut st.inbox, InboxRepr::PerVertex(Vec::new()))
+            .into_per_vertex();
+        st.inbox = InboxRepr::PerVertex(pv);
 
         let combiner = if self.config.use_combiner {
             program.combiner()
@@ -260,9 +652,6 @@ impl Engine {
             let step_start = Instant::now();
             let superstep = st.superstep;
 
-            // Scripted crash: the "worker" dies before computing this
-            // superstep, exactly as if the process was killed between
-            // barriers. One-shot, so a resume sails past this point.
             if let Some(f) = fault {
                 if f.take_kill(superstep) {
                     return Err(EngineError::InjectedCrash { superstep });
@@ -271,16 +660,18 @@ impl Engine {
 
             // Phase 1: compute. Workers own contiguous chunks of values
             // and inboxes; each produces per-destination-chunk outboxes.
-            #[allow(clippy::type_complexity)]
-            let mut worker_out: Vec<Vec<Vec<(VertexId, Envelope<P::M>)>>> =
-                Vec::with_capacity(threads);
+            let mut worker_out: Vec<OutboxSet<P::M>> = Vec::with_capacity(threads);
             let mut worker_aggs: Vec<Aggregates> = Vec::with_capacity(threads);
             let mut active_total = 0usize;
 
             {
+                let inbox_vec = match &mut st.inbox {
+                    InboxRepr::PerVertex(v) => v,
+                    InboxRepr::Flat(_) => unreachable!("naive plane keeps a per-vertex inbox"),
+                };
                 let value_chunks: Vec<&mut [P::V]> = st.values.chunks_mut(chunk_size).collect();
                 let inbox_chunks: Vec<&mut [Vec<Envelope<P::M>>]> =
-                    st.inbox.chunks_mut(chunk_size).collect();
+                    inbox_vec.chunks_mut(chunk_size).collect();
                 let agg_ref = &st.aggregates;
                 let results: Vec<WorkerOutput<P::M>> = if threads == 1 {
                     value_chunks
@@ -350,30 +741,45 @@ impl Engine {
                 let base = t * chunk_size;
                 let mut sent = 0usize;
                 let mut bytes = 0usize;
+                let mut buffered = 0usize;
+                let mut buffered_bytes = 0usize;
                 for w_out in &worker_out {
                     for (to, env) in &w_out[t] {
                         let slot = &mut inbox_chunk[to.index() - base];
-                        sent += 1;
-                        bytes += program.message_bytes(&env.msg);
+                        let incoming = program.message_bytes(&env.msg);
+                        buffered += 1;
+                        buffered_bytes += incoming;
                         match (&combiner, slot.last_mut()) {
                             (Some(c), Some(acc)) => {
+                                // Combining replaced the slot; the metric
+                                // counts post-combining stored messages at
+                                // their *final* size, so re-measure the
+                                // accumulator after the merge (a combiner
+                                // may grow or shrink it).
+                                let before = program.message_bytes(&acc.msg);
                                 c.combine(&mut acc.msg, &env.msg);
                                 acc.src = Envelope::<P::M>::COMBINED;
-                                // Combining replaced the slot; the metric
-                                // counts post-combining stored messages.
-                                sent -= 1;
-                                bytes -= program.message_bytes(&env.msg);
+                                let after = program.message_bytes(&acc.msg);
+                                bytes = bytes - before + after;
                             }
-                            _ => slot.push(env.clone()),
+                            _ => {
+                                slot.push(env.clone());
+                                sent += 1;
+                                bytes += incoming;
+                            }
                         }
                     }
                 }
-                (sent, bytes)
+                (sent, bytes, buffered, buffered_bytes)
             };
-            let (messages_sent, message_bytes) = {
+            let (messages_sent, message_bytes, buffered_messages, buffered_bytes) = {
+                let inbox_vec = match &mut st.inbox {
+                    InboxRepr::PerVertex(v) => v,
+                    InboxRepr::Flat(_) => unreachable!("naive plane keeps a per-vertex inbox"),
+                };
                 let inbox_chunks: Vec<&mut [Vec<Envelope<P::M>>]> =
-                    st.inbox.chunks_mut(chunk_size).collect();
-                let counts: Vec<(usize, usize)> = if threads == 1 {
+                    inbox_vec.chunks_mut(chunk_size).collect();
+                let counts: Vec<(usize, usize, usize, usize)> = if threads == 1 {
                     inbox_chunks
                         .into_iter()
                         .enumerate()
@@ -392,7 +798,9 @@ impl Engine {
                 };
                 counts
                     .into_iter()
-                    .fold((0, 0), |(s, b), (cs, cb)| (s + cs, b + cb))
+                    .fold((0, 0, 0, 0), |(s, b, m, mb), (cs, cb, cm, cmb)| {
+                        (s + cs, b + cb, m + cm, mb + cmb)
+                    })
             };
 
             st.metrics.supersteps.push(SuperstepMetrics {
@@ -400,6 +808,8 @@ impl Engine {
                 active_vertices: active_total,
                 messages_sent,
                 message_bytes,
+                buffered_messages,
+                buffered_bytes,
                 elapsed: step_start.elapsed(),
             });
 
@@ -412,10 +822,6 @@ impl Engine {
                 break;
             }
 
-            // Barrier snapshot hook for runs that continue. The sink
-            // decides whether this barrier is on its interval; the
-            // recorded elapsed time covers everything up to here so a
-            // resumed run reports a sensible total.
             st.metrics.elapsed = base_elapsed + start.elapsed();
             sink.on_barrier(&st)?;
         }
@@ -429,6 +835,96 @@ impl Engine {
     }
 }
 
+/// Messages delivered for one destination chunk, stored flat.
+///
+/// `data` holds every envelope for vertices `base..base + len` in
+/// ascending local-vertex order; `starts` (length `len + 1`) indexes it,
+/// so vertex `base + i`'s inbox is `data[starts[i]..starts[i + 1]]`.
+/// Within one vertex's slice, envelopes are in global sender order.
+struct ChunkInbox<M> {
+    /// First global vertex index of the chunk.
+    base: usize,
+    /// Per-local-vertex offsets into `data` (exclusive prefix sums).
+    starts: Vec<usize>,
+    /// All envelopes for the chunk, grouped by destination.
+    data: Vec<Envelope<M>>,
+}
+
+impl<M> ChunkInbox<M> {
+    /// An empty inbox for the vertex range `[start, end)`.
+    fn empty((start, end): (usize, usize)) -> Self {
+        ChunkInbox {
+            base: start,
+            starts: vec![0; end - start + 1],
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of vertices this chunk covers.
+    fn vertex_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Messages for local vertex `local` (index within the chunk).
+    #[inline]
+    fn msgs(&self, local: usize) -> &[Envelope<M>] {
+        &self.data[self.starts[local]..self.starts[local + 1]]
+    }
+}
+
+/// The engine's inbox, in whichever layout the active plane uses.
+///
+/// Checkpoints always serialize the per-vertex layout (the two encode
+/// byte-identically via [`write_inbox_snap`]), so snapshot files are
+/// plane-agnostic and the flat plane resumes bit-identically.
+enum InboxRepr<M> {
+    /// One `Vec` per vertex (naive plane, fresh/resumed state).
+    PerVertex(Vec<Vec<Envelope<M>>>),
+    /// One flat buffer per chunk (flat plane).
+    Flat(Vec<ChunkInbox<M>>),
+}
+
+impl<M> InboxRepr<M> {
+    /// Convert to the per-vertex layout, preserving per-vertex message
+    /// order exactly.
+    fn into_per_vertex(self) -> Vec<Vec<Envelope<M>>> {
+        match self {
+            InboxRepr::PerVertex(v) => v,
+            InboxRepr::Flat(chunks) => {
+                let mut out = Vec::new();
+                for chunk in chunks {
+                    let ChunkInbox { starts, data, .. } = chunk;
+                    let mut iter = data.into_iter();
+                    for w in starts.windows(2) {
+                        out.push(iter.by_ref().take(w[1] - w[0]).collect());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Convert to the flat layout for `table`'s chunking, preserving
+    /// per-vertex message order exactly.
+    fn into_flat(self, table: &ChunkTable) -> Vec<ChunkInbox<M>> {
+        let per_vertex = self.into_per_vertex();
+        debug_assert_eq!(per_vertex.len(), table.num_vertices());
+        let mut iter = per_vertex.into_iter();
+        let mut chunks = Vec::with_capacity(table.num_chunks());
+        for c in 0..table.num_chunks() {
+            let bounds = table.bounds(c);
+            let mut inbox = ChunkInbox::empty(bounds);
+            for i in 0..(bounds.1 - bounds.0) {
+                let msgs = iter.next().expect("inbox shorter than partition table");
+                inbox.data.extend(msgs);
+                inbox.starts[i + 1] = inbox.data.len();
+            }
+            chunks.push(inbox);
+        }
+        chunks
+    }
+}
+
 /// Mutable engine state that is live across a barrier — exactly what a
 /// checkpoint captures.
 struct LoopState<P: VertexProgram> {
@@ -436,8 +932,8 @@ struct LoopState<P: VertexProgram> {
     superstep: u32,
     /// Vertex values.
     values: Vec<P::V>,
-    /// Messages delivered for superstep `superstep`, per vertex.
-    inbox: Vec<Vec<Envelope<P::M>>>,
+    /// Messages delivered for superstep `superstep`.
+    inbox: InboxRepr<P::M>,
     /// Aggregator state (rotated: `previous` holds the last barrier's
     /// reductions).
     aggregates: Aggregates,
@@ -453,10 +949,42 @@ fn fresh_state<P: VertexProgram>(program: &P, graph: &Csr) -> LoopState<P> {
         values: (0..n)
             .map(|i| program.init(VertexId(i as u64), graph))
             .collect(),
-        inbox: (0..n).map(|_| Vec::new()).collect(),
+        inbox: InboxRepr::PerVertex((0..n).map(|_| Vec::new()).collect()),
         aggregates: Aggregates::new(program.aggregators()),
         metrics: RunMetrics::default(),
     }
+}
+
+/// The aggregate/sender block size for a graph with `n` vertices: a pure
+/// function of the graph (never the thread count), so per-block aggregate
+/// folds are identical at every parallelism level. ~128 blocks keeps the
+/// barrier merge negligible while bounding partial-flush overhead.
+fn sender_block_size(n: usize) -> usize {
+    (n / 128).max(16)
+}
+
+/// Split `values` into per-chunk mutable slices matching `table`.
+fn split_by_table<'a, T>(values: &'a mut [T], table: &ChunkTable) -> Vec<&'a mut [T]> {
+    let mut rest = values;
+    let mut out = Vec::with_capacity(table.num_chunks());
+    for c in 0..table.num_chunks() {
+        let (s, e) = table.bounds(c);
+        let (head, tail) = rest.split_at_mut(e - s);
+        out.push(head);
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty());
+    out
+}
+
+/// Take `k` buffers from `pool` (reusing retained capacity), topping up
+/// with fresh empty ones.
+fn take_bufs<T>(pool: &mut Vec<Vec<T>>, k: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        out.push(pool.pop().unwrap_or_default());
+    }
+    out
 }
 
 /// What happens at a barrier the run continues past.
@@ -494,6 +1022,28 @@ where
     }
 }
 
+/// Encode the inbox exactly as `Vec<Vec<Envelope<M>>>::write_snap` would,
+/// from either layout: outer vertex count, then per vertex a length
+/// prefix and its envelopes. Keeps snapshot files plane-agnostic.
+fn write_inbox_snap<M: Snapshot>(inbox: &InboxRepr<M>, out: &mut Vec<u8>) {
+    match inbox {
+        InboxRepr::PerVertex(v) => v.write_snap(out),
+        InboxRepr::Flat(chunks) => {
+            let n: usize = chunks.iter().map(|c| c.vertex_count()).sum();
+            n.write_snap(out);
+            for chunk in chunks {
+                for i in 0..chunk.vertex_count() {
+                    let msgs = chunk.msgs(i);
+                    msgs.len().write_snap(out);
+                    for e in msgs {
+                        e.write_snap(out);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Serialize `state` into a checkpoint file (field-by-field, matching
 /// [`EngineCheckpoint`]'s layout, without cloning the state), then apply
 /// any scripted corruption to the file that just landed.
@@ -510,7 +1060,7 @@ where
     let mut payload = Vec::new();
     state.superstep.write_snap(&mut payload);
     state.values.write_snap(&mut payload);
-    state.inbox.write_snap(&mut payload);
+    write_inbox_snap(&state.inbox, &mut payload);
     state.aggregates.write_snap(&mut payload);
     state.metrics.write_snap(&mut payload);
 
@@ -546,12 +1096,12 @@ fn corrupt_snapshot_file(path: &std::path::Path) -> Result<(), EngineError> {
 
 struct WorkerOutput<M> {
     /// Outboxes indexed by destination chunk.
-    outboxes: Vec<Vec<(VertexId, Envelope<M>)>>,
+    outboxes: OutboxSet<M>,
     aggregates: Aggregates,
     active: usize,
 }
 
-/// Execute one superstep for a contiguous chunk of vertices.
+/// Execute one superstep for a contiguous chunk of vertices (naive plane).
 #[allow(clippy::too_many_arguments)]
 fn run_chunk<P: VertexProgram>(
     program: &P,
@@ -592,13 +1142,216 @@ fn run_chunk<P: VertexProgram>(
     }
 }
 
-/// The engine's own [`Context`] implementation.
+/// One flat-plane worker's superstep output.
+struct FlatWorkerOutput<M> {
+    /// Outboxes indexed by destination chunk (post sender-combining).
+    outboxes: OutboxSet<M>,
+    /// Aggregate partials, one per sender block the chunk covers, in
+    /// block order.
+    agg_blocks: Vec<Aggregates>,
+    /// The sender-combining index, returned for pool recycling.
+    dedup: DedupTable,
+    active: usize,
+}
+
+/// Execute one superstep for a contiguous chunk of vertices (flat plane).
+///
+/// The inbox is read immutably (the flat plane double-buffers inbox sets
+/// instead of `mem::take`-ing per-vertex vectors) and aggregate
+/// contributions are flushed per sender block so the barrier can merge
+/// them in a thread-count-independent order.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk_flat<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    superstep: u32,
+    always_active: bool,
+    bounds: (usize, usize),
+    values: &mut [P::V],
+    inbox: &ChunkInbox<P::M>,
+    global_aggs: &Aggregates,
+    table: &ChunkTable,
+    sender_combiner: Option<&dyn Combiner<P::M>>,
+    block: usize,
+    outboxes: OutboxSet<P::M>,
+    mut dedup: DedupTable,
+) -> FlatWorkerOutput<P::M> {
+    let (start, end) = bounds;
+    debug_assert_eq!(values.len(), end - start);
+    debug_assert_eq!(inbox.vertex_count(), end - start);
+    dedup.begin(graph.num_vertices());
+    let mut ctx = FlatContext {
+        superstep,
+        vertex: VertexId(0),
+        graph,
+        table,
+        outboxes,
+        sender_combiner,
+        dedup,
+        last: None,
+        local_aggs: global_aggs.fresh_local(),
+        global_aggs,
+        num_vertices: graph.num_vertices(),
+    };
+    let mut agg_blocks = Vec::new();
+    let mut active = 0usize;
+    for (offset, value) in values.iter_mut().enumerate() {
+        let gv = start + offset;
+        let msgs = inbox.msgs(offset);
+        if superstep == 0 || always_active || !msgs.is_empty() {
+            active += 1;
+            ctx.vertex = VertexId(gv as u64);
+            program.compute(&mut ctx, value, msgs);
+        }
+        // Flush aggregate partials at block boundaries (chunk bounds are
+        // block-aligned except the final `n`, so globally the flush
+        // points are the same at every thread count).
+        if (gv + 1) % block == 0 || gv + 1 == end {
+            agg_blocks.push(std::mem::replace(
+                &mut ctx.local_aggs,
+                global_aggs.fresh_local(),
+            ));
+        }
+    }
+    FlatWorkerOutput {
+        outboxes: ctx.outboxes,
+        agg_blocks,
+        dedup: ctx.dedup,
+        active,
+    }
+}
+
+/// Scatter every producer's buffered envelopes for one destination chunk
+/// into its flat inbox, by move. Returns
+/// `(messages_sent, message_bytes, buffered_messages, buffered_bytes)`.
+///
+/// Pass 1 counts arrivals per destination and runs all user code
+/// (`message_bytes`) while `inbox.data` is in a safe empty state; pass 2
+/// is pure moves into reserved capacity, so a panic can never expose
+/// uninitialized data (a panicking user combiner leaks the spare
+/// capacity's envelopes, which is safe).
+fn deliver_chunk_flat<P: VertexProgram>(
+    program: &P,
+    combiner: Option<&dyn Combiner<P::M>>,
+    inbox: &mut ChunkInbox<P::M>,
+    producers: &mut [OutboxBuf<P::M>],
+    cursors: &mut Vec<usize>,
+) -> (usize, usize, usize, usize) {
+    let base = inbox.base;
+    let len = inbox.vertex_count();
+    cursors.clear();
+    cursors.resize(len, 0);
+
+    // Pass 1: arrival counts + buffered accounting. What sits in the
+    // producer buffers is exactly what the message plane materialized
+    // (post sender-combining), which is what the buffered_* metrics
+    // measure. This also drops the previous tenants of `inbox.data`
+    // (the set read two supersteps ago), in parallel across chunks.
+    inbox.data.clear();
+    let mut buffered = 0usize;
+    let mut buffered_bytes = 0usize;
+    for buf in producers.iter() {
+        for (to, env) in buf.iter() {
+            debug_assert!(
+                to.index() >= base && to.index() - base < len,
+                "envelope for {to} mis-routed to chunk [{base}, {})",
+                base + len
+            );
+            cursors[to.index() - base] += 1;
+            buffered += 1;
+            buffered_bytes += program.message_bytes(&env.msg);
+        }
+    }
+
+    match combiner {
+        None => {
+            // Counting scatter: starts = exclusive prefix sums, cursors
+            // double as per-destination write positions.
+            let mut total = 0usize;
+            inbox.starts[0] = 0;
+            for (i, c) in cursors.iter_mut().enumerate() {
+                let arrivals = *c;
+                *c = total;
+                total += arrivals;
+                inbox.starts[i + 1] = total;
+            }
+            inbox.data.reserve(total);
+            {
+                let slots = inbox.data.spare_capacity_mut();
+                // Pass 2: pure moves — no user code can panic here.
+                for buf in producers.iter_mut() {
+                    for (to, env) in buf.drain(..) {
+                        let local = to.index() - base;
+                        let pos = cursors[local];
+                        cursors[local] += 1;
+                        slots[pos].write(env);
+                    }
+                }
+            }
+            // SAFETY: destination i's cursor swept exactly
+            // `starts[i]..starts[i + 1]`; those ranges partition
+            // `0..total` and each of the `total` arrivals wrote one
+            // distinct slot, so all elements below `total` are
+            // initialized exactly once.
+            unsafe { inbox.data.set_len(total) };
+            // Without combining, stored == buffered.
+            (total, buffered_bytes, buffered, buffered_bytes)
+        }
+        Some(c) => {
+            // Delivery-side combining: one slot per destination with at
+            // least one arrival, folded in global sender order (exactly
+            // the fold an uncombined inbox would hand the vertex).
+            let mut total = 0usize;
+            inbox.starts[0] = 0;
+            for (i, cur) in cursors.iter_mut().enumerate() {
+                total += (*cur > 0) as usize;
+                // Reuse the cursor as a "slot initialized" flag.
+                *cur = 0;
+                inbox.starts[i + 1] = total;
+            }
+            inbox.data.reserve(total);
+            {
+                let slots = inbox.data.spare_capacity_mut();
+                for buf in producers.iter_mut() {
+                    for (to, env) in buf.drain(..) {
+                        let local = to.index() - base;
+                        let pos = inbox.starts[local];
+                        if cursors[local] == 0 {
+                            slots[pos].write(env);
+                            cursors[local] = 1;
+                        } else {
+                            // SAFETY: this destination's first arrival
+                            // initialized slot `pos` and set the flag.
+                            let acc = unsafe { slots[pos].assume_init_mut() };
+                            c.combine(&mut acc.msg, &env.msg);
+                            acc.src = Envelope::<P::M>::COMBINED;
+                        }
+                    }
+                }
+            }
+            // SAFETY: `total` counts exactly the destinations with
+            // arrivals; each owns the distinct slot `starts[local]` and
+            // was initialized by its first arrival.
+            unsafe { inbox.data.set_len(total) };
+            // Post-combine accounting: the metric counts stored messages
+            // at their final (combined) size.
+            let bytes: usize = inbox
+                .data
+                .iter()
+                .map(|e| program.message_bytes(&e.msg))
+                .sum();
+            (total, bytes, buffered, buffered_bytes)
+        }
+    }
+}
+
+/// The engine's own [`Context`] implementation (naive plane).
 struct EngineContext<'a, M> {
     superstep: u32,
     vertex: VertexId,
     graph: &'a Csr,
     /// Per-destination-chunk message buffers.
-    outboxes: Vec<Vec<(VertexId, Envelope<M>)>>,
+    outboxes: OutboxSet<M>,
     local_aggs: Aggregates,
     global_aggs: &'a Aggregates,
     chunk_size: usize,
@@ -624,8 +1377,98 @@ impl<M> Context<M> for EngineContext<'_, M> {
             "message sent to nonexistent vertex {to} (graph has {} vertices)",
             self.num_vertices
         );
-        let chunk = (to.index() / self.chunk_size).min(self.outboxes.len() - 1);
+        // In-range destinations always land in a real chunk:
+        // `to.index() < n <= num_chunks * chunk_size`, so the quotient is
+        // below `num_chunks`. (The old `.min(len - 1)` clamp here could
+        // only ever have masked a routing bug silently.)
+        let chunk = to.index() / self.chunk_size;
+        debug_assert!(
+            chunk < self.outboxes.len(),
+            "destination {to} routed past the last chunk ({} chunks)",
+            self.outboxes.len()
+        );
         self.outboxes[chunk].push((to, Envelope::new(self.vertex, msg)));
+    }
+
+    fn aggregate(&mut self, name: &str, value: AggValue) {
+        self.local_aggs.contribute(name, value);
+    }
+
+    fn prev_aggregate(&self, name: &str) -> Option<AggValue> {
+        self.global_aggs.previous(name)
+    }
+}
+
+/// The flat plane's [`Context`] implementation.
+///
+/// Routing uses the chunk table's boundary search (each destination maps
+/// into exactly one chunk, debug-asserted there). When an exact sender
+/// combiner is installed, sends to a destination this worker already
+/// buffered for are folded in place instead of appended: a last-send
+/// fast path handles repeated sends to the same destination without a
+/// table probe, and the dense dedup table catches the rest.
+struct FlatContext<'a, M> {
+    superstep: u32,
+    vertex: VertexId,
+    graph: &'a Csr,
+    table: &'a ChunkTable,
+    /// Per-destination-chunk message buffers (recycled).
+    outboxes: OutboxSet<M>,
+    /// Exact combiner to fold at the sender, if any.
+    sender_combiner: Option<&'a dyn Combiner<M>>,
+    /// destination id → (chunk, index) of its buffered accumulator.
+    dedup: DedupTable,
+    /// Last destination written: (id, chunk, index).
+    last: Option<(u64, usize, usize)>,
+    local_aggs: Aggregates,
+    global_aggs: &'a Aggregates,
+    num_vertices: usize,
+}
+
+impl<M> Context<M> for FlatContext<'_, M> {
+    fn superstep(&self) -> u32 {
+        self.superstep
+    }
+
+    fn vertex(&self) -> VertexId {
+        self.vertex
+    }
+
+    fn graph(&self) -> &Csr {
+        self.graph
+    }
+
+    fn send(&mut self, to: VertexId, msg: M) {
+        assert!(
+            to.index() < self.num_vertices,
+            "message sent to nonexistent vertex {to} (graph has {} vertices)",
+            self.num_vertices
+        );
+        if let Some(c) = self.sender_combiner {
+            if let Some((last_id, lc, li)) = self.last {
+                if last_id == to.0 {
+                    let acc = &mut self.outboxes[lc][li].1;
+                    c.combine(&mut acc.msg, &msg);
+                    acc.src = Envelope::<M>::COMBINED;
+                    return;
+                }
+            }
+            if let Some((dc, di)) = self.dedup.get(to.index()) {
+                let acc = &mut self.outboxes[dc][di].1;
+                c.combine(&mut acc.msg, &msg);
+                acc.src = Envelope::<M>::COMBINED;
+                self.last = Some((to.0, dc, di));
+                return;
+            }
+            let chunk = self.table.chunk_of(to.index());
+            let idx = self.outboxes[chunk].len();
+            self.outboxes[chunk].push((to, Envelope::new(self.vertex, msg)));
+            self.dedup.insert(to.index(), chunk, idx);
+            self.last = Some((to.0, chunk, idx));
+        } else {
+            let chunk = self.table.chunk_of(to.index());
+            self.outboxes[chunk].push((to, Envelope::new(self.vertex, msg)));
+        }
     }
 
     fn aggregate(&mut self, name: &str, value: AggValue) {
@@ -695,6 +1538,75 @@ mod tests {
         assert_eq!(seq.supersteps(), par.supersteps());
     }
 
+    #[test]
+    fn naive_plane_matches_flat() {
+        let g = ariadne_graph::generators::rmat(ariadne_graph::generators::RmatConfig {
+            scale: 8,
+            edge_factor: 4,
+            ..Default::default()
+        });
+        for threads in [1usize, 4] {
+            let flat = Engine::new(EngineConfig {
+                threads,
+                ..EngineConfig::default()
+            })
+            .run(&MinFlood, &g);
+            let naive = Engine::new(EngineConfig {
+                threads,
+                plane: MessagePlane::Naive,
+                ..EngineConfig::default()
+            })
+            .run(&MinFlood, &g);
+            assert_eq!(flat.values, naive.values);
+            assert_eq!(flat.supersteps(), naive.supersteps());
+            // MinFlood has no combiner, so even the buffered accounting
+            // must agree between the planes.
+            for (a, b) in flat.metrics.supersteps.iter().zip(&naive.metrics.supersteps) {
+                assert_eq!(
+                    (
+                        a.active_vertices,
+                        a.messages_sent,
+                        a.message_bytes,
+                        a.buffered_messages,
+                        a.buffered_bytes
+                    ),
+                    (
+                        b.active_vertices,
+                        b.messages_sent,
+                        b.message_bytes,
+                        b.buffered_messages,
+                        b.buffered_bytes
+                    ),
+                    "superstep {} diverged ({threads} threads)",
+                    a.superstep
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_metrics() {
+        let g = ariadne_graph::generators::rmat(ariadne_graph::generators::RmatConfig {
+            scale: 8,
+            edge_factor: 4,
+            ..Default::default()
+        });
+        let base = Engine::new(EngineConfig::sequential()).run(&MinFlood, &g);
+        for threads in [2usize, 3, 7] {
+            let r = Engine::new(EngineConfig::parallel(threads)).run(&MinFlood, &g);
+            assert_eq!(r.values, base.values, "{threads} threads");
+            assert_eq!(r.supersteps(), base.supersteps(), "{threads} threads");
+            for (a, b) in r.metrics.supersteps.iter().zip(&base.metrics.supersteps) {
+                assert_eq!(
+                    (a.active_vertices, a.messages_sent, a.message_bytes),
+                    (b.active_vertices, b.messages_sent, b.message_bytes),
+                    "superstep {} diverged at {threads} threads",
+                    a.superstep
+                );
+            }
+        }
+    }
+
     /// Counts supersteps via always_active + max cap.
     struct StepCounter;
     impl VertexProgram for StepCounter {
@@ -761,6 +1673,28 @@ mod tests {
         // total = 2 * 0.5^s < 0.1 => s = 5.
         assert_eq!(r.supersteps(), 5);
         assert!(r.aggregates.previous("total").unwrap().as_f64() < 0.1);
+    }
+
+    #[test]
+    fn float_aggregates_bit_identical_across_threads() {
+        // f64 sums are grouping-sensitive; the flat plane's per-block
+        // partial merge must make them thread-invariant anyway.
+        let g = ariadne_graph::generators::rmat(ariadne_graph::generators::RmatConfig {
+            scale: 8,
+            edge_factor: 4,
+            ..Default::default()
+        });
+        let base = Engine::new(EngineConfig::sequential()).run(&AggHalt, &g);
+        for threads in [2usize, 3, 7] {
+            let r = Engine::new(EngineConfig::parallel(threads)).run(&AggHalt, &g);
+            assert_eq!(r.aggregates, base.aggregates, "{threads} threads");
+            assert_eq!(r.supersteps(), base.supersteps(), "{threads} threads");
+            assert_eq!(
+                r.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                base.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
     }
 
     /// Echoes received messages back; sends its own id at step 0.
@@ -837,6 +1771,26 @@ mod tests {
         let _ = Engine::new(EngineConfig::sequential()).run(&Bad, &g);
     }
 
+    #[test]
+    #[should_panic(expected = "nonexistent vertex")]
+    fn send_out_of_range_panics_naive() {
+        struct Bad;
+        impl VertexProgram for Bad {
+            type V = ();
+            type M = ();
+            fn init(&self, _: VertexId, _: &Csr) {}
+            fn compute(&self, ctx: &mut dyn Context<()>, _: &mut (), _: &[Envelope<()>]) {
+                ctx.send(VertexId(999), ());
+            }
+        }
+        let g = path(2);
+        let _ = Engine::new(EngineConfig {
+            plane: MessagePlane::Naive,
+            ..EngineConfig::sequential()
+        })
+        .run(&Bad, &g);
+    }
+
     /// Min-combined flood: same fixpoint, fewer stored messages.
     struct CombinedFlood;
     impl VertexProgram for CombinedFlood {
@@ -875,6 +1829,119 @@ mod tests {
         let without = Engine::new(cfg).run(&CombinedFlood, &g);
         assert_eq!(with.values, without.values);
         assert!(with.metrics.total_messages() < without.metrics.total_messages());
+    }
+
+    #[test]
+    fn sender_side_combining_reduces_buffering() {
+        // Two same-chunk senders, one destination. The flat plane's
+        // exact Min combiner merges at the sender (1 buffered envelope);
+        // the naive plane buffers both and merges only at delivery.
+        let mut b = GraphBuilder::new();
+        b.add_edge(VertexId(0), VertexId(2), 1.0);
+        b.add_edge(VertexId(1), VertexId(2), 1.0);
+        let g = b.build();
+
+        let flat = Engine::new(EngineConfig::default()).run(&CombinedFlood, &g);
+        let naive = Engine::new(EngineConfig {
+            plane: MessagePlane::Naive,
+            ..EngineConfig::default()
+        })
+        .run(&CombinedFlood, &g);
+        assert_eq!(flat.values, naive.values);
+        assert_eq!(flat.metrics.total_messages(), naive.metrics.total_messages());
+        assert!(
+            flat.metrics.total_buffered_messages() < naive.metrics.total_buffered_messages(),
+            "flat buffered {} should undercut naive {}",
+            flat.metrics.total_buffered_messages(),
+            naive.metrics.total_buffered_messages()
+        );
+    }
+
+    #[test]
+    fn exact_combiner_is_thread_invariant() {
+        let g = ariadne_graph::generators::rmat(ariadne_graph::generators::RmatConfig {
+            scale: 8,
+            edge_factor: 4,
+            ..Default::default()
+        });
+        let base = Engine::new(EngineConfig::sequential()).run(&CombinedFlood, &g);
+        for threads in [2usize, 5] {
+            let r = Engine::new(EngineConfig::parallel(threads)).run(&CombinedFlood, &g);
+            assert_eq!(r.values, base.values, "{threads} threads");
+            assert_eq!(r.supersteps(), base.supersteps(), "{threads} threads");
+            // Post-combining stored-message counts are thread-invariant
+            // (one per reached destination); buffered_* are not, because
+            // sender-side partials depend on the chunk layout.
+            for (a, b) in r.metrics.supersteps.iter().zip(&base.metrics.supersteps) {
+                assert_eq!(
+                    (a.active_vertices, a.messages_sent, a.message_bytes),
+                    (b.active_vertices, b.messages_sent, b.message_bytes),
+                    "superstep {} diverged at {threads} threads",
+                    a.superstep
+                );
+            }
+        }
+    }
+
+    /// Concatenating combiner whose accumulator *grows*, to pin down the
+    /// byte accounting: metrics must reflect post-combine sizes.
+    struct ConcatCombiner;
+    impl Combiner<Vec<u64>> for ConcatCombiner {
+        fn combine(&self, acc: &mut Vec<u64>, incoming: &Vec<u64>) {
+            acc.extend_from_slice(incoming);
+        }
+    }
+
+    struct ConcatProgram;
+    impl VertexProgram for ConcatProgram {
+        type V = usize;
+        type M = Vec<u64>;
+        fn init(&self, _: VertexId, _: &Csr) -> usize {
+            0
+        }
+        fn compute(
+            &self,
+            ctx: &mut dyn Context<Vec<u64>>,
+            value: &mut usize,
+            msgs: &[Envelope<Vec<u64>>],
+        ) {
+            *value += msgs.iter().map(|e| e.msg.len()).sum::<usize>();
+            if ctx.superstep() == 0 {
+                ctx.send_to_out_neighbors(vec![ctx.vertex().0]);
+            }
+        }
+        fn combiner(&self) -> Option<Box<dyn Combiner<Vec<u64>>>> {
+            Some(Box::new(ConcatCombiner))
+        }
+        fn message_bytes(&self, msg: &Vec<u64>) -> usize {
+            8 * msg.len()
+        }
+    }
+
+    #[test]
+    fn combiner_bytes_count_post_combine() {
+        // 0 and 1 each send an 8-byte message to 2; the combined
+        // accumulator holds both ids (16 bytes). The old accounting
+        // subtracted the incoming size from the running total and
+        // reported 8.
+        let mut b = GraphBuilder::new();
+        b.add_edge(VertexId(0), VertexId(2), 1.0);
+        b.add_edge(VertexId(1), VertexId(2), 1.0);
+        let g = b.build();
+
+        for plane in [MessagePlane::Flat, MessagePlane::Naive] {
+            let r = Engine::new(EngineConfig {
+                plane,
+                ..EngineConfig::default()
+            })
+            .run(&ConcatProgram, &g);
+            let s0 = &r.metrics.supersteps[0];
+            assert_eq!(s0.messages_sent, 1, "{plane:?}: one stored message");
+            assert_eq!(s0.message_bytes, 16, "{plane:?}: post-combine size");
+            assert_eq!(s0.buffered_messages, 2, "{plane:?}: both envelopes buffered");
+            assert_eq!(s0.buffered_bytes, 16, "{plane:?}");
+            assert_eq!(r.values[2], 2, "{plane:?}: both ids arrived");
+        }
     }
 
     #[test]
@@ -974,5 +2041,7 @@ mod tests {
         assert_eq!(r.metrics.supersteps[0].active_vertices, 4);
         assert!(r.metrics.supersteps[0].messages_sent > 0);
         assert!(r.metrics.total_message_bytes() > 0);
+        assert!(r.metrics.total_buffered_messages() >= r.metrics.total_messages());
+        assert!(r.metrics.peak_buffered_bytes() > 0);
     }
 }

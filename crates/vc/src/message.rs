@@ -40,6 +40,25 @@ impl<M> Envelope<M> {
 pub trait Combiner<M>: Send + Sync {
     /// Merge `incoming` into the accumulator `acc`.
     fn combine(&self, acc: &mut M, incoming: &M);
+
+    /// Whether the combined result is bit-identical regardless of how the
+    /// message multiset is grouped and ordered.
+    ///
+    /// Selection combiners (min/max) and wrapping-integer sums are exact;
+    /// floating-point accumulation is **not** (addition is not
+    /// associative at the bit level). The engine only performs
+    /// *sender-side* combining — which partitions the message stream into
+    /// per-worker partials whose grouping depends on the chunk layout —
+    /// for exact combiners. Non-exact combiners are still honoured, but
+    /// at delivery time in global sender order, which keeps N-thread runs
+    /// bit-identical to 1-thread runs and combined runs bit-identical to
+    /// uncombined ones.
+    ///
+    /// The default is `false`: a custom combiner must opt in to the
+    /// stronger claim.
+    fn is_exact(&self) -> bool {
+        false
+    }
 }
 
 /// Keeps the minimum message (for [`PartialOrd`] messages).
@@ -51,6 +70,14 @@ impl<M: PartialOrd + Clone + Send + Sync> Combiner<M> for MinCombiner {
         if incoming < acc {
             *acc = incoming.clone();
         }
+    }
+
+    /// Selection of the minimum is grouping-insensitive. (Caveat: values
+    /// that compare equal but differ at the bit level — `-0.0` vs `0.0` —
+    /// could select different representatives; no analytic in this
+    /// workspace produces such ties.)
+    fn is_exact(&self) -> bool {
+        true
     }
 }
 
@@ -64,6 +91,12 @@ impl<M: PartialOrd + Clone + Send + Sync> Combiner<M> for MaxCombiner {
             *acc = incoming.clone();
         }
     }
+
+    /// Selection of the maximum is grouping-insensitive (same caveat as
+    /// [`MinCombiner::is_exact`]).
+    fn is_exact(&self) -> bool {
+        true
+    }
 }
 
 /// Sums f64 messages (PageRank).
@@ -73,6 +106,13 @@ pub struct SumCombiner;
 impl Combiner<f64> for SumCombiner {
     fn combine(&self, acc: &mut f64, incoming: &f64) {
         *acc += *incoming;
+    }
+
+    /// f64 addition is not associative at the bit level, so the engine
+    /// must not regroup the fold — combining stays delivery-side, in
+    /// global sender order.
+    fn is_exact(&self) -> bool {
+        false
     }
 }
 

@@ -17,6 +17,14 @@ pub struct SuperstepMetrics {
     pub messages_sent: usize,
     /// Approximate bytes of message payloads sent.
     pub message_bytes: usize,
+    /// Messages materialized in outbox buffers before delivery. With
+    /// sender-side combining this is the post-combine buffered count;
+    /// without a combiner it equals `messages_sent`. This is the metric
+    /// Tables 3–4-style space accounting cares about: it measures what
+    /// the message plane actually held in flight.
+    pub buffered_messages: usize,
+    /// Approximate payload bytes held in outbox buffers before delivery.
+    pub buffered_bytes: usize,
     /// Wall time of the superstep (compute + delivery).
     pub elapsed: Duration,
 }
@@ -50,6 +58,26 @@ impl RunMetrics {
     pub fn total_activations(&self) -> usize {
         self.supersteps.iter().map(|s| s.active_vertices).sum()
     }
+
+    /// Total messages buffered in outboxes across all supersteps.
+    pub fn total_buffered_messages(&self) -> usize {
+        self.supersteps.iter().map(|s| s.buffered_messages).sum()
+    }
+
+    /// Total payload bytes buffered in outboxes across all supersteps.
+    pub fn total_buffered_bytes(&self) -> usize {
+        self.supersteps.iter().map(|s| s.buffered_bytes).sum()
+    }
+
+    /// Largest per-superstep buffered byte count — the peak in-flight
+    /// footprint of the message plane for this run.
+    pub fn peak_buffered_bytes(&self) -> usize {
+        self.supersteps
+            .iter()
+            .map(|s| s.buffered_bytes)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -65,6 +93,8 @@ mod tests {
                     active_vertices: 10,
                     messages_sent: 5,
                     message_bytes: 40,
+                    buffered_messages: 8,
+                    buffered_bytes: 64,
                     elapsed: Duration::from_millis(1),
                 },
                 SuperstepMetrics {
@@ -72,6 +102,8 @@ mod tests {
                     active_vertices: 4,
                     messages_sent: 2,
                     message_bytes: 16,
+                    buffered_messages: 2,
+                    buffered_bytes: 16,
                     elapsed: Duration::from_millis(1),
                 },
             ],
@@ -81,5 +113,13 @@ mod tests {
         assert_eq!(m.total_messages(), 7);
         assert_eq!(m.total_message_bytes(), 56);
         assert_eq!(m.total_activations(), 14);
+        assert_eq!(m.total_buffered_messages(), 10);
+        assert_eq!(m.total_buffered_bytes(), 80);
+        assert_eq!(m.peak_buffered_bytes(), 64);
+    }
+
+    #[test]
+    fn peak_of_empty_run_is_zero() {
+        assert_eq!(RunMetrics::default().peak_buffered_bytes(), 0);
     }
 }

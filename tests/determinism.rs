@@ -1,0 +1,146 @@
+//! Cross-thread-count determinism of the flat message plane.
+//!
+//! The engine's contract is that an N-thread run is **bit-identical** to
+//! the sequential reference — values, aggregates, superstep counts and
+//! the logical per-superstep message traffic (`messages_sent`,
+//! `message_bytes`). This holds in baseline mode (combiners honoured;
+//! exact combiners fold at the sender) and in capture mode
+//! (`use_combiner = false`, full per-source envelopes), at thread counts
+//! that do and do not divide the vertex count.
+//!
+//! Note what is *not* asserted: `buffered_messages`/`buffered_bytes`
+//! measure what the outboxes physically materialized, which legitimately
+//! depends on the chunk layout under sender-side combining.
+
+use ariadne_analytics::als::{Als, AlsConfig};
+use ariadne_analytics::{PageRank, Sssp, Wcc};
+use ariadne_graph::generators::{rmat, BipartiteRatings, RatingsConfig, RmatConfig};
+use ariadne_graph::{Csr, VertexId};
+use ariadne_vc::{Engine, EngineConfig, RunResult, VertexProgram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 2 divides n = 256; 3 and 7 do not, so chunk boundaries land unevenly.
+const THREADS: [usize; 3] = [2, 3, 7];
+
+fn graph() -> Csr {
+    rmat(RmatConfig {
+        scale: 8,
+        edge_factor: 6,
+        seed: 77,
+        ..Default::default()
+    })
+}
+
+fn run<P: VertexProgram>(
+    program: &P,
+    graph: &Csr,
+    threads: usize,
+    use_combiner: bool,
+) -> RunResult<P::V> {
+    Engine::new(EngineConfig {
+        threads,
+        use_combiner,
+        ..EngineConfig::default()
+    })
+    .run(program, graph)
+}
+
+/// Assert that a parallel run equals the sequential reference on values,
+/// aggregates and per-superstep logical message traffic.
+fn assert_matches_sequential<P: VertexProgram>(name: &str, program: &P, graph: &Csr)
+where
+    P::V: PartialEq + std::fmt::Debug,
+{
+    for use_combiner in [true, false] {
+        let mode = if use_combiner { "baseline" } else { "capture" };
+        let seq = run(program, graph, 1, use_combiner);
+        for t in THREADS {
+            let par = run(program, graph, t, use_combiner);
+            assert_eq!(
+                seq.values, par.values,
+                "{name} [{mode}]: values differ at {t} threads"
+            );
+            assert_eq!(
+                seq.aggregates, par.aggregates,
+                "{name} [{mode}]: aggregates differ at {t} threads"
+            );
+            assert_eq!(
+                seq.metrics.num_supersteps(),
+                par.metrics.num_supersteps(),
+                "{name} [{mode}]: superstep count differs at {t} threads"
+            );
+            for (a, b) in seq.metrics.supersteps.iter().zip(&par.metrics.supersteps) {
+                assert_eq!(
+                    (a.superstep, a.active_vertices, a.messages_sent, a.message_bytes),
+                    (b.superstep, b.active_vertices, b.messages_sent, b.message_bytes),
+                    "{name} [{mode}]: superstep {} metrics differ at {t} threads",
+                    a.superstep
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pagerank_deterministic_across_threads() {
+    let g = graph();
+    let pr = PageRank {
+        supersteps: 12,
+        ..Default::default()
+    };
+    assert_matches_sequential("pagerank", &pr, &g);
+    // f64 `==` admits -0.0 == 0.0; pin the actual bit patterns too.
+    let seq = run(&pr, &g, 1, true);
+    for t in THREADS {
+        let par = run(&pr, &g, t, true);
+        let a: Vec<u64> = seq.values.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = par.values.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "pagerank rank bits differ at {t} threads");
+    }
+}
+
+#[test]
+fn sssp_deterministic_across_threads() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let g = graph().map_weights(|_, _, _| 0.05 + rng.gen::<f64>());
+    assert_matches_sequential("sssp", &Sssp::new(VertexId(0)), &g);
+}
+
+#[test]
+fn wcc_deterministic_across_threads() {
+    let g = graph();
+    assert_matches_sequential("wcc", &Wcc, &g);
+}
+
+#[test]
+fn als_deterministic_across_threads() {
+    let br = BipartiteRatings::generate(&RatingsConfig {
+        users: 80,
+        items: 20,
+        ratings_per_user: 10,
+        planted_rank: 3,
+        noise: 0.2,
+        seed: 33,
+    });
+    let mut cfg = AlsConfig::new(br.users, 4);
+    cfg.supersteps = 7;
+    let als = Als::new(cfg);
+    assert_matches_sequential("als", &als, &br.graph);
+    // Factor vectors are f64; pin bit patterns across thread counts.
+    let seq = run(&als, &br.graph, 1, true);
+    for t in THREADS {
+        let par = run(&als, &br.graph, t, true);
+        let a: Vec<Vec<u64>> = seq
+            .values
+            .iter()
+            .map(|f| f.iter().map(|x| x.to_bits()).collect())
+            .collect();
+        let b: Vec<Vec<u64>> = par
+            .values
+            .iter()
+            .map(|f| f.iter().map(|x| x.to_bits()).collect())
+            .collect();
+        assert_eq!(a, b, "als factor bits differ at {t} threads");
+    }
+}
