@@ -7,15 +7,17 @@
 //! requires), and writes the measurements as JSON.
 //!
 //! Reported per run: supersteps/sec, messages/sec, payload bytes moved,
-//! peak buffered bytes (the in-flight footprint of the message plane) and
-//! allocator traffic (calls + bytes, via a counting global allocator).
+//! peak buffered bytes (the in-flight footprint of the message plane),
+//! allocator traffic (calls + bytes, via a counting global allocator) and
+//! the engine's per-phase wall-time breakdown (compute / sender-combine /
+//! scatter / barrier).
 //!
 //! ```text
 //! cargo run --release -p ariadne-bench --bin perf -- \
-//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr2.json] [--quick]
+//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr3.json] [--quick]
 //! ```
 //!
-//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr2.json").
+//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr3.json").
 
 use ariadne_analytics::{PageRank, Sssp, Wcc};
 use ariadne_graph::generators::rmat::{rmat, RmatConfig};
@@ -80,10 +82,16 @@ struct Measurement {
     threads: usize,
     supersteps: u32,
     messages: usize,
+    messages_delivered: usize,
     message_bytes: usize,
     buffered_messages: usize,
     buffered_bytes: usize,
     peak_buffered_bytes: usize,
+    /// Per-phase wall time (ns) of the measured repetition.
+    phase_compute_ns: u128,
+    phase_combine_ns: u128,
+    phase_scatter_ns: u128,
+    phase_barrier_ns: u128,
     /// Best-of-reps wall time, seconds.
     secs: f64,
     /// Allocator calls during the measured (last) repetition.
@@ -143,6 +151,7 @@ fn measure<P: VertexProgram>(
         last_metrics = Some(result.metrics);
     }
     let m = last_metrics.expect("at least one repetition");
+    let phases = m.phase_totals();
     Measurement {
         analytic,
         plane,
@@ -150,10 +159,15 @@ fn measure<P: VertexProgram>(
         threads,
         supersteps: m.num_supersteps(),
         messages: m.total_messages(),
+        messages_delivered: m.total_messages_delivered(),
         message_bytes: m.total_message_bytes(),
         buffered_messages: m.total_buffered_messages(),
         buffered_bytes: m.total_buffered_bytes(),
         peak_buffered_bytes: m.peak_buffered_bytes(),
+        phase_compute_ns: phases.compute.as_nanos(),
+        phase_combine_ns: phases.combine.as_nanos(),
+        phase_scatter_ns: phases.scatter.as_nanos(),
+        phase_barrier_ns: phases.barrier.as_nanos(),
         secs: best,
         alloc_calls,
         alloc_bytes,
@@ -177,8 +191,10 @@ fn measurement_json(m: &Measurement) -> String {
     let _ = write!(
         s,
         "{{\"analytic\":\"{}\",\"plane\":\"{}\",\"mode\":\"{}\",\"threads\":{},\
-         \"supersteps\":{},\"messages\":{},\"message_bytes\":{},\
+         \"supersteps\":{},\"messages\":{},\"messages_delivered\":{},\"message_bytes\":{},\
          \"buffered_messages\":{},\"buffered_bytes\":{},\"peak_buffered_bytes\":{},\
+         \"phase_compute_ns\":{},\"phase_combine_ns\":{},\"phase_scatter_ns\":{},\
+         \"phase_barrier_ns\":{},\
          \"secs\":{},\"supersteps_per_sec\":{},\"messages_per_sec\":{},\
          \"alloc_calls\":{},\"alloc_bytes\":{}}}",
         m.analytic,
@@ -187,10 +203,15 @@ fn measurement_json(m: &Measurement) -> String {
         m.threads,
         m.supersteps,
         m.messages,
+        m.messages_delivered,
         m.message_bytes,
         m.buffered_messages,
         m.buffered_bytes,
         m.peak_buffered_bytes,
+        m.phase_compute_ns,
+        m.phase_combine_ns,
+        m.phase_scatter_ns,
+        m.phase_barrier_ns,
         json_f64(m.secs),
         json_f64(m.supersteps_per_sec()),
         json_f64(m.messages_per_sec()),
@@ -218,7 +239,7 @@ fn parse_cli() -> Cli {
         edge_factor: 16,
         threads: vec![1, 2, 4, 8],
         reps: 3,
-        out: "BENCH_pr2.json".to_string(),
+        out: "BENCH_pr3.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -356,7 +377,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr2/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr3/v1\",");
     let _ = writeln!(
         json,
         "  \"command\": \"cargo run --release -p ariadne-bench --bin perf\","

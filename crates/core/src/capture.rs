@@ -93,6 +93,9 @@ pub struct CaptureRun<V> {
     pub store: ariadne_provenance::ProvStore,
     /// Engine metrics for the capture run.
     pub metrics: ariadne_vc::RunMetrics,
+    /// Query-evaluation counters accumulated across all vertices (zero
+    /// for raw captures with no capture query).
+    pub query_stats: ariadne_pql::EvalStats,
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ pub mod naive;
 pub mod online;
 pub mod optimize;
 pub mod queries;
+pub mod report;
 pub mod session;
 pub mod snap;
 pub mod state;
@@ -58,6 +59,7 @@ pub use capture::CaptureSpec;
 pub use compile::{compile, compile_with, CompiledQuery};
 pub use custom::CustomProv;
 pub use online::{OnlineProgram, OnlineRun, QueryFailure};
+pub use report::{RunReport, StoreReport};
 pub use session::{Ariadne, AriadneError};
 
 // Fault-tolerance surface: checkpointing, typed engine/store errors and

@@ -19,9 +19,10 @@
 //! Theorem 5.4's non-interference argument, here enforced by types.
 
 use crate::custom::CustomProv;
+use crate::report::EvalStatsAccum;
 use crate::state::QueryState;
 use ariadne_graph::{Csr, VertexId};
-use ariadne_pql::{Evaluator, PqlError, Tuple};
+use ariadne_pql::{EvalStats, Evaluator, PqlError, Tuple};
 use ariadne_provenance::edb::{NeededEdbs, VertexStepRecord};
 use ariadne_provenance::store::StoreSender;
 use ariadne_provenance::ProvEncode;
@@ -105,6 +106,10 @@ pub struct OnlineProgram<'a, A: VertexProgram> {
     failed: AtomicBool,
     /// The (deterministically) first failure: minimum (superstep, vertex).
     failure: Mutex<Option<QueryFailure>>,
+    /// Query-evaluation counters accumulated across all vertices; the
+    /// totals are deterministic across worker-thread counts because
+    /// every contribution is a per-vertex logical count.
+    query_stats: EvalStatsAccum,
 }
 
 impl<'a, A: VertexProgram> OnlineProgram<'a, A> {
@@ -115,7 +120,13 @@ impl<'a, A: VertexProgram> OnlineProgram<'a, A> {
             config,
             failed: AtomicBool::new(false),
             failure: Mutex::new(None),
+            query_stats: EvalStatsAccum::default(),
         }
+    }
+
+    /// The accumulated query-evaluation counters for this run so far.
+    pub fn query_stats(&self) -> EvalStats {
+        self.query_stats.snapshot()
     }
 
     /// Record a query failure. Keeps the minimum (superstep, vertex)
@@ -230,7 +241,10 @@ where
         // analytic's deferred sends are dropped, which is fine because
         // the whole run is discarded.
         if let Some(evaluator) = &cfg.evaluator {
-            if let Err(e) = state.q.evaluate(evaluator, vertex) {
+            let mut stats = EvalStats::default();
+            let outcome = state.q.evaluate_stats(evaluator, vertex, &mut stats);
+            self.query_stats.add(&stats);
+            if let Err(e) = outcome {
                 self.record_failure(vertex, superstep, e);
                 return;
             }
@@ -453,4 +467,6 @@ pub struct OnlineRun<V> {
     pub metrics: ariadne_vc::RunMetrics,
     /// Total bytes of query tables held across vertices at the end.
     pub query_bytes: usize,
+    /// Query-evaluation counters accumulated across all vertices.
+    pub query_stats: EvalStats,
 }

@@ -226,7 +226,7 @@ impl Ariadne {
         let program = OnlineProgram::new(analytic, config);
         let result = Engine::new(self.engine.clone()).run(&program, graph);
         check_query_failure(&program)?;
-        Ok(finish_online(result, &analyzed.idbs))
+        Ok(finish_online(result, &analyzed.idbs, program.query_stats()))
     }
 
     /// Online evaluation with barrier checkpoints: like
@@ -307,7 +307,7 @@ impl Ariadne {
         let engine = Engine::new(self.engine.clone());
         let result = drive(&engine, &program, graph).map_err(AriadneError::Engine)?;
         check_query_failure(&program)?;
-        Ok(finish_online(result, &analyzed.idbs))
+        Ok(finish_online(result, &analyzed.idbs, program.query_stats()))
     }
 
     /// Capture provenance per `spec` while running the analytic (§6.1).
@@ -377,6 +377,7 @@ impl Ariadne {
             values: result.values.into_iter().map(|s| s.value).collect(),
             store,
             metrics: result.metrics,
+            query_stats: program.query_stats(),
         })
     }
 
@@ -477,6 +478,7 @@ impl Ariadne {
             values: result.values.into_iter().map(|s| s.value).collect(),
             store,
             metrics: result.metrics,
+            query_stats: program.query_stats(),
         })
     }
 
@@ -533,6 +535,7 @@ fn check_query_failure<A: VertexProgram>(program: &OnlineProgram<'_, A>) -> Resu
 fn finish_online<V>(
     result: RunResult<crate::online::OnlineState<V>>,
     idbs: &std::collections::BTreeMap<String, usize>,
+    query_stats: ariadne_pql::EvalStats,
 ) -> OnlineRun<V> {
     let mut merged = Database::new();
     let mut bytes = 0usize;
@@ -551,5 +554,6 @@ fn finish_online<V>(
         query_results: merged,
         metrics: result.metrics,
         query_bytes: bytes,
+        query_stats,
     }
 }

@@ -4,7 +4,7 @@
 use ariadne_provenance::edb::{EdbTracker, NeededEdbs};
 use ariadne_provenance::static_graph_edbs;
 use ariadne_graph::{Csr, VertexId};
-use ariadne_pql::{Database, Evaluator, PqlError, Tuple, Value};
+use ariadne_pql::{Database, EvalStats, Evaluator, PqlError, Tuple, Value};
 use std::collections::BTreeMap;
 
 /// The query-side state one vertex carries: its partition of the
@@ -54,8 +54,20 @@ impl QueryState {
     /// derived since the last call, with the head location pinned to
     /// `vertex`.
     pub fn evaluate(&mut self, evaluator: &Evaluator, vertex: VertexId) -> Result<(), PqlError> {
+        let mut stats = EvalStats::default();
+        self.evaluate_stats(evaluator, vertex, &mut stats)
+    }
+
+    /// Like [`QueryState::evaluate`], additionally accumulating the
+    /// call's [`EvalStats`] into `stats` (run-local introspection).
+    pub fn evaluate_stats(
+        &mut self,
+        evaluator: &Evaluator,
+        vertex: VertexId,
+        stats: &mut EvalStats,
+    ) -> Result<(), PqlError> {
         let loc = Value::Id(vertex.0);
-        evaluator.step(&mut self.db, &mut self.eval, Some(&loc))
+        evaluator.step_stats(&mut self.db, &mut self.eval, Some(&loc), stats)
     }
 
     /// Like [`QueryState::evaluate`] but restricted to one stratum — used
@@ -67,8 +79,21 @@ impl QueryState {
         vertex: VertexId,
         stratum: usize,
     ) -> Result<(), PqlError> {
+        let mut stats = EvalStats::default();
+        self.evaluate_stratum_stats(evaluator, vertex, stratum, &mut stats)
+    }
+
+    /// Like [`QueryState::evaluate_stratum`] with run-local stats
+    /// accumulation.
+    pub fn evaluate_stratum_stats(
+        &mut self,
+        evaluator: &Evaluator,
+        vertex: VertexId,
+        stratum: usize,
+        stats: &mut EvalStats,
+    ) -> Result<(), PqlError> {
         let loc = Value::Id(vertex.0);
-        evaluator.step_stratum(&mut self.db, &mut self.eval, Some(&loc), stratum)
+        evaluator.step_stratum_stats(&mut self.db, &mut self.eval, Some(&loc), stratum, stats)
     }
 
     /// New tuples of `preds` since the last shipping mark; advances the

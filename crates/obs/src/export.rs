@@ -1,0 +1,183 @@
+//! Exporters: Prometheus-style text exposition for the metric registry
+//! and a JSONL dump for the trace ring. Both formats are documented in
+//! the repository's `EXPERIMENTS.md` (§ "Observability output formats").
+
+use crate::metrics::{MetricsSnapshot, SampleValue};
+use crate::trace::{Event, Value};
+use std::fmt::Write as _;
+
+/// Render a registry snapshot in the Prometheus text exposition format
+/// (version 0.0.4 subset):
+///
+/// ```text
+/// # HELP engine_messages_sent_total messages sent
+/// # TYPE engine_messages_sent_total counter
+/// engine_messages_sent_total 42
+/// ```
+///
+/// Every metric additionally carries a
+/// `# ARIADNE deterministic <name> <true|false>` comment line so
+/// downstream tooling can select the thread-invariant subset without a
+/// side table. Histograms emit cumulative `_bucket{le="..."}` series
+/// plus `_sum` and `_count`, with `le="+Inf"` last.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for s in &snapshot.samples {
+        let _ = writeln!(out, "# HELP {} {}", s.name, s.help);
+        let _ = writeln!(out, "# TYPE {} {}", s.name, s.kind.as_str());
+        let _ = writeln!(out, "# ARIADNE deterministic {} {}", s.name, s.deterministic);
+        match &s.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(out, "{} {}", s.name, v);
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(out, "{} {}", s.name, v);
+            }
+            SampleValue::Histogram(h) => {
+                for (bound, cumulative) in &h.buckets {
+                    if *bound == u64::MAX {
+                        let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", s.name, cumulative);
+                    } else {
+                        let _ =
+                            writeln!(out, "{}_bucket{{le=\"{}\"}} {}", s.name, bound, cumulative);
+                    }
+                }
+                let _ = writeln!(out, "{}_sum {}", s.name, h.sum);
+                let _ = writeln!(out, "{}_count {}", s.name, h.count);
+            }
+        }
+    }
+    out
+}
+
+/// Render captured events as JSON Lines: one object per event, keys in
+/// fixed order (`seq`, `ts_ns`, `level`, `target`, `name`, `fields`),
+/// `fields` an object preserving field order. Floats use Rust's default
+/// `{}` formatting; non-finite floats are emitted as `null`.
+pub fn trace_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"ts_ns\":{},\"level\":\"{}\",\"target\":\"{}\",\"name\":\"{}\",\"fields\":{{",
+            ev.seq,
+            ev.ts_ns,
+            ev.level.as_str(),
+            escape(ev.target),
+            escape(ev.name),
+        );
+        for (i, (k, v)) in ev.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", escape(k));
+            write_value(&mut out, v);
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) => {
+            if f.is_finite() {
+                let _ = write!(out, "{f}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::Level;
+
+    #[test]
+    fn prometheus_counter_gauge_exposition() {
+        let reg = Registry::new();
+        reg.counter("e_msgs_total", "messages", true).add(7);
+        reg.gauge("e_mem_bytes", "memory", false).set(-3);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# HELP e_msgs_total messages\n"));
+        assert!(text.contains("# TYPE e_msgs_total counter\n"));
+        assert!(text.contains("# ARIADNE deterministic e_msgs_total true\n"));
+        assert!(text.contains("\ne_msgs_total 7\n"));
+        assert!(text.contains("# TYPE e_mem_bytes gauge\n"));
+        assert!(text.contains("\ne_mem_bytes -3\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_exposition() {
+        let reg = Registry::new();
+        let h = reg.histogram("e_lat_ns", "latency", false);
+        h.record(1);
+        h.record(100);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("e_lat_ns_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("e_lat_ns_bucket{le=\"127\"} 2\n"));
+        assert!(text.contains("e_lat_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("e_lat_ns_sum 101\n"));
+        assert!(text.contains("e_lat_ns_count 2\n"));
+    }
+
+    #[test]
+    fn jsonl_escapes_and_orders() {
+        let ev = Event {
+            seq: 3,
+            ts_ns: 99,
+            level: Level::Warn,
+            target: "store",
+            name: "spill",
+            fields: vec![
+                ("bytes", Value::U64(1024)),
+                ("path", Value::Str("a\"b\\c\n".into())),
+                ("ok", Value::Bool(true)),
+                ("delta", Value::I64(-2)),
+                ("ratio", Value::F64(0.5)),
+                ("nan", Value::F64(f64::NAN)),
+            ],
+        };
+        let line = trace_jsonl(&[ev]);
+        assert_eq!(
+            line,
+            "{\"seq\":3,\"ts_ns\":99,\"level\":\"warn\",\"target\":\"store\",\"name\":\"spill\",\"fields\":{\"bytes\":1024,\"path\":\"a\\\"b\\\\c\\n\",\"ok\":true,\"delta\":-2,\"ratio\":0.5,\"nan\":null}}\n"
+        );
+    }
+}

@@ -96,9 +96,48 @@ pub fn for_each_valuation_steps<'r>(
     pivot: Option<&Pivot>,
     emit: &mut dyn FnMut(&Env<'r>),
 ) -> Result<(), PqlError> {
+    let mut stats = ScanStats::default();
+    for_each_valuation_steps_stats(rule, steps, db, udfs, seed, pivot, emit, &mut stats)
+}
+
+/// Scan-scratch efficiency counters for one rule invocation.
+///
+/// Purely a function of the join structure and the data — deterministic
+/// across thread counts — because the pool is private to the invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Buffer requests served from the recycled pool.
+    pub reuse: u64,
+    /// Buffer requests that had to allocate a fresh `Vec`.
+    pub alloc: u64,
+}
+
+impl ScanStats {
+    /// Accumulate another invocation's counters.
+    pub fn merge(&mut self, other: ScanStats) {
+        self.reuse += other.reuse;
+        self.alloc += other.alloc;
+    }
+}
+
+/// Like [`for_each_valuation_steps`], additionally accumulating the
+/// invocation's [`ScanStats`] into `stats`.
+#[allow(clippy::too_many_arguments)]
+pub fn for_each_valuation_steps_stats<'r>(
+    rule: &'r AnalyzedRule,
+    steps: &'r [Step],
+    db: &Database,
+    udfs: &UdfRegistry,
+    seed: &Env<'r>,
+    pivot: Option<&Pivot>,
+    emit: &mut dyn FnMut(&Env<'r>),
+    stats: &mut ScanStats,
+) -> Result<(), PqlError> {
     let mut env = seed.clone();
     let mut scratch = ScanScratch::default();
-    descend(rule, steps, db, udfs, 0, &mut env, pivot, &mut scratch, emit)
+    let result = descend(rule, steps, db, udfs, 0, &mut env, pivot, &mut scratch, emit);
+    stats.merge(scratch.stats);
+    result
 }
 
 /// Reusable scan buffers threaded through [`descend`].
@@ -120,13 +159,23 @@ struct ScanScratch {
     /// positions). Each recursion depth pops what it needs and pushes it
     /// back before returning.
     pools: Vec<Vec<usize>>,
+    /// Pool hit/miss counters reported through [`ScanStats`].
+    stats: ScanStats,
 }
 
 impl ScanScratch {
     fn take(&mut self) -> Vec<usize> {
-        let mut v = self.pools.pop().unwrap_or_default();
-        v.clear();
-        v
+        match self.pools.pop() {
+            Some(mut v) => {
+                self.stats.reuse += 1;
+                v.clear();
+                v
+            }
+            None => {
+                self.stats.alloc += 1;
+                Vec::new()
+            }
+        }
     }
 
     fn put(&mut self, v: Vec<usize>) {

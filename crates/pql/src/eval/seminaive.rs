@@ -18,11 +18,114 @@
 use crate::analysis::{AnalyzedQuery, AnalyzedRule, Step};
 use crate::ast::{AggFunc, HeadArg};
 use crate::error::PqlError;
-use crate::eval::binding::{eval_term, for_each_valuation, for_each_valuation_steps, Env, Pivot};
+use crate::eval::binding::{
+    eval_term, for_each_valuation_steps_stats, Env, Pivot, ScanStats,
+};
 use crate::eval::database::Database;
 use crate::eval::udf::UdfRegistry;
 use crate::eval::value::Value;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// Cached global-registry handles for evaluator metrics. All of these
+/// count *logical* evaluation work — rule firings, derived tuples,
+/// delta window sizes — which is a function of the query and the data
+/// alone, so every counter here is flagged deterministic.
+mod obs_handles {
+    use ariadne_obs::metrics::Counter;
+    use std::sync::OnceLock;
+
+    macro_rules! pql_counter {
+        ($fn_name:ident, $name:literal, $help:literal) => {
+            pub fn $fn_name() -> &'static Counter {
+                static H: OnceLock<Counter> = OnceLock::new();
+                H.get_or_init(|| ariadne_obs::registry().counter($name, $help, true))
+            }
+        };
+    }
+
+    pql_counter!(
+        rule_firings,
+        "pql_rule_firings_total",
+        "semi-naive rule evaluations (full, pivoted and aggregate)"
+    );
+    pql_counter!(
+        derived_tuples,
+        "pql_derived_tuples_total",
+        "tuples inserted into IDB relations by rule heads"
+    );
+    pql_counter!(
+        delta_tuples,
+        "pql_delta_tuples_total",
+        "tuples consumed from delta windows by pivoted evaluations"
+    );
+    pql_counter!(
+        fixpoint_rounds,
+        "pql_fixpoint_rounds_total",
+        "semi-naive fixpoint loop iterations (including the closing empty round)"
+    );
+    pql_counter!(
+        scratch_reuse,
+        "pql_scratch_reuse_total",
+        "scan-scratch buffer requests served from the recycled pool"
+    );
+    pql_counter!(
+        scratch_alloc,
+        "pql_scratch_alloc_total",
+        "scan-scratch buffer requests that allocated fresh"
+    );
+}
+
+/// Deterministic counters for semi-naive evaluation work.
+///
+/// Accumulated per [`Evaluator::step_stats`] / [`Evaluator::step_stratum_stats`]
+/// call; every field is a function of the query and the database content
+/// only, so totals are bit-identical across thread counts when the same
+/// logical evaluations run (the per-vertex online evaluators rely on
+/// this in the determinism tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Rule evaluations: full, delta-pivoted and aggregate.
+    pub rule_firings: u64,
+    /// Tuples inserted into IDB relations by rule heads (pre-dedup —
+    /// the relation may drop duplicates on insert).
+    pub derived_tuples: u64,
+    /// Tuples consumed from delta windows by pivoted evaluations.
+    pub delta_tuples: u64,
+    /// Fixpoint loop iterations, including the final empty round that
+    /// detects quiescence.
+    pub fixpoint_rounds: u64,
+    /// Scan-scratch buffer requests served from the recycled pool.
+    pub scratch_reuse: u64,
+    /// Scan-scratch buffer requests that allocated fresh.
+    pub scratch_alloc: u64,
+}
+
+impl EvalStats {
+    /// Accumulate another evaluation's counters.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.rule_firings += other.rule_firings;
+        self.derived_tuples += other.derived_tuples;
+        self.delta_tuples += other.delta_tuples;
+        self.fixpoint_rounds += other.fixpoint_rounds;
+        self.scratch_reuse += other.scratch_reuse;
+        self.scratch_alloc += other.scratch_alloc;
+    }
+
+    fn absorb_scan(&mut self, scan: ScanStats) {
+        self.scratch_reuse += scan.reuse;
+        self.scratch_alloc += scan.alloc;
+    }
+
+    /// Feed this evaluation's counters into the global obs registry.
+    fn record_obs(&self) {
+        obs_handles::rule_firings().add(self.rule_firings);
+        obs_handles::derived_tuples().add(self.derived_tuples);
+        obs_handles::delta_tuples().add(self.delta_tuples);
+        obs_handles::fixpoint_rounds().add(self.fixpoint_rounds);
+        obs_handles::scratch_reuse().add(self.scratch_reuse);
+        obs_handles::scratch_alloc().add(self.scratch_alloc);
+    }
+}
 
 /// Per-database incremental evaluation state (delta frontiers).
 #[derive(Clone, Debug, Default)]
@@ -100,8 +203,22 @@ impl Evaluator {
         state: &mut EvalState,
         loc: Option<&Value>,
     ) -> Result<(), PqlError> {
+        let mut stats = EvalStats::default();
+        self.step_stats(db, state, loc, &mut stats)
+    }
+
+    /// Like [`Evaluator::step`], additionally accumulating this call's
+    /// [`EvalStats`] into `stats` (run-local introspection; the global
+    /// obs registry is fed either way).
+    pub fn step_stats(
+        &self,
+        db: &mut Database,
+        state: &mut EvalState,
+        loc: Option<&Value>,
+        stats: &mut EvalStats,
+    ) -> Result<(), PqlError> {
         for stratum_idx in 0..self.query.strata.len() {
-            self.step_stratum(db, state, loc, stratum_idx)?;
+            self.step_stratum_stats(db, state, loc, stratum_idx, stats)?;
         }
         Ok(())
     }
@@ -122,6 +239,35 @@ impl Evaluator {
         loc: Option<&Value>,
         stratum_idx: usize,
     ) -> Result<(), PqlError> {
+        let mut stats = EvalStats::default();
+        self.step_stratum_stats(db, state, loc, stratum_idx, &mut stats)
+    }
+
+    /// Like [`Evaluator::step_stratum`] with run-local stats
+    /// accumulation.
+    pub fn step_stratum_stats(
+        &self,
+        db: &mut Database,
+        state: &mut EvalState,
+        loc: Option<&Value>,
+        stratum_idx: usize,
+        stats: &mut EvalStats,
+    ) -> Result<(), PqlError> {
+        let mut local = EvalStats::default();
+        let result = self.step_stratum_inner(db, state, loc, stratum_idx, &mut local);
+        local.record_obs();
+        stats.merge(&local);
+        result
+    }
+
+    fn step_stratum_inner(
+        &self,
+        db: &mut Database,
+        state: &mut EvalState,
+        loc: Option<&Value>,
+        stratum_idx: usize,
+        stats: &mut EvalStats,
+    ) -> Result<(), PqlError> {
         {
             let stratum = &self.query.strata[stratum_idx];
             // Aggregate rules: inputs live strictly below this stratum and
@@ -139,7 +285,7 @@ impl Evaluator {
                         })
                         .sum();
                     if state.agg_input_sizes.get(&ri) != Some(&input_size) {
-                        self.eval_aggregate_rule(rule, db, loc)?;
+                        self.eval_aggregate_rule(rule, db, loc, stats)?;
                         state.agg_input_sizes.insert(ri, input_size);
                     }
                 }
@@ -152,12 +298,13 @@ impl Evaluator {
                     && !rule.steps.iter().any(|s| matches!(s, Step::Scan { .. }))
                     && state.ran_scan_free.insert(ri)
                 {
-                    self.eval_rule_full(rule, db, loc)?;
+                    self.eval_rule_full(rule, db, loc, stats)?;
                 }
             }
 
             // Semi-naive fixpoint for the stratum's non-aggregate rules.
             loop {
+                stats.fixpoint_rounds += 1;
                 // Snapshot current lengths: this iteration's delta window
                 // ends here; later insertions belong to the next one.
                 let mut starts: BTreeMap<String, usize> = BTreeMap::new();
@@ -188,6 +335,7 @@ impl Evaluator {
                             continue;
                         }
                         any_delta = true;
+                        stats.delta_tuples += (to - from) as u64;
                         self.eval_rule_with_pivot(
                             rule,
                             db,
@@ -196,6 +344,7 @@ impl Evaluator {
                                 step: si,
                                 window: from..to,
                             },
+                            stats,
                         )?;
                     }
                 }
@@ -223,14 +372,28 @@ impl Evaluator {
         rule: &AnalyzedRule,
         db: &mut Database,
         loc: Option<&Value>,
+        stats: &mut EvalStats,
     ) -> Result<(), PqlError> {
         let seed = seed_env(rule, loc);
         let mut derived: Vec<Vec<Value>> = Vec::new();
-        for_each_valuation(rule, db, &self.udfs, &seed, None, &mut |env| {
-            if let Some(tuple) = head_tuple(rule, env) {
-                derived.push(tuple);
-            }
-        })?;
+        let mut scan = ScanStats::default();
+        for_each_valuation_steps_stats(
+            rule,
+            &rule.steps,
+            db,
+            &self.udfs,
+            &seed,
+            None,
+            &mut |env| {
+                if let Some(tuple) = head_tuple(rule, env) {
+                    derived.push(tuple);
+                }
+            },
+            &mut scan,
+        )?;
+        stats.rule_firings += 1;
+        stats.derived_tuples += derived.len() as u64;
+        stats.absorb_scan(scan);
         for tuple in derived {
             db.insert(&rule.pred, tuple);
         }
@@ -245,6 +408,7 @@ impl Evaluator {
         db: &mut Database,
         loc: Option<&Value>,
         pivot: Pivot,
+        stats: &mut EvalStats,
     ) -> Result<(), PqlError> {
         let seed = seed_env(rule, loc);
         let mut derived: Vec<Vec<Value>> = Vec::new();
@@ -257,7 +421,8 @@ impl Evaluator {
             step: 0,
             window: pivot.window,
         };
-        for_each_valuation_steps(
+        let mut scan = ScanStats::default();
+        for_each_valuation_steps_stats(
             rule,
             &variant.steps,
             db,
@@ -269,7 +434,11 @@ impl Evaluator {
                     derived.push(tuple);
                 }
             },
+            &mut scan,
         )?;
+        stats.rule_firings += 1;
+        stats.derived_tuples += derived.len() as u64;
+        stats.absorb_scan(scan);
         for tuple in derived {
             db.insert(&rule.pred, tuple);
         }
@@ -286,29 +455,42 @@ impl Evaluator {
         rule: &AnalyzedRule,
         db: &mut Database,
         loc: Option<&Value>,
+        stats: &mut EvalStats,
     ) -> Result<(), PqlError> {
         let seed = seed_env(rule, loc);
         let mut projected: BTreeSet<(Vec<Value>, Vec<Value>)> = BTreeSet::new();
         let mut failed = false;
-        for_each_valuation(rule, db, &self.udfs, &seed, None, &mut |env| {
-            let mut group = Vec::new();
-            let mut aggs = Vec::new();
-            for arg in &rule.head_args {
-                match arg {
-                    HeadArg::Plain(t) => match eval_term(t, env) {
-                        Some(v) => group.push(v),
-                        None => failed = true,
-                    },
-                    HeadArg::Agg(_, t) => match eval_term(t, env) {
-                        Some(v) => aggs.push(v),
-                        None => failed = true,
-                    },
+        let mut scan = ScanStats::default();
+        for_each_valuation_steps_stats(
+            rule,
+            &rule.steps,
+            db,
+            &self.udfs,
+            &seed,
+            None,
+            &mut |env| {
+                let mut group = Vec::new();
+                let mut aggs = Vec::new();
+                for arg in &rule.head_args {
+                    match arg {
+                        HeadArg::Plain(t) => match eval_term(t, env) {
+                            Some(v) => group.push(v),
+                            None => failed = true,
+                        },
+                        HeadArg::Agg(_, t) => match eval_term(t, env) {
+                            Some(v) => aggs.push(v),
+                            None => failed = true,
+                        },
+                    }
                 }
-            }
-            if !failed {
-                projected.insert((group, aggs));
-            }
-        })?;
+                if !failed {
+                    projected.insert((group, aggs));
+                }
+            },
+            &mut scan,
+        )?;
+        stats.rule_firings += 1;
+        stats.absorb_scan(scan);
         if failed {
             return Err(PqlError::analysis(
                 rule.line,
@@ -340,6 +522,7 @@ impl Evaluator {
                 }
             }
             if ok {
+                stats.derived_tuples += 1;
                 db.insert(&rule.pred, tuple);
             } else {
                 return Err(PqlError::analysis(

@@ -43,6 +43,7 @@
 //! backward ones (§5.1).
 
 use crate::codec::{decode_tuples, encode_tuples, CodecError};
+use ariadne_obs::trace::{self, Level};
 use ariadne_pql::{Database, Tuple};
 use ariadne_vc::checkpoint::crc32;
 use ariadne_vc::FaultPlan;
@@ -65,6 +66,86 @@ const RECORD_OVERHEAD: usize = 4 + 8 + 4 + 4;
 
 /// Default drain deadline for [`StoreWriter::finish`].
 pub const DEFAULT_FINISH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Cached global-registry handles for store metrics. Ingested tuple and
+/// batch counts are functions of the captured provenance alone and are
+/// flagged deterministic; spill counts, spilled bytes, and record
+/// verifications depend on when the async writer's batches arrive
+/// relative to the memory budget, so they are flagged non-deterministic.
+mod obs_handles {
+    use ariadne_obs::metrics::Counter;
+    use std::sync::OnceLock;
+
+    macro_rules! store_counter {
+        ($fn_name:ident, $name:literal, $help:literal, $det:expr) => {
+            pub fn $fn_name() -> &'static Counter {
+                static H: OnceLock<Counter> = OnceLock::new();
+                H.get_or_init(|| ariadne_obs::registry().counter($name, $help, $det))
+            }
+        };
+    }
+
+    store_counter!(
+        ingest_batches,
+        "store_ingest_batches_total",
+        "tuple batches ingested into the provenance store",
+        true
+    );
+    store_counter!(
+        ingest_tuples,
+        "store_ingest_tuples_total",
+        "provenance tuples ingested",
+        true
+    );
+    store_counter!(
+        ingest_bytes,
+        "store_ingest_bytes_total",
+        "encoded record bytes appended to in-memory segments",
+        true
+    );
+    store_counter!(
+        spills,
+        "store_spills_total",
+        "segment spills to the spool directory (budget/arrival dependent)",
+        false
+    );
+    store_counter!(
+        spilled_bytes,
+        "store_spilled_bytes_total",
+        "bytes written to spool segment files (budget/arrival dependent)",
+        false
+    );
+    store_counter!(
+        records_verified,
+        "store_records_verified_total",
+        "checksummed records whose CRC was validated on read",
+        false
+    );
+    store_counter!(
+        checksum_failures,
+        "store_checksum_failures_total",
+        "records rejected for CRC/framing mismatch",
+        false
+    );
+    store_counter!(
+        resumes,
+        "store_resumes_total",
+        "stores re-opened over an existing spool directory",
+        true
+    );
+    store_counter!(
+        sealed_segments,
+        "store_sealed_segments_total",
+        "segments recovered and sealed during spool resume",
+        true
+    );
+    store_counter!(
+        faults_injected,
+        "store_faults_injected_total",
+        "scripted spill failures fired",
+        true
+    );
+}
 
 /// Typed failures from the provenance store.
 #[derive(Debug)]
@@ -248,13 +329,26 @@ fn decode_records(data: &[u8], origin: &Path, out: &mut Vec<Tuple>) -> Result<()
         let payload = &data[body_start..footer_start];
         let actual_crc = crc32(payload);
         if actual_crc != stored_crc {
+            obs_handles::checksum_failures().inc();
+            trace::event(
+                Level::Error,
+                "store",
+                "checksum_failure",
+                &[
+                    ("offset", off.into()),
+                    ("stored_crc", u64::from(stored_crc).into()),
+                    ("computed_crc", u64::from(actual_crc).into()),
+                ],
+            );
             return Err(corrupt(format!(
                 "CRC mismatch at offset {off}: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
             )));
         }
         if data[footer_start..footer_start + 4] != SEGMENT_FOOTER {
+            obs_handles::checksum_failures().inc();
             return Err(corrupt(format!("bad record footer at offset {footer_start}")));
         }
+        obs_handles::records_verified().inc();
         let batch = bytes::Bytes::copy_from_slice(payload);
         out.extend(
             decode_tuples(batch).map_err(|e| corrupt(format!("tuple decode failed: {e}")))?,
@@ -338,6 +432,18 @@ impl ProvStore {
                 },
             );
         }
+        obs_handles::resumes().inc();
+        obs_handles::sealed_segments().add(store.segments.len() as u64);
+        trace::event(
+            Level::Info,
+            "store",
+            "resumed_from_spool",
+            &[
+                ("segments", store.segments.len().into()),
+                ("tuples", store.tuples.into()),
+                ("disk_bytes", store.disk_bytes.into()),
+            ],
+        );
         Ok(store)
     }
 
@@ -368,7 +474,11 @@ impl ProvStore {
         seg.mem_tuples += tuples.len();
         let before = seg.mem.len();
         append_record(&mut seg.mem, &batch);
-        self.mem_bytes += seg.mem.len() - before;
+        let appended = seg.mem.len() - before;
+        self.mem_bytes += appended;
+        obs_handles::ingest_batches().inc();
+        obs_handles::ingest_tuples().add(tuples.len() as u64);
+        obs_handles::ingest_bytes().add(appended as u64);
         self.maybe_spill()
     }
 
@@ -399,6 +509,13 @@ impl ProvStore {
             }
             if let Some(fault) = &self.config.fault {
                 if fault.take_spill_failure() {
+                    obs_handles::faults_injected().inc();
+                    trace::event(
+                        Level::Warn,
+                        "store::fault",
+                        "injected_spill_failure",
+                        &[("attempt", (fault.spill_attempts() - 1).into())],
+                    );
                     return Err(StoreError::InjectedSpillFailure {
                         attempt: fault.spill_attempts() - 1,
                     });
@@ -425,6 +542,19 @@ impl ProvStore {
             disk.tuples += seg.mem_tuples;
             self.disk_bytes += seg.mem.len();
             self.mem_bytes -= seg.mem.len();
+            obs_handles::spills().inc();
+            obs_handles::spilled_bytes().add(seg.mem.len() as u64);
+            trace::event(
+                Level::Debug,
+                "store",
+                "spill",
+                &[
+                    ("superstep", key.0.into()),
+                    ("pred", key.1.as_str().into()),
+                    ("bytes", seg.mem.len().into()),
+                    ("tuples", seg.mem_tuples.into()),
+                ],
+            );
             seg.mem = Vec::new();
             seg.mem_tuples = 0;
             self.spills += 1;

@@ -31,7 +31,7 @@
 
 use crate::aggregate::{AggOp, AggValue, Aggregates};
 use crate::message::Envelope;
-use crate::metrics::{RunMetrics, SuperstepMetrics};
+use crate::metrics::{PhaseTimes, RunMetrics, SuperstepMetrics};
 use ariadne_graph::VertexId;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -42,7 +42,9 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ARSN";
 
 /// Current snapshot format version. Bump on any layout change; readers
 /// reject other versions with a typed error rather than misparsing.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// v3: `SuperstepMetrics` gained `messages_delivered`, per-phase wall
+/// times and a `checkpoint` duration.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// When and where the engine writes barrier snapshots.
 #[derive(Clone, Debug)]
@@ -492,25 +494,48 @@ impl Snapshot for Aggregates {
     }
 }
 
+impl Snapshot for PhaseTimes {
+    fn write_snap(&self, out: &mut Vec<u8>) {
+        self.compute.write_snap(out);
+        self.combine.write_snap(out);
+        self.scatter.write_snap(out);
+        self.barrier.write_snap(out);
+    }
+    fn read_snap(input: &mut &[u8]) -> Result<Self, SnapError> {
+        Ok(PhaseTimes {
+            compute: Duration::read_snap(input)?,
+            combine: Duration::read_snap(input)?,
+            scatter: Duration::read_snap(input)?,
+            barrier: Duration::read_snap(input)?,
+        })
+    }
+}
+
 impl Snapshot for SuperstepMetrics {
     fn write_snap(&self, out: &mut Vec<u8>) {
         self.superstep.write_snap(out);
         self.active_vertices.write_snap(out);
         self.messages_sent.write_snap(out);
+        self.messages_delivered.write_snap(out);
         self.message_bytes.write_snap(out);
         self.buffered_messages.write_snap(out);
         self.buffered_bytes.write_snap(out);
         self.elapsed.write_snap(out);
+        self.phases.write_snap(out);
+        self.checkpoint.write_snap(out);
     }
     fn read_snap(input: &mut &[u8]) -> Result<Self, SnapError> {
         Ok(SuperstepMetrics {
             superstep: u32::read_snap(input)?,
             active_vertices: usize::read_snap(input)?,
             messages_sent: usize::read_snap(input)?,
+            messages_delivered: usize::read_snap(input)?,
             message_bytes: usize::read_snap(input)?,
             buffered_messages: usize::read_snap(input)?,
             buffered_bytes: usize::read_snap(input)?,
             elapsed: Duration::read_snap(input)?,
+            phases: PhaseTimes::read_snap(input)?,
+            checkpoint: Duration::read_snap(input)?,
         })
     }
 }

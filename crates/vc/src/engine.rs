@@ -39,11 +39,125 @@ use crate::checkpoint::{
 use crate::context::Context;
 use crate::fault::FaultPlan;
 use crate::message::{Combiner, Envelope};
-use crate::metrics::{RunMetrics, SuperstepMetrics};
+use crate::metrics::{PhaseTimes, RunMetrics, SuperstepMetrics};
 use crate::program::VertexProgram;
 use ariadne_graph::{ChunkTable, Csr, VertexId};
+use ariadne_obs::trace::{self, Level};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Cached handles into the global `ariadne-obs` registry for engine
+/// metrics. Each accessor registers on first use and then costs one
+/// `OnceLock` load; recording is a relaxed sharded `fetch_add`.
+///
+/// Counters of *logical work* (supersteps, messages, activations) are
+/// flagged deterministic — bit-identical across thread counts. Phase
+/// timings and sender-combine hits depend on wall clock and chunk
+/// layout respectively and are flagged non-deterministic.
+mod obs_handles {
+    use ariadne_obs::metrics::Counter;
+    use std::sync::OnceLock;
+
+    macro_rules! engine_counter {
+        ($fn_name:ident, $name:literal, $help:literal, $det:expr) => {
+            pub fn $fn_name() -> &'static Counter {
+                static H: OnceLock<Counter> = OnceLock::new();
+                H.get_or_init(|| ariadne_obs::registry().counter($name, $help, $det))
+            }
+        };
+    }
+
+    engine_counter!(
+        supersteps,
+        "engine_supersteps_total",
+        "supersteps executed across all runs",
+        true
+    );
+    engine_counter!(
+        active_vertices,
+        "engine_active_vertices_total",
+        "vertex activations (compute calls)",
+        true
+    );
+    engine_counter!(
+        messages_sent,
+        "engine_messages_sent_total",
+        "messages sent (post-combining)",
+        true
+    );
+    engine_counter!(
+        messages_delivered,
+        "engine_messages_delivered_total",
+        "messages delivered into inboxes",
+        true
+    );
+    engine_counter!(
+        message_bytes,
+        "engine_message_bytes_total",
+        "approximate message payload bytes sent",
+        true
+    );
+    engine_counter!(
+        buffered_messages,
+        "engine_buffered_messages_total",
+        "messages materialized in outbox buffers (chunk-layout dependent)",
+        false
+    );
+    engine_counter!(
+        sender_combine_hits,
+        "engine_sender_combine_hits_total",
+        "sends folded into an existing outbox slot at the sender (chunk-layout dependent)",
+        false
+    );
+    engine_counter!(
+        phase_compute_ns,
+        "engine_phase_compute_ns_total",
+        "wall nanoseconds in the compute phase",
+        false
+    );
+    engine_counter!(
+        phase_combine_ns,
+        "engine_phase_combine_ns_total",
+        "wall nanoseconds in delivery-side combining",
+        false
+    );
+    engine_counter!(
+        phase_scatter_ns,
+        "engine_phase_scatter_ns_total",
+        "wall nanoseconds in message transpose and inbox scatter",
+        false
+    );
+    engine_counter!(
+        phase_barrier_ns,
+        "engine_phase_barrier_ns_total",
+        "wall nanoseconds in barrier bookkeeping",
+        false
+    );
+    engine_counter!(
+        checkpoint_writes,
+        "engine_checkpoint_writes_total",
+        "checkpoint snapshots written at barriers",
+        true
+    );
+    engine_counter!(
+        checkpoint_write_ns,
+        "engine_checkpoint_write_ns_total",
+        "wall nanoseconds writing checkpoint snapshots",
+        false
+    );
+    engine_counter!(
+        faults_injected,
+        "engine_faults_injected_total",
+        "scripted faults fired (kills, corruptions)",
+        true
+    );
+    engine_counter!(
+        resumes,
+        "engine_resumes_total",
+        "runs resumed from a checkpoint snapshot",
+        true
+    );
+}
 
 /// Which message-plane implementation a run uses.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -289,6 +403,16 @@ impl Engine {
                 graph_vertices: graph.num_vertices(),
             });
         }
+        obs_handles::resumes().inc();
+        trace::event(
+            Level::Info,
+            "engine::checkpoint",
+            "resumed",
+            &[
+                ("superstep", checkpoint.superstep.into()),
+                ("vertices", checkpoint.values.len().into()),
+            ],
+        );
         let state = LoopState {
             superstep: checkpoint.superstep,
             values: checkpoint.values,
@@ -416,12 +540,20 @@ impl Engine {
             // barriers. One-shot, so a resume sails past this point.
             if let Some(f) = fault {
                 if f.take_kill(superstep) {
+                    obs_handles::faults_injected().inc();
+                    trace::event(
+                        Level::Warn,
+                        "engine::fault",
+                        "injected_crash",
+                        &[("superstep", superstep.into())],
+                    );
                     return Err(EngineError::InjectedCrash { superstep });
                 }
             }
 
             // Phase 1: compute. Workers own contiguous degree-weighted
             // chunks of values and read the flat inbox immutably.
+            let t_compute = Instant::now();
             let mut worker_out: Vec<FlatWorkerOutput<P::M>> = Vec::with_capacity(num_chunks);
             let mut active_total = 0usize;
             {
@@ -504,17 +636,25 @@ impl Engine {
                     worker_out.push(out);
                 }
             }
+            let mut phases = PhaseTimes {
+                compute: t_compute.elapsed(),
+                ..PhaseTimes::default()
+            };
 
             // Barrier: merge per-block aggregate partials in global block
             // order (workers own consecutive block runs, so scanning
             // workers then blocks *is* block order), and recycle the
             // dedup tables (epoch-stamped, so no clearing is needed).
+            let t_barrier = Instant::now();
+            let mut combine_hits = 0u64;
             for wo in &mut worker_out {
                 for ab in &wo.agg_blocks {
                     st.aggregates.merge_current(ab);
                 }
                 dedup_pool.push(std::mem::take(&mut wo.dedup));
+                combine_hits += wo.combine_hits;
             }
+            phases.barrier += t_barrier.elapsed();
 
             // Phase 2: deliver. Transpose outboxes to per-destination
             // producer lists ([worker][dest] → [dest][worker]) by move,
@@ -522,7 +662,8 @@ impl Engine {
             // shells. Producers are scanned in worker order and each
             // buffer is in emission order, so the flat inbox holds each
             // vertex's messages in global sender order.
-            let (messages_sent, message_bytes, buffered_messages, buffered_bytes) = {
+            let counts = {
+                let t_transpose = Instant::now();
                 let mut transposed: Vec<OutboxSet<P::M>> = (0..num_chunks)
                     .map(|d| {
                         worker_out
@@ -531,8 +672,10 @@ impl Engine {
                             .collect()
                     })
                     .collect();
+                phases.scatter += t_transpose.elapsed();
                 let deliver = combiner.as_deref();
-                let counts: Vec<(usize, usize, usize, usize)> = if num_chunks == 1 {
+                let t_deliver = Instant::now();
+                let counts: Vec<DeliverCounts> = if num_chunks == 1 {
                     spare
                         .iter_mut()
                         .zip(transposed.iter_mut())
@@ -556,17 +699,24 @@ impl Engine {
                         handles.into_iter().map(|h| h.join().unwrap()).collect()
                     })
                 };
+                // Delivery wall time is combiner folding when the
+                // program has a combiner, pure scatter otherwise.
+                if deliver.is_some() {
+                    phases.combine += t_deliver.elapsed();
+                } else {
+                    phases.scatter += t_deliver.elapsed();
+                }
+                let t_recycle = Instant::now();
                 for bufs in &mut transposed {
                     for b in bufs.drain(..) {
                         debug_assert!(b.is_empty(), "delivery must drain every producer buffer");
                         box_pool.push(b);
                     }
                 }
+                phases.scatter += t_recycle.elapsed();
                 counts
                     .into_iter()
-                    .fold((0, 0, 0, 0), |(s, b, m, mb), (cs, cb, cm, cmb)| {
-                        (s + cs, b + cb, m + cm, mb + cmb)
-                    })
+                    .fold(DeliverCounts::default(), DeliverCounts::merge)
             };
 
             // Swap the freshly-delivered inbox set in; the one compute
@@ -579,17 +729,22 @@ impl Engine {
             st.metrics.supersteps.push(SuperstepMetrics {
                 superstep,
                 active_vertices: active_total,
-                messages_sent,
-                message_bytes,
-                buffered_messages,
-                buffered_bytes,
+                messages_sent: counts.sent,
+                messages_delivered: counts.delivered,
+                message_bytes: counts.bytes,
+                buffered_messages: counts.buffered,
+                buffered_bytes: counts.buffered_bytes,
                 elapsed: step_start.elapsed(),
+                phases,
+                checkpoint: Duration::ZERO,
             });
+            record_superstep_obs(&st.metrics.supersteps[st.metrics.supersteps.len() - 1]);
+            obs_handles::sender_combine_hits().add(combine_hits);
 
             // Termination checks at the barrier.
             let halted = program.should_halt(superstep, &st.aggregates);
             st.aggregates.rotate();
-            let no_traffic = messages_sent == 0 && !always_active;
+            let no_traffic = counts.sent == 0 && !always_active;
             st.superstep = superstep + 1;
             if halted || no_traffic || st.superstep >= max_supersteps {
                 break;
@@ -598,12 +753,29 @@ impl Engine {
             // Barrier snapshot hook for runs that continue. The sink
             // decides whether this barrier is on its interval; the
             // recorded elapsed time covers everything up to here so a
-            // resumed run reports a sensible total.
+            // resumed run reports a sensible total. Snapshot I/O is
+            // timed separately and credited to the superstep that just
+            // finished (previously it hid inside the next superstep's
+            // wall clock).
             st.metrics.elapsed = base_elapsed + start.elapsed();
-            sink.on_barrier(&st)?;
+            let t_ckpt = Instant::now();
+            if sink.on_barrier(&st)? {
+                record_checkpoint_time(&mut st.metrics, superstep, t_ckpt.elapsed());
+            }
         }
 
         st.metrics.elapsed = base_elapsed + start.elapsed();
+        trace::event(
+            Level::Info,
+            "engine",
+            "run_complete",
+            &[
+                ("plane", "flat".into()),
+                ("supersteps", st.metrics.num_supersteps().into()),
+                ("messages", st.metrics.total_messages().into()),
+                ("elapsed_ns", st.metrics.elapsed.into()),
+            ],
+        );
         Ok(RunResult {
             values: st.values,
             metrics: st.metrics,
@@ -654,12 +826,20 @@ impl Engine {
 
             if let Some(f) = fault {
                 if f.take_kill(superstep) {
+                    obs_handles::faults_injected().inc();
+                    trace::event(
+                        Level::Warn,
+                        "engine::fault",
+                        "injected_crash",
+                        &[("superstep", superstep.into())],
+                    );
                     return Err(EngineError::InjectedCrash { superstep });
                 }
             }
 
             // Phase 1: compute. Workers own contiguous chunks of values
             // and inboxes; each produces per-destination-chunk outboxes.
+            let t_compute = Instant::now();
             let mut worker_out: Vec<OutboxSet<P::M>> = Vec::with_capacity(threads);
             let mut worker_aggs: Vec<Aggregates> = Vec::with_capacity(threads);
             let mut active_total = 0usize;
@@ -726,10 +906,17 @@ impl Engine {
                 }
             }
 
+            let mut phases = PhaseTimes {
+                compute: t_compute.elapsed(),
+                ..PhaseTimes::default()
+            };
+
             // Barrier: merge aggregates.
+            let t_barrier = Instant::now();
             for wa in &worker_aggs {
                 st.aggregates.merge_current(wa);
             }
+            phases.barrier += t_barrier.elapsed();
 
             // Phase 2: deliver messages into next-superstep inboxes.
             // Parallel over destination chunks — worker t merges every
@@ -739,6 +926,10 @@ impl Engine {
             // scheduling.
             let deliver_chunk = |t: usize, inbox_chunk: &mut [Vec<Envelope<P::M>>]| {
                 let base = t * chunk_size;
+                // Delivered is counted from the destination side (inbox
+                // occupancy delta) so `sent == delivered` is a real
+                // cross-check of the routing, not a copied number.
+                let pre_len: usize = inbox_chunk.iter().map(|s| s.len()).sum();
                 let mut sent = 0usize;
                 let mut bytes = 0usize;
                 let mut buffered = 0usize;
@@ -770,16 +961,24 @@ impl Engine {
                         }
                     }
                 }
-                (sent, bytes, buffered, buffered_bytes)
+                let post_len: usize = inbox_chunk.iter().map(|s| s.len()).sum();
+                DeliverCounts {
+                    sent,
+                    bytes,
+                    buffered,
+                    buffered_bytes,
+                    delivered: post_len - pre_len,
+                }
             };
-            let (messages_sent, message_bytes, buffered_messages, buffered_bytes) = {
+            let t_deliver = Instant::now();
+            let counts = {
                 let inbox_vec = match &mut st.inbox {
                     InboxRepr::PerVertex(v) => v,
                     InboxRepr::Flat(_) => unreachable!("naive plane keeps a per-vertex inbox"),
                 };
                 let inbox_chunks: Vec<&mut [Vec<Envelope<P::M>>]> =
                     inbox_vec.chunks_mut(chunk_size).collect();
-                let counts: Vec<(usize, usize, usize, usize)> = if threads == 1 {
+                let counts: Vec<DeliverCounts> = if threads == 1 {
                     inbox_chunks
                         .into_iter()
                         .enumerate()
@@ -798,35 +997,58 @@ impl Engine {
                 };
                 counts
                     .into_iter()
-                    .fold((0, 0, 0, 0), |(s, b, m, mb), (cs, cb, cm, cmb)| {
-                        (s + cs, b + cb, m + cm, mb + cmb)
-                    })
+                    .fold(DeliverCounts::default(), DeliverCounts::merge)
             };
+            // The naive plane combines at delivery only; its delivery
+            // wall time is combiner folding when a combiner is active.
+            if combiner.is_some() {
+                phases.combine += t_deliver.elapsed();
+            } else {
+                phases.scatter += t_deliver.elapsed();
+            }
 
             st.metrics.supersteps.push(SuperstepMetrics {
                 superstep,
                 active_vertices: active_total,
-                messages_sent,
-                message_bytes,
-                buffered_messages,
-                buffered_bytes,
+                messages_sent: counts.sent,
+                messages_delivered: counts.delivered,
+                message_bytes: counts.bytes,
+                buffered_messages: counts.buffered,
+                buffered_bytes: counts.buffered_bytes,
                 elapsed: step_start.elapsed(),
+                phases,
+                checkpoint: Duration::ZERO,
             });
+            record_superstep_obs(&st.metrics.supersteps[st.metrics.supersteps.len() - 1]);
 
             // Termination checks at the barrier.
             let halted = program.should_halt(superstep, &st.aggregates);
             st.aggregates.rotate();
-            let no_traffic = messages_sent == 0 && !always_active;
+            let no_traffic = counts.sent == 0 && !always_active;
             st.superstep = superstep + 1;
             if halted || no_traffic || st.superstep >= max_supersteps {
                 break;
             }
 
             st.metrics.elapsed = base_elapsed + start.elapsed();
-            sink.on_barrier(&st)?;
+            let t_ckpt = Instant::now();
+            if sink.on_barrier(&st)? {
+                record_checkpoint_time(&mut st.metrics, superstep, t_ckpt.elapsed());
+            }
         }
 
         st.metrics.elapsed = base_elapsed + start.elapsed();
+        trace::event(
+            Level::Info,
+            "engine",
+            "run_complete",
+            &[
+                ("plane", "naive".into()),
+                ("supersteps", st.metrics.num_supersteps().into()),
+                ("messages", st.metrics.total_messages().into()),
+                ("elapsed_ns", st.metrics.elapsed.into()),
+            ],
+        );
         Ok(RunResult {
             values: st.values,
             metrics: st.metrics,
@@ -987,17 +1209,71 @@ fn take_bufs<T>(pool: &mut Vec<Vec<T>>, k: usize) -> Vec<Vec<T>> {
     out
 }
 
-/// What happens at a barrier the run continues past.
+/// Feed one finished superstep's counters into the global obs registry
+/// and emit the per-superstep debug trace event. Called once per
+/// superstep (never per message), so the cost is a dozen relaxed
+/// sharded adds plus one filter check.
+fn record_superstep_obs(m: &SuperstepMetrics) {
+    obs_handles::supersteps().inc();
+    obs_handles::active_vertices().add(m.active_vertices as u64);
+    obs_handles::messages_sent().add(m.messages_sent as u64);
+    obs_handles::messages_delivered().add(m.messages_delivered as u64);
+    obs_handles::message_bytes().add(m.message_bytes as u64);
+    obs_handles::buffered_messages().add(m.buffered_messages as u64);
+    obs_handles::phase_compute_ns().add(m.phases.compute.as_nanos() as u64);
+    obs_handles::phase_combine_ns().add(m.phases.combine.as_nanos() as u64);
+    obs_handles::phase_scatter_ns().add(m.phases.scatter.as_nanos() as u64);
+    obs_handles::phase_barrier_ns().add(m.phases.barrier.as_nanos() as u64);
+    trace::event(
+        Level::Debug,
+        "engine",
+        "superstep",
+        &[
+            ("superstep", m.superstep.into()),
+            ("active_vertices", m.active_vertices.into()),
+            ("messages_sent", m.messages_sent.into()),
+            ("messages_delivered", m.messages_delivered.into()),
+            ("message_bytes", m.message_bytes.into()),
+            ("buffered_messages", m.buffered_messages.into()),
+            ("compute_ns", m.phases.compute.into()),
+            ("combine_ns", m.phases.combine.into()),
+            ("scatter_ns", m.phases.scatter.into()),
+            ("barrier_ns", m.phases.barrier.into()),
+            ("elapsed_ns", m.elapsed.into()),
+        ],
+    );
+}
+
+/// Attribute checkpoint snapshot I/O time to the superstep that just
+/// completed (the barrier it was written at) instead of letting it
+/// dissolve into the next superstep's wall clock.
+fn record_checkpoint_time(metrics: &mut RunMetrics, superstep: u32, took: Duration) {
+    if let Some(last) = metrics.supersteps.last_mut() {
+        last.checkpoint += took;
+    }
+    obs_handles::checkpoint_writes().inc();
+    obs_handles::checkpoint_write_ns().add(took.as_nanos() as u64);
+    trace::event(
+        Level::Info,
+        "engine::checkpoint",
+        "snapshot_written",
+        &[("superstep", superstep.into()), ("dur_ns", took.into())],
+    );
+}
+
+/// What happens at a barrier the run continues past. Returns `true`
+/// when a checkpoint snapshot was actually written, so the driver can
+/// attribute the I/O time to the right superstep's metrics.
 trait BarrierSink<P: VertexProgram> {
-    fn on_barrier(&mut self, state: &LoopState<P>) -> Result<(), EngineError>;
+    fn on_barrier(&mut self, state: &LoopState<P>) -> Result<bool, EngineError>;
 }
 
 /// No-op sink for plain `run`.
 struct NoSink;
 
 impl<P: VertexProgram> BarrierSink<P> for NoSink {
-    fn on_barrier(&mut self, _state: &LoopState<P>) -> Result<(), EngineError> {
-        Ok(())
+    fn on_barrier(&mut self, _state: &LoopState<P>) -> Result<bool, EngineError> {
+        Ok(false)
     }
 }
 
@@ -1014,11 +1290,12 @@ where
     P::V: Snapshot,
     P::M: Snapshot,
 {
-    fn on_barrier(&mut self, state: &LoopState<P>) -> Result<(), EngineError> {
+    fn on_barrier(&mut self, state: &LoopState<P>) -> Result<bool, EngineError> {
         if state.superstep.is_multiple_of(self.cfg.interval()) {
             write_state_snapshot(self.cfg, self.fault, state)?;
+            return Ok(true);
         }
-        Ok(())
+        Ok(false)
     }
 }
 
@@ -1073,6 +1350,13 @@ where
 
     if let Some(f) = fault {
         if f.take_corruption(state.superstep) {
+            obs_handles::faults_injected().inc();
+            trace::event(
+                Level::Warn,
+                "engine::fault",
+                "snapshot_corrupted",
+                &[("superstep", state.superstep.into())],
+            );
             corrupt_snapshot_file(&path)?;
         }
     }
@@ -1152,6 +1436,10 @@ struct FlatWorkerOutput<M> {
     /// The sender-combining index, returned for pool recycling.
     dedup: DedupTable,
     active: usize,
+    /// Sends folded into an existing outbox slot at the sender. A
+    /// chunk-layout-dependent (hence non-deterministic) efficiency
+    /// signal for the sender-combining fast paths.
+    combine_hits: u64,
 }
 
 /// Execute one superstep for a contiguous chunk of vertices (flat plane).
@@ -1189,6 +1477,7 @@ fn run_chunk_flat<P: VertexProgram>(
         sender_combiner,
         dedup,
         last: None,
+        combine_hits: 0,
         local_aggs: global_aggs.fresh_local(),
         global_aggs,
         num_vertices: graph.num_vertices(),
@@ -1218,12 +1507,38 @@ fn run_chunk_flat<P: VertexProgram>(
         agg_blocks,
         dedup: ctx.dedup,
         active,
+        combine_hits: ctx.combine_hits,
+    }
+}
+
+/// Message-plane counters for one destination chunk's delivery.
+///
+/// `delivered` is counted from the destination side (the inbox length
+/// after scatter) while `sent` is accumulated from the routing side, so
+/// the per-superstep conservation law `sent == delivered` is an actual
+/// cross-check of the scatter rather than one number copied twice.
+#[derive(Clone, Copy, Default)]
+struct DeliverCounts {
+    sent: usize,
+    bytes: usize,
+    buffered: usize,
+    buffered_bytes: usize,
+    delivered: usize,
+}
+
+impl DeliverCounts {
+    fn merge(mut self, other: DeliverCounts) -> DeliverCounts {
+        self.sent += other.sent;
+        self.bytes += other.bytes;
+        self.buffered += other.buffered;
+        self.buffered_bytes += other.buffered_bytes;
+        self.delivered += other.delivered;
+        self
     }
 }
 
 /// Scatter every producer's buffered envelopes for one destination chunk
-/// into its flat inbox, by move. Returns
-/// `(messages_sent, message_bytes, buffered_messages, buffered_bytes)`.
+/// into its flat inbox, by move. Returns the chunk's [`DeliverCounts`].
 ///
 /// Pass 1 counts arrivals per destination and runs all user code
 /// (`message_bytes`) while `inbox.data` is in a safe empty state; pass 2
@@ -1236,7 +1551,7 @@ fn deliver_chunk_flat<P: VertexProgram>(
     inbox: &mut ChunkInbox<P::M>,
     producers: &mut [OutboxBuf<P::M>],
     cursors: &mut Vec<usize>,
-) -> (usize, usize, usize, usize) {
+) -> DeliverCounts {
     let base = inbox.base;
     let len = inbox.vertex_count();
     cursors.clear();
@@ -1295,7 +1610,13 @@ fn deliver_chunk_flat<P: VertexProgram>(
             // initialized exactly once.
             unsafe { inbox.data.set_len(total) };
             // Without combining, stored == buffered.
-            (total, buffered_bytes, buffered, buffered_bytes)
+            DeliverCounts {
+                sent: total,
+                bytes: buffered_bytes,
+                buffered,
+                buffered_bytes,
+                delivered: inbox.data.len(),
+            }
         }
         Some(c) => {
             // Delivery-side combining: one slot per destination with at
@@ -1340,7 +1661,13 @@ fn deliver_chunk_flat<P: VertexProgram>(
                 .iter()
                 .map(|e| program.message_bytes(&e.msg))
                 .sum();
-            (total, bytes, buffered, buffered_bytes)
+            DeliverCounts {
+                sent: total,
+                bytes,
+                buffered,
+                buffered_bytes,
+                delivered: inbox.data.len(),
+            }
         }
     }
 }
@@ -1420,6 +1747,8 @@ struct FlatContext<'a, M> {
     dedup: DedupTable,
     /// Last destination written: (id, chunk, index).
     last: Option<(u64, usize, usize)>,
+    /// Sends folded at the sender instead of appended.
+    combine_hits: u64,
     local_aggs: Aggregates,
     global_aggs: &'a Aggregates,
     num_vertices: usize,
@@ -1450,6 +1779,7 @@ impl<M> Context<M> for FlatContext<'_, M> {
                     let acc = &mut self.outboxes[lc][li].1;
                     c.combine(&mut acc.msg, &msg);
                     acc.src = Envelope::<M>::COMBINED;
+                    self.combine_hits += 1;
                     return;
                 }
             }
@@ -1458,6 +1788,7 @@ impl<M> Context<M> for FlatContext<'_, M> {
                 c.combine(&mut acc.msg, &msg);
                 acc.src = Envelope::<M>::COMBINED;
                 self.last = Some((to.0, dc, di));
+                self.combine_hits += 1;
                 return;
             }
             let chunk = self.table.chunk_of(to.index());

@@ -77,5 +77,5 @@ pub use context::Context;
 pub use engine::{Engine, EngineConfig, MessagePlane, RunResult};
 pub use fault::FaultPlan;
 pub use message::{Combiner, Envelope, MaxCombiner, MinCombiner, SumCombiner};
-pub use metrics::{RunMetrics, SuperstepMetrics};
+pub use metrics::{PhaseTimes, RunMetrics, SuperstepMetrics};
 pub use program::VertexProgram;

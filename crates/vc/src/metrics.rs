@@ -4,7 +4,52 @@
 //! accounting; the engine measures these uniformly for baseline, online,
 //! layered and naive runs so the bench harness can form the same ratios.
 
+use std::ops::AddAssign;
 use std::time::Duration;
+
+/// Wall-time breakdown of one superstep into its BSP phases.
+///
+/// Phases are measured from the driver thread's perspective:
+///
+/// * `compute` — vertex programs running in parallel (includes
+///   sender-side combining, which happens inside `Context::send`);
+/// * `combine` — delivery-side combiner folding (pass 2 of flat
+///   delivery when the program has a combiner, or the combiner branch
+///   of naive delivery);
+/// * `scatter` — message routing/transpose and inbox scatter (pass 1
+///   counting + non-combined pass 2);
+/// * `barrier` — aggregate merge, dedup-table recycling, halt voting,
+///   and metric bookkeeping between phases.
+///
+/// Timings are wall-clock and therefore **not** deterministic across
+/// runs or thread counts, unlike the message/activation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Parallel vertex-program execution.
+    pub compute: Duration,
+    /// Delivery-side combiner folding.
+    pub combine: Duration,
+    /// Message transpose + inbox scatter.
+    pub scatter: Duration,
+    /// Barrier bookkeeping between phases.
+    pub barrier: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.compute + self.combine + self.scatter + self.barrier
+    }
+}
+
+impl AddAssign for PhaseTimes {
+    fn add_assign(&mut self, rhs: PhaseTimes) {
+        self.compute += rhs.compute;
+        self.combine += rhs.combine;
+        self.scatter += rhs.scatter;
+        self.barrier += rhs.barrier;
+    }
+}
 
 /// Counters for one superstep.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -15,6 +60,12 @@ pub struct SuperstepMetrics {
     pub active_vertices: usize,
     /// Messages sent during the superstep (after combining).
     pub messages_sent: usize,
+    /// Messages delivered into destination inboxes for the next
+    /// superstep. Exactly equals `messages_sent`: delivery happens in
+    /// the same barrier and nothing is dropped. Tracked separately (and
+    /// counted at the delivery site, not the send site) so tests can
+    /// assert the conservation law per plane instead of assuming it.
+    pub messages_delivered: usize,
     /// Approximate bytes of message payloads sent.
     pub message_bytes: usize,
     /// Messages materialized in outbox buffers before delivery. With
@@ -25,8 +76,16 @@ pub struct SuperstepMetrics {
     pub buffered_messages: usize,
     /// Approximate payload bytes held in outbox buffers before delivery.
     pub buffered_bytes: usize,
-    /// Wall time of the superstep (compute + delivery).
+    /// Wall time of the superstep (compute + delivery), excluding
+    /// checkpoint snapshot I/O, which is reported in `checkpoint`.
     pub elapsed: Duration,
+    /// Wall-time breakdown of `elapsed` into BSP phases.
+    pub phases: PhaseTimes,
+    /// Time spent writing (or, on resume, reading) the checkpoint
+    /// snapshot at this superstep's barrier. Zero when checkpointing is
+    /// disabled or the interval did not fire. Previously this cost was
+    /// silently folded into `elapsed`.
+    pub checkpoint: Duration,
 }
 
 /// Aggregated counters for a whole run.
@@ -78,6 +137,27 @@ impl RunMetrics {
             .max()
             .unwrap_or(0)
     }
+
+    /// Total messages delivered across all supersteps. Always equals
+    /// [`RunMetrics::total_messages`]; kept separate so the invariant
+    /// is testable rather than assumed.
+    pub fn total_messages_delivered(&self) -> usize {
+        self.supersteps.iter().map(|s| s.messages_delivered).sum()
+    }
+
+    /// Phase-time totals across all supersteps.
+    pub fn phase_totals(&self) -> PhaseTimes {
+        let mut total = PhaseTimes::default();
+        for s in &self.supersteps {
+            total += s.phases;
+        }
+        total
+    }
+
+    /// Total checkpoint snapshot I/O time across all supersteps.
+    pub fn total_checkpoint_time(&self) -> Duration {
+        self.supersteps.iter().map(|s| s.checkpoint).sum()
+    }
 }
 
 #[cfg(test)]
@@ -92,19 +172,35 @@ mod tests {
                     superstep: 0,
                     active_vertices: 10,
                     messages_sent: 5,
+                    messages_delivered: 5,
                     message_bytes: 40,
                     buffered_messages: 8,
                     buffered_bytes: 64,
                     elapsed: Duration::from_millis(1),
+                    phases: PhaseTimes {
+                        compute: Duration::from_micros(600),
+                        combine: Duration::from_micros(100),
+                        scatter: Duration::from_micros(200),
+                        barrier: Duration::from_micros(100),
+                    },
+                    checkpoint: Duration::from_micros(50),
                 },
                 SuperstepMetrics {
                     superstep: 1,
                     active_vertices: 4,
                     messages_sent: 2,
+                    messages_delivered: 2,
                     message_bytes: 16,
                     buffered_messages: 2,
                     buffered_bytes: 16,
                     elapsed: Duration::from_millis(1),
+                    phases: PhaseTimes {
+                        compute: Duration::from_micros(400),
+                        combine: Duration::from_micros(0),
+                        scatter: Duration::from_micros(500),
+                        barrier: Duration::from_micros(100),
+                    },
+                    checkpoint: Duration::ZERO,
                 },
             ],
             elapsed: Duration::from_millis(2),
@@ -116,6 +212,14 @@ mod tests {
         assert_eq!(m.total_buffered_messages(), 10);
         assert_eq!(m.total_buffered_bytes(), 80);
         assert_eq!(m.peak_buffered_bytes(), 64);
+        assert_eq!(m.total_messages_delivered(), m.total_messages());
+        let phases = m.phase_totals();
+        assert_eq!(phases.compute, Duration::from_micros(1000));
+        assert_eq!(phases.combine, Duration::from_micros(100));
+        assert_eq!(phases.scatter, Duration::from_micros(700));
+        assert_eq!(phases.barrier, Duration::from_micros(200));
+        assert_eq!(phases.total(), Duration::from_micros(2000));
+        assert_eq!(m.total_checkpoint_time(), Duration::from_micros(50));
     }
 
     #[test]
