@@ -1,27 +1,37 @@
-//! Message-plane performance harness: flat vs naive, baseline vs capture.
+//! Performance harness: message plane (flat vs naive, baseline vs
+//! capture) plus layered offline replay.
 //!
-//! Runs PageRank, SSSP and WCC on seeded R-MAT graphs under both message
-//! planes ([`MessagePlane::Flat`] and [`MessagePlane::Naive`]) at a sweep
-//! of thread counts, in both baseline mode (combiners honoured) and
-//! capture mode (combiners disabled, as a provenance-capture run
-//! requires), and writes the measurements as JSON.
+//! **Engine section.** Runs PageRank, SSSP and WCC on seeded R-MAT
+//! graphs under both message planes ([`MessagePlane::Flat`] and
+//! [`MessagePlane::Naive`]) at a sweep of thread counts, in both
+//! baseline mode (combiners honoured) and capture mode (combiners
+//! disabled, as a provenance-capture run requires). Reported per run:
+//! supersteps/sec, messages/sec, payload bytes moved, peak buffered
+//! bytes, allocator traffic (calls + bytes, via a counting global
+//! allocator) and the engine's per-phase wall-time breakdown.
 //!
-//! Reported per run: supersteps/sec, messages/sec, payload bytes moved,
-//! peak buffered bytes (the in-flight footprint of the message plane),
-//! allocator traffic (calls + bytes, via a counting global allocator) and
-//! the engine's per-phase wall-time breakdown (compute / sender-combine /
-//! scatter / barrier).
+//! **Layered section.** Captures SSSP with the full Table-1 spec once,
+//! then replays the paper's apt query (§7) through [`LayeredConfig`] at
+//! every CLI thread count with predicate pruning on, plus one unpruned
+//! run at the top thread count. The harness cross-checks every parallel
+//! run bit-for-bit against the single-threaded reference (results and
+//! all replay counters) and verifies the pruned/unpruned byte
+//! partition, so a published JSON is itself evidence of determinism.
 //!
 //! ```text
 //! cargo run --release -p ariadne-bench --bin perf -- \
-//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr3.json] [--quick]
+//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr4.json] [--quick]
 //! ```
 //!
-//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr3.json").
+//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr4.json").
 
+use ariadne::session::Ariadne;
+use ariadne::{queries, CaptureSpec, CompiledQuery, LayeredConfig, LayeredRun};
 use ariadne_analytics::{PageRank, Sssp, Wcc};
 use ariadne_graph::generators::rmat::{rmat, RmatConfig};
 use ariadne_graph::{Csr, VertexId};
+use ariadne_pql::Value;
+use ariadne_provenance::ProvStore;
 use ariadne_vc::{Engine, EngineConfig, MessagePlane, RunMetrics, VertexProgram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -175,6 +185,121 @@ fn measure<P: VertexProgram>(
 }
 
 // ---------------------------------------------------------------------
+// Layered replay measurement
+// ---------------------------------------------------------------------
+
+/// One measured layered replay of the apt query over a captured store.
+struct LayeredMeasurement {
+    threads: usize,
+    prune: bool,
+    layers: u32,
+    flush_rounds: u32,
+    shipped_tuples: usize,
+    injected_tuples: usize,
+    evaluated_vertices: usize,
+    segments_read: usize,
+    segments_skipped: usize,
+    bytes_read: usize,
+    bytes_skipped: usize,
+    phase_inject_ns: u64,
+    phase_eval_ns: u64,
+    phase_merge_ns: u64,
+    /// Best-of-reps wall time, seconds.
+    secs: f64,
+    alloc_calls: u64,
+    alloc_bytes: u64,
+}
+
+impl LayeredMeasurement {
+    fn layers_per_sec(&self) -> f64 {
+        self.layers as f64 / self.secs.max(1e-9)
+    }
+}
+
+/// Run the layered replay `reps` times; keep the best wall time, the
+/// last repetition's counters/allocator deltas, and the last
+/// [`LayeredRun`] so the caller can cross-check results across
+/// configurations.
+fn measure_layered(
+    ariadne: &Ariadne,
+    graph: &Csr,
+    store: &ProvStore,
+    query: &CompiledQuery,
+    config: &LayeredConfig,
+    reps: usize,
+) -> (LayeredMeasurement, LayeredRun) {
+    let mut best = f64::INFINITY;
+    let mut alloc_calls = 0u64;
+    let mut alloc_bytes = 0u64;
+    let mut last: Option<LayeredRun> = None;
+    for _ in 0..reps.max(1) {
+        let before = alloc_snapshot();
+        let start = Instant::now();
+        let run = ariadne
+            .layered_with(graph, store, query, config)
+            .expect("layered replay");
+        let secs = start.elapsed().as_secs_f64();
+        let after = alloc_snapshot();
+        best = best.min(secs);
+        alloc_calls = after.0 - before.0;
+        alloc_bytes = after.1 - before.1;
+        last = Some(run);
+    }
+    let run = last.expect("at least one repetition");
+    let m = LayeredMeasurement {
+        threads: config.threads,
+        prune: config.prune,
+        layers: run.layers,
+        flush_rounds: run.flush_rounds,
+        shipped_tuples: run.shipped_tuples,
+        injected_tuples: run.injected_tuples,
+        evaluated_vertices: run.evaluated_vertices,
+        segments_read: run.segments_read,
+        segments_skipped: run.segments_skipped,
+        bytes_read: run.bytes_read,
+        bytes_skipped: run.bytes_skipped,
+        phase_inject_ns: run.phase_inject_ns,
+        phase_eval_ns: run.phase_eval_ns,
+        phase_merge_ns: run.phase_merge_ns,
+        secs: best,
+        alloc_calls,
+        alloc_bytes,
+    };
+    (m, run)
+}
+
+/// Assert two layered runs agree on everything pruning is allowed to
+/// leave unchanged: sorted result sets per IDB predicate and the round
+/// structure. (Injection/evaluation volume legitimately shrinks when
+/// unreferenced predicates are filtered out.)
+fn assert_layered_equivalent(tag: &str, query: &CompiledQuery, a: &LayeredRun, b: &LayeredRun) {
+    for pred in query.query().idbs.keys() {
+        assert_eq!(
+            a.query_results.sorted(pred),
+            b.query_results.sorted(pred),
+            "{tag}: result sets diverge on {pred:?}"
+        );
+    }
+    assert_eq!(
+        (a.layers, a.flush_rounds, a.shipped_tuples),
+        (b.layers, b.flush_rounds, b.shipped_tuples),
+        "{tag}: round structure diverges"
+    );
+}
+
+/// Assert two layered runs are bit-identical on every surface a user
+/// can observe: sorted result sets per IDB predicate and all replay
+/// counters. Used to pin parallel runs to the t=1 reference.
+fn assert_layered_identical(tag: &str, query: &CompiledQuery, a: &LayeredRun, b: &LayeredRun) {
+    assert_layered_equivalent(tag, query, a, b);
+    assert_eq!(
+        (a.injected_tuples, a.evaluated_vertices, a.query_stats),
+        (b.injected_tuples, b.evaluated_vertices, b.query_stats),
+        "{tag}: evaluation counters diverge"
+    );
+}
+
+// ---------------------------------------------------------------------
 // JSON (hand-rolled; the workspace is offline and carries no serde)
 // ---------------------------------------------------------------------
 
@@ -184,6 +309,37 @@ fn json_f64(x: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+fn layered_json(m: &LayeredMeasurement) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"threads\":{},\"prune\":{},\"layers\":{},\"flush_rounds\":{},\
+         \"shipped_tuples\":{},\"injected_tuples\":{},\"evaluated_vertices\":{},\
+         \"segments_read\":{},\"segments_skipped\":{},\"bytes_read\":{},\"bytes_skipped\":{},\
+         \"phase_inject_ns\":{},\"phase_eval_ns\":{},\"phase_merge_ns\":{},\
+         \"secs\":{},\"layers_per_sec\":{},\"alloc_calls\":{},\"alloc_bytes\":{}}}",
+        m.threads,
+        m.prune,
+        m.layers,
+        m.flush_rounds,
+        m.shipped_tuples,
+        m.injected_tuples,
+        m.evaluated_vertices,
+        m.segments_read,
+        m.segments_skipped,
+        m.bytes_read,
+        m.bytes_skipped,
+        m.phase_inject_ns,
+        m.phase_eval_ns,
+        m.phase_merge_ns,
+        json_f64(m.secs),
+        json_f64(m.layers_per_sec()),
+        m.alloc_calls,
+        m.alloc_bytes,
+    );
+    s
 }
 
 fn measurement_json(m: &Measurement) -> String {
@@ -239,7 +395,7 @@ fn parse_cli() -> Cli {
         edge_factor: 16,
         threads: vec![1, 2, 4, 8],
         reps: 3,
-        out: "BENCH_pr3.json".to_string(),
+        out: "BENCH_pr4.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -344,6 +500,98 @@ fn main() {
         }
     }
 
+    // -----------------------------------------------------------------
+    // Layered replay: capture SSSP once with the full Table-1 spec, then
+    // replay the apt query at each thread count (pruned) plus one
+    // unpruned run at the top thread count. Every parallel run is pinned
+    // bit-for-bit to the single-threaded reference before anything is
+    // written out.
+    // -----------------------------------------------------------------
+    let layered_scale = cli.scale.saturating_sub(2).max(6);
+    let layered_graph = rmat(RmatConfig {
+        scale: layered_scale,
+        edge_factor: cli.edge_factor,
+        seed: 0xA51AD,
+        ..RmatConfig::default()
+    });
+    let mut lrng = StdRng::seed_from_u64(0x1A7E5);
+    let layered_weighted = layered_graph.map_weights(|_, _, _| 0.001 + lrng.gen::<f64>());
+    eprintln!(
+        "perf: layered capture on rmat scale={} ({} vertices, {} edges)",
+        layered_scale,
+        layered_graph.num_vertices(),
+        layered_graph.num_edges()
+    );
+    let ariadne = Ariadne::default();
+    let capture = ariadne
+        .capture(
+            &Sssp::new(VertexId(0)),
+            &layered_weighted,
+            &CaptureSpec::full(),
+        )
+        .expect("layered capture run");
+    let apt = queries::apt("udf_diff", Value::Float(0.1)).expect("apt query compiles");
+
+    let max_threads = *cli.threads.iter().max().unwrap();
+    let mut layered_runs: Vec<LayeredMeasurement> = Vec::new();
+    let mut reference: Option<LayeredRun> = None;
+    // t=1 pruned reference first, then the CLI sweep in order.
+    let mut layered_threads: Vec<usize> = vec![1];
+    layered_threads.extend(cli.threads.iter().copied().filter(|&t| t != 1));
+    for &threads in &layered_threads {
+        eprintln!("perf: layered threads={threads} prune=true");
+        let config = LayeredConfig {
+            prune: true,
+            ..LayeredConfig::parallel(threads)
+        };
+        let (m, run) = measure_layered(
+            &ariadne,
+            &layered_weighted,
+            &capture.store,
+            &apt,
+            &config,
+            cli.reps,
+        );
+        match &reference {
+            None => reference = Some(run),
+            Some(r) => assert_layered_identical(&format!("layered t={threads}"), &apt, &run, r),
+        }
+        layered_runs.push(m);
+    }
+    // Unpruned control at the top thread count: identical results, full
+    // byte volume; pruning must partition it exactly.
+    eprintln!("perf: layered threads={max_threads} prune=false");
+    let (full_m, full_run) = measure_layered(
+        &ariadne,
+        &layered_weighted,
+        &capture.store,
+        &apt,
+        &LayeredConfig {
+            prune: false,
+            ..LayeredConfig::parallel(max_threads)
+        },
+        cli.reps,
+    );
+    assert_layered_equivalent(
+        "layered unpruned",
+        &apt,
+        &full_run,
+        reference.as_ref().unwrap(),
+    );
+    let pruned_ref = &layered_runs[0];
+    assert!(
+        pruned_ref.segments_skipped > 0,
+        "full capture must contain segments the apt query never joins"
+    );
+    assert_eq!(
+        pruned_ref.bytes_read + pruned_ref.bytes_skipped,
+        full_m.bytes_read,
+        "pruning must partition the decoded byte volume"
+    );
+    let pruning_bytes_ratio = pruned_ref.bytes_read as f64 / full_m.bytes_read.max(1) as f64;
+    let layered_t1_secs = pruned_ref.secs;
+    layered_runs.push(full_m);
+
     // Summary: flat-over-naive supersteps/sec speedup per (analytic, threads)
     // in baseline mode, plus the SSSP combiner-path allocation comparison.
     let lookup = |analytic: &str, plane: MessagePlane, mode: &str, threads: usize| {
@@ -371,13 +619,12 @@ fn main() {
     let speedups = speedup_map("baseline");
     let capture_speedups = speedup_map("capture");
 
-    let max_threads = *cli.threads.iter().max().unwrap();
     let sssp_flat = lookup("sssp", MessagePlane::Flat, "baseline", max_threads).unwrap();
     let sssp_naive = lookup("sssp", MessagePlane::Naive, "baseline", max_threads).unwrap();
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr3/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr4/v1\",");
     let _ = writeln!(
         json,
         "  \"command\": \"cargo run --release -p ariadne-bench --bin perf\","
@@ -406,7 +653,47 @@ fn main() {
         let _ = writeln!(json, "    {}{}", measurement_json(m), sep);
     }
     json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"layered\": {{\n    \"graph\": {{\"generator\": \"rmat\", \"scale\": {}, \"edge_factor\": {}, \"vertices\": {}, \"edges\": {}}},\n    \"analytic\": \"sssp\",\n    \"query\": \"apt(udf_diff, 0.1)\",\n    \"capture\": \"full\",\n    \"runs\": [",
+        layered_scale,
+        cli.edge_factor,
+        layered_graph.num_vertices(),
+        layered_graph.num_edges()
+    );
+    for (i, m) in layered_runs.iter().enumerate() {
+        let sep = if i + 1 < layered_runs.len() { "," } else { "" };
+        let _ = writeln!(json, "      {}{}", layered_json(m), sep);
+    }
+    json.push_str("    ]\n  },\n");
     let _ = writeln!(json, "  \"summary\": {{");
+    {
+        let mut speedups = String::from("{");
+        for (i, m) in layered_runs.iter().filter(|m| m.prune).enumerate() {
+            if i > 0 {
+                speedups.push(',');
+            }
+            let _ = write!(
+                speedups,
+                "\"{}\":{}",
+                m.threads,
+                json_f64(layered_t1_secs / m.secs.max(1e-9))
+            );
+        }
+        speedups.push('}');
+        let _ = writeln!(
+            json,
+            "    \"layered_thread_speedup_over_t1\": {speedups},"
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"layered_pruning\": {{\"segments_skipped\": {}, \"bytes_read_pruned\": {}, \"bytes_read_full\": {}, \"bytes_ratio\": {}}},",
+        layered_runs[0].segments_skipped,
+        layered_runs[0].bytes_read,
+        layered_runs.last().unwrap().bytes_read,
+        json_f64(pruning_bytes_ratio)
+    );
     let _ = writeln!(
         json,
         "    \"pagerank_flat_over_naive_supersteps_per_sec\": {speedups},"
@@ -456,6 +743,26 @@ fn main() {
             m.messages_per_sec(),
             m.message_bytes,
             m.peak_buffered_bytes,
+            m.alloc_calls
+        );
+    }
+    println!();
+    println!(
+        "{:<9} {:>3} {:>6} {:>7} {:>6} {:>12} {:>10} {:>10} {:>12} {:>12}",
+        "layered", "thr", "prune", "layers", "flush", "layers/s", "seg_read", "seg_skip", "bytes_read", "allocs"
+    );
+    for m in &layered_runs {
+        println!(
+            "{:<9} {:>3} {:>6} {:>7} {:>6} {:>12.1} {:>10} {:>10} {:>12} {:>12}",
+            "apt",
+            m.threads,
+            m.prune,
+            m.layers,
+            m.flush_rounds,
+            m.layers_per_sec(),
+            m.segments_read,
+            m.segments_skipped,
+            m.bytes_read,
             m.alloc_calls
         );
     }

@@ -58,6 +58,7 @@ pub mod state;
 pub use capture::CaptureSpec;
 pub use compile::{compile, compile_with, CompiledQuery};
 pub use custom::CustomProv;
+pub use layered::{run_layered, run_layered_with, LayeredConfig, LayeredRun};
 pub use online::{OnlineProgram, OnlineRun, QueryFailure};
 pub use report::{RunReport, StoreReport};
 pub use session::{Ariadne, AriadneError};

@@ -3,7 +3,7 @@
 use crate::capture::{CaptureRun, CaptureSpec};
 use crate::compile::CompiledQuery;
 use crate::custom::CustomProv;
-use crate::layered::{run_layered, LayeredRun};
+use crate::layered::{run_layered_with, LayeredConfig, LayeredRun};
 use crate::naive::{run_centralized, run_naive, NaiveRun};
 use crate::online::{OnlineConfig, OnlineProgram, OnlineRun, Persist};
 use ariadne_graph::Csr;
@@ -482,14 +482,29 @@ impl Ariadne {
         })
     }
 
-    /// Layered offline evaluation over a captured store (§5.1).
+    /// Layered offline evaluation over a captured store (§5.1): parallel
+    /// chunked replay with predicate-filtered layer reads, using the
+    /// engine's thread count. Results are bit-identical at every thread
+    /// count.
     pub fn layered(
         &self,
         graph: &Csr,
         store: &ProvStore,
         query: &CompiledQuery,
     ) -> Result<LayeredRun, AriadneError> {
-        run_layered(graph, store, query)
+        self.layered_with(graph, store, query, &LayeredConfig::parallel(self.engine.threads))
+    }
+
+    /// Layered offline evaluation with explicit [`LayeredConfig`]
+    /// tuning (thread count, chunk granularity, predicate pruning).
+    pub fn layered_with(
+        &self,
+        graph: &Csr,
+        store: &ProvStore,
+        query: &CompiledQuery,
+        config: &LayeredConfig,
+    ) -> Result<LayeredRun, AriadneError> {
+        run_layered_with(graph, store, query, config)
     }
 
     /// Naive offline evaluation: materialize the whole provenance graph

@@ -24,5 +24,7 @@ pub mod unfold;
 
 pub use edb::{static_graph_edbs, EdbTracker, VertexStepRecord};
 pub use encode::ProvEncode;
-pub use store::{ProvStore, StoreConfig, StoreError, StoreSender, StoreWriter};
+pub use store::{
+    LayerRead, ProvStore, SegmentInfo, StoreConfig, StoreError, StoreSender, StoreWriter,
+};
 pub use unfold::{Layers, UnfoldedGraph};

@@ -40,7 +40,12 @@
 //!
 //! Replay for layered evaluation decodes one superstep (= one provenance
 //! layer) at a time, ascending for forward queries or descending for
-//! backward ones (§5.1).
+//! backward ones (§5.1). [`ProvStore::layer_filtered`] restricts a layer
+//! read to the predicates a compiled query actually references, skipping
+//! the decode — and the disk read entirely — for irrelevant segments;
+//! [`ProvStore::segment_index`] exposes the per-(superstep, predicate)
+//! tuple/byte accounting that planning decisions (pruning, budgeting)
+//! are made from.
 
 use crate::codec::{decode_tuples, encode_tuples, CodecError};
 use ariadne_obs::trace::{self, Level};
@@ -143,6 +148,24 @@ mod obs_handles {
         faults_injected,
         "store_faults_injected_total",
         "scripted spill failures fired",
+        true
+    );
+    store_counter!(
+        segments_read,
+        "store_segments_read_total",
+        "segments decoded by layer reads",
+        true
+    );
+    store_counter!(
+        segments_skipped,
+        "store_segments_skipped_total",
+        "segments skipped by predicate-filtered layer reads",
+        true
+    );
+    store_counter!(
+        writers_abandoned,
+        "store_writers_abandoned_total",
+        "writer threads fenced off after a finish timeout",
         true
     );
 }
@@ -276,6 +299,38 @@ struct DiskPart {
     tuples: usize,
 }
 
+impl Segment {
+    /// Total encoded bytes, memory plus spilled parts.
+    fn total_bytes(&self) -> usize {
+        self.mem.len() + self.disk.as_ref().map_or(0, |d| d.bytes)
+    }
+
+    /// Total tuple count, memory plus spilled parts.
+    fn total_tuples(&self) -> usize {
+        self.mem_tuples + self.disk.as_ref().map_or(0, |d| d.tuples)
+    }
+
+    /// Decode the whole segment (spilled prefix first, then the
+    /// in-memory tail) into `out`, returning the encoded bytes read.
+    fn decode_into(&self, out: &mut Vec<Tuple>) -> Result<usize, StoreError> {
+        let mut bytes_read = 0usize;
+        if let Some(disk) = &self.disk {
+            let mut data = Vec::with_capacity(disk.bytes);
+            File::open(&disk.path)
+                .and_then(|mut f| f.read_to_end(&mut data))
+                .map_err(|e| StoreError::Io {
+                    path: disk.path.clone(),
+                    source: e,
+                })?;
+            bytes_read += data.len();
+            decode_records(&data, &disk.path, out)?;
+        }
+        bytes_read += self.mem.len();
+        decode_records(&self.mem, Path::new("<memory>"), out)?;
+        Ok(bytes_read)
+    }
+}
+
 /// The captured-provenance store.
 #[derive(Debug, Default)]
 pub struct ProvStore {
@@ -285,6 +340,61 @@ pub struct ProvStore {
     disk_bytes: usize,
     tuples: usize,
     spills: usize,
+    /// Cached largest captured superstep, maintained on ingest/resume so
+    /// replay drivers and [`ProvStore::to_database`] never rescan the
+    /// whole segment index for it.
+    max_step: Option<u32>,
+}
+
+/// One row of the per-(superstep, predicate) segment index: the counts a
+/// replay planner needs to decide what to decode without touching any
+/// payload bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// The provenance layer (= superstep) the segment belongs to.
+    pub superstep: u32,
+    /// The predicate whose tuples the segment holds.
+    pub pred: String,
+    /// Decoded tuple count (memory + spilled parts).
+    pub tuples: usize,
+    /// Encoded record bytes (memory + spilled parts).
+    pub bytes: usize,
+    /// Whether any part of the segment lives in a spool file.
+    pub spilled: bool,
+    /// Whether the segment was recovered and sealed by a spool resume.
+    pub sealed: bool,
+}
+
+/// The outcome of one predicate-filtered layer read.
+#[derive(Debug, Default)]
+pub struct LayerRead {
+    /// Decoded (predicate, tuples) pairs, in predicate order.
+    pub tuples: Vec<(String, Vec<Tuple>)>,
+    /// Segments decoded for this layer.
+    pub segments_read: usize,
+    /// Segments whose predicate the filter rejected — neither decoded
+    /// nor (for spilled parts) read from disk at all.
+    pub segments_skipped: usize,
+    /// Encoded bytes decoded (memory + disk).
+    pub bytes_read: usize,
+    /// Encoded bytes the filter avoided touching.
+    pub bytes_skipped: usize,
+}
+
+/// One end of a `(superstep, predicate)` segment-key range.
+type SegmentKeyBound = std::ops::Bound<(u32, String)>;
+
+/// The key range covering every segment of `superstep`. Uses an explicit
+/// upper bound so `superstep == u32::MAX` does not overflow (the old
+/// `(superstep + 1, "")` end bound panicked there).
+fn layer_bounds(superstep: u32) -> (SegmentKeyBound, SegmentKeyBound) {
+    use std::ops::Bound;
+    let lo = Bound::Included((superstep, String::new()));
+    let hi = match superstep.checked_add(1) {
+        Some(next) => Bound::Excluded((next, String::new())),
+        None => Bound::Unbounded,
+    };
+    (lo, hi)
 }
 
 /// Append one checksummed record framing `payload` to `buf`.
@@ -418,6 +528,7 @@ impl ProvStore {
             decode_records(&data, &path, &mut tuples)?;
             store.tuples += tuples.len();
             store.disk_bytes += data.len();
+            store.max_step = Some(store.max_step.map_or(key.0, |m| m.max(key.0)));
             store.segments.insert(
                 key,
                 Segment {
@@ -460,6 +571,19 @@ impl ProvStore {
         if tuples.is_empty() {
             return Ok(());
         }
+        if let Some(fault) = &self.config.fault {
+            if let Some(stall) = fault.take_ingest_stall() {
+                obs_handles::faults_injected().inc();
+                trace::event(
+                    Level::Warn,
+                    "store::fault",
+                    "injected_ingest_stall",
+                    &[("millis", (stall.as_millis() as u64).into())],
+                );
+                std::thread::sleep(stall);
+            }
+        }
+        self.max_step = Some(self.max_step.map_or(superstep, |m| m.max(superstep)));
         let seg = self
             .segments
             .entry((superstep, pred.to_string()))
@@ -566,41 +690,69 @@ impl ProvStore {
     /// decoding from memory and any spilled parts. Corruption or IO
     /// failure on a spilled part is a typed error naming the file.
     pub fn layer(&self, superstep: u32) -> Result<Vec<(String, Vec<Tuple>)>, StoreError> {
-        let mut out = Vec::new();
-        let range = (superstep, String::new())..(superstep + 1, String::new());
-        for ((_, pred), seg) in self.segments.range(range) {
-            let mut tuples = Vec::with_capacity(seg.mem_tuples);
-            if let Some(disk) = &seg.disk {
-                let mut data = Vec::with_capacity(disk.bytes);
-                File::open(&disk.path)
-                    .and_then(|mut f| f.read_to_end(&mut data))
-                    .map_err(|e| StoreError::Io {
-                        path: disk.path.clone(),
-                        source: e,
-                    })?;
-                decode_records(&data, &disk.path, &mut tuples)?;
+        Ok(self.layer_filtered(superstep, None)?.tuples)
+    }
+
+    /// Like [`ProvStore::layer`], but decoding only the predicates in
+    /// `filter` (when given). Segments whose predicate the filter
+    /// rejects are skipped without a decode — and, for spilled parts,
+    /// without a disk read at all; the returned [`LayerRead`] accounts
+    /// for both sides so the pruning win is observable.
+    pub fn layer_filtered(
+        &self,
+        superstep: u32,
+        filter: Option<&std::collections::BTreeSet<String>>,
+    ) -> Result<LayerRead, StoreError> {
+        let mut out = LayerRead::default();
+        for ((_, pred), seg) in self.segments.range(layer_bounds(superstep)) {
+            if let Some(wanted) = filter {
+                if !wanted.contains(pred) {
+                    out.segments_skipped += 1;
+                    out.bytes_skipped += seg.total_bytes();
+                    continue;
+                }
             }
-            decode_records(&seg.mem, Path::new("<memory>"), &mut tuples)?;
-            out.push((pred.clone(), tuples));
+            let mut tuples = Vec::with_capacity(seg.total_tuples());
+            out.bytes_read += seg.decode_into(&mut tuples)?;
+            out.segments_read += 1;
+            out.tuples.push((pred.clone(), tuples));
         }
+        obs_handles::segments_read().add(out.segments_read as u64);
+        obs_handles::segments_skipped().add(out.segments_skipped as u64);
         Ok(out)
     }
 
-    /// The largest captured superstep, if any.
+    /// The largest captured superstep, if any. O(1): the value is
+    /// maintained on ingest and spool resume, so per-layer replay loops
+    /// and [`ProvStore::to_database`] never rescan the segment index.
     pub fn max_superstep(&self) -> Option<u32> {
-        self.segments.keys().map(|(s, _)| *s).max()
+        self.max_step
     }
 
-    /// Load everything into one database (centralized evaluation).
+    /// The per-(superstep, predicate) segment index: tuple and byte
+    /// counts per segment, in (superstep, predicate) order, without
+    /// decoding anything.
+    pub fn segment_index(&self) -> impl Iterator<Item = SegmentInfo> + '_ {
+        self.segments.iter().map(|((step, pred), seg)| SegmentInfo {
+            superstep: *step,
+            pred: pred.clone(),
+            tuples: seg.total_tuples(),
+            bytes: seg.total_bytes(),
+            spilled: seg.disk.is_some(),
+            sealed: seg.sealed,
+        })
+    }
+
+    /// Load everything into one database (centralized evaluation). One
+    /// pass over the segment index in (superstep, predicate) order — no
+    /// per-layer range scans, and empty layers cost nothing.
     pub fn to_database(&self) -> Result<Database, StoreError> {
         let mut db = Database::new();
-        if let Some(max) = self.max_superstep() {
-            for s in 0..=max {
-                for (pred, tuples) in self.layer(s)? {
-                    for t in tuples {
-                        db.insert(&pred, t);
-                    }
-                }
+        for ((_, pred), seg) in &self.segments {
+            let mut tuples = Vec::with_capacity(seg.total_tuples());
+            seg.decode_into(&mut tuples)?;
+            for t in tuples {
+                db.insert(pred, t);
             }
         }
         Ok(db)
@@ -645,10 +797,27 @@ enum WriterMsg {
 /// Asynchronous ingestion front-end: tuples are sent over a channel to a
 /// writer thread owning the store, so the analytic's supersteps never
 /// block on serialization or spill IO.
+///
+/// # Abandonment invariant
+///
+/// [`StoreWriter::finish_timeout`] may give up on a writer thread that
+/// does not drain in time. An abandoned writer is **fenced**: a shared
+/// flag is raised before the timeout error is returned, and the writer
+/// checks it between batches, so it stops ingesting (and stops touching
+/// the spool directory) at the next batch boundary instead of racing a
+/// subsequent [`ProvStore::resume_from_spool`] indefinitely. A batch
+/// already in flight when the fence rises completes its spill write in
+/// full, so the spool only ever holds whole checksummed records; the one
+/// residual race — resuming while that final write is still in progress
+/// — is detected by record validation and surfaces as a typed
+/// [`StoreError::Corrupt`], never as silent corruption.
 pub struct StoreWriter {
     sender: Sender<WriterMsg>,
     done: crossbeam::channel::Receiver<Result<ProvStore, StoreError>>,
     handle: JoinHandle<()>,
+    /// Raised by a timed-out finish; the writer thread checks it between
+    /// batches and stops ingesting once it is set.
+    abandoned: Arc<std::sync::atomic::AtomicBool>,
 }
 
 /// Cloneable ingestion handle usable from vertex programs.
@@ -690,12 +859,21 @@ impl StoreWriter {
     where
         F: FnOnce() -> Result<ProvStore, StoreError> + Send + 'static,
     {
+        use std::sync::atomic::{AtomicBool, Ordering};
         let (sender, receiver) = unbounded();
         let (done_tx, done_rx) = unbounded();
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let fence = Arc::clone(&abandoned);
         let handle = std::thread::spawn(move || {
             let result = (|| {
                 let mut store = make()?;
                 while let Ok(msg) = receiver.recv() {
+                    // Fence: once finish_timeout has given up on us, stop
+                    // ingesting (and stop touching the spool) at the next
+                    // batch boundary. See "Abandonment invariant" above.
+                    if fence.load(Ordering::Acquire) {
+                        break;
+                    }
                     match msg {
                         WriterMsg::Ingest {
                             superstep,
@@ -713,6 +891,7 @@ impl StoreWriter {
             sender,
             done: done_rx,
             handle,
+            abandoned,
         }
     }
 
@@ -743,6 +922,18 @@ impl StoreWriter {
                 result
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                // Fence the writer before abandoning it so it stops
+                // ingesting at its next batch boundary instead of racing
+                // a subsequent resume_from_spool indefinitely.
+                self.abandoned
+                    .store(true, std::sync::atomic::Ordering::Release);
+                obs_handles::writers_abandoned().inc();
+                trace::event(
+                    Level::Warn,
+                    "store",
+                    "writer_abandoned",
+                    &[("timeout_ms", (timeout.as_millis() as u64).into())],
+                );
                 Err(StoreError::FinishTimeout { timeout })
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(StoreError::WriterDead),
@@ -979,6 +1170,136 @@ mod tests {
         match writer.finish() {
             Err(StoreError::InjectedSpillFailure { attempt: 0 }) => {}
             other => panic!("expected injected spill failure, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: the old `layer` range end `(superstep + 1, "")`
+    /// overflowed (panicked in debug, wrapped to an empty range in
+    /// release) at `superstep == u32::MAX`. The explicit bound keeps the
+    /// final layer readable.
+    #[test]
+    fn layer_at_u32_max_boundary() {
+        let mut store = ProvStore::new(StoreConfig::in_memory());
+        store.ingest(u32::MAX - 1, "value", vec![tuple(1, -2)]).unwrap();
+        store.ingest(u32::MAX, "value", vec![tuple(2, -1)]).unwrap();
+        store.ingest(u32::MAX, "superstep", vec![tuple(2, -1)]).unwrap();
+        assert_eq!(store.max_superstep(), Some(u32::MAX));
+        let last = store.layer(u32::MAX).unwrap();
+        assert_eq!(last.len(), 2, "both final-layer segments visible");
+        assert_eq!(last[1].1, vec![tuple(2, -1)]);
+        // The penultimate layer's range must not leak into the last one.
+        let prev = store.layer(u32::MAX - 1).unwrap();
+        assert_eq!(prev.len(), 1);
+        assert_eq!(prev[0].1, vec![tuple(1, -2)]);
+        // Whole-store load also covers the boundary layer (no 0..=max
+        // scan that would spin for 4 billion iterations).
+        let db = store.to_database().unwrap();
+        assert_eq!(db.len("value"), 2);
+        assert_eq!(db.len("superstep"), 1);
+    }
+
+    #[test]
+    fn layer_filtered_skips_segments_without_decoding() {
+        let dir = temp_dir("layer-filter");
+        std::fs::remove_dir_all(&dir).ok();
+        // Budget 0: every batch spills, so a skipped segment is a
+        // skipped *disk read*, not just a skipped decode.
+        let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+        store
+            .ingest(0, "value", (0..8).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store
+            .ingest(0, "send_message", (0..8).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store.ingest(0, "superstep", vec![tuple(1, 0)]).unwrap();
+
+        let wanted: std::collections::BTreeSet<String> =
+            ["value", "superstep"].iter().map(|s| s.to_string()).collect();
+        let read = store.layer_filtered(0, Some(&wanted)).unwrap();
+        assert_eq!(read.segments_read, 2);
+        assert_eq!(read.segments_skipped, 1);
+        assert!(read.bytes_read > 0 && read.bytes_skipped > 0);
+        let preds: Vec<&str> = read.tuples.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(preds, ["superstep", "value"], "predicate order");
+        // Unfiltered read sees everything and skips nothing.
+        let full = store.layer_filtered(0, None).unwrap();
+        assert_eq!(full.segments_read, 3);
+        assert_eq!(full.segments_skipped, 0);
+        assert_eq!(
+            full.bytes_read,
+            read.bytes_read + read.bytes_skipped,
+            "skip accounting partitions the layer's bytes"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_index_reports_counts_without_decoding() {
+        let dir = temp_dir("seg-index");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+        store
+            .ingest(0, "value", (0..5).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store.ingest(1, "value", vec![tuple(9, 1)]).unwrap();
+        let index: Vec<SegmentInfo> = store.segment_index().collect();
+        assert_eq!(index.len(), 2);
+        assert_eq!((index[0].superstep, index[0].tuples), (0, 5));
+        assert_eq!((index[1].superstep, index[1].tuples), (1, 1));
+        assert!(index.iter().all(|s| s.spilled && !s.sealed));
+        assert_eq!(
+            index.iter().map(|s| s.bytes).sum::<usize>(),
+            store.byte_size(),
+            "index bytes reconcile with store accounting"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Abandoned-writer fence: a timed-out finish leaves the writer
+    /// thread holding the spool, but the fence stops it at the next
+    /// batch boundary, so a later [`ProvStore::resume_from_spool`]
+    /// either recovers whole checksummed records or fails with a typed
+    /// error — never panics, never silently corrupts.
+    #[test]
+    fn abandoned_writer_never_corrupts_spool() {
+        let dir = temp_dir("abandon");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = FaultPlan::new();
+        // Pin the writer inside its first ingest so the 10ms finish
+        // deadline deterministically fires while batches are queued.
+        plan.stall_ingest(0, 400);
+        let writer = StoreWriter::spawn(
+            StoreConfig::spilling(0, dir.clone()).with_fault(Arc::clone(&plan)),
+        );
+        let sender = writer.sender();
+        for k in 0..32 {
+            sender.ingest(0, "value", vec![tuple(k, 0)]);
+        }
+        match writer.finish_timeout(Duration::from_millis(10)) {
+            Err(StoreError::FinishTimeout { .. }) => {}
+            other => panic!("expected finish timeout, got {other:?}"),
+        }
+        // Give the abandoned thread time to clear its stall, observe the
+        // fence and stop.
+        std::thread::sleep(Duration::from_millis(900));
+        assert_eq!(
+            plan.ingest_attempts(),
+            1,
+            "fence must stop the writer at the first batch boundary"
+        );
+        match ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())) {
+            Ok(store) => {
+                // Whatever was persisted is whole and decodable.
+                for s in store.segment_index().map(|s| s.superstep).collect::<Vec<_>>() {
+                    store.layer(s).unwrap();
+                }
+                assert!(store.tuple_count() <= 32);
+            }
+            Err(StoreError::Corrupt { .. }) | Err(StoreError::Io { .. }) => {
+                // The residual in-flight-write race, surfaced typed.
+            }
+            Err(other) => panic!("untyped failure after abandonment: {other:?}"),
         }
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -31,6 +31,11 @@ pub struct FaultPlan {
     /// Barrier supersteps whose checkpoint file gets corrupted after
     /// being written.
     corruptions: Mutex<BTreeSet<u32>>,
+    /// Zero-based ordinals of store-ingest attempts that stall, mapped
+    /// to the stall duration in milliseconds.
+    ingest_stalls: Mutex<std::collections::BTreeMap<u64, u64>>,
+    /// Running count of store-ingest attempts observed.
+    ingest_attempts: AtomicU64,
 }
 
 impl FaultPlan {
@@ -63,6 +68,15 @@ impl FaultPlan {
         self
     }
 
+    /// Make the `n`-th (zero-based) store-ingest attempt stall for
+    /// `millis` milliseconds before processing its batch. Used to pin
+    /// the async store writer mid-queue so `finish_timeout`
+    /// abandonment is deterministic to trigger in tests.
+    pub fn stall_ingest(&self, n: u64, millis: u64) -> &Self {
+        self.ingest_stalls.lock().unwrap().insert(n, millis);
+        self
+    }
+
     // -- hooks (consume on fire) --------------------------------------
 
     /// Engine hook: should the run die at superstep `s`? Consumes the
@@ -84,6 +98,18 @@ impl FaultPlan {
         self.corruptions.lock().unwrap().remove(&s)
     }
 
+    /// Store hook: record one ingest attempt; `Some(d)` means this
+    /// attempt must sleep for `d` before proceeding. Consumes the fault
+    /// when it fires.
+    pub fn take_ingest_stall(&self) -> Option<std::time::Duration> {
+        let n = self.ingest_attempts.fetch_add(1, Ordering::SeqCst);
+        self.ingest_stalls
+            .lock()
+            .unwrap()
+            .remove(&n)
+            .map(std::time::Duration::from_millis)
+    }
+
     // -- introspection ------------------------------------------------
 
     /// Faults scripted but not yet fired (useful for asserting a test
@@ -92,11 +118,17 @@ impl FaultPlan {
         self.kills.lock().unwrap().len()
             + self.spill_failures.lock().unwrap().len()
             + self.corruptions.lock().unwrap().len()
+            + self.ingest_stalls.lock().unwrap().len()
     }
 
     /// Spill-write attempts observed so far.
     pub fn spill_attempts(&self) -> u64 {
         self.spill_attempts.load(Ordering::SeqCst)
+    }
+
+    /// Store-ingest attempts observed so far.
+    pub fn ingest_attempts(&self) -> u64 {
+        self.ingest_attempts.load(Ordering::SeqCst)
     }
 }
 
@@ -122,6 +154,21 @@ mod tests {
         assert!(plan.take_spill_failure()); // attempt 1 fails
         assert!(!plan.take_spill_failure()); // attempt 2
         assert_eq!(plan.spill_attempts(), 3);
+    }
+
+    #[test]
+    fn ingest_stall_targets_exact_ordinal() {
+        let plan = FaultPlan::new();
+        plan.stall_ingest(1, 250);
+        assert_eq!(plan.pending(), 1);
+        assert!(plan.take_ingest_stall().is_none()); // attempt 0
+        assert_eq!(
+            plan.take_ingest_stall(), // attempt 1 stalls
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert!(plan.take_ingest_stall().is_none()); // attempt 2
+        assert_eq!(plan.ingest_attempts(), 3);
+        assert_eq!(plan.pending(), 0);
     }
 
     #[test]

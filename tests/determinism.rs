@@ -277,6 +277,81 @@ fn online_query_stats_deterministic_across_threads() {
     }
 }
 
+/// Layered replay is bit-identical across thread counts on *every*
+/// surface of the run: merged result tables, round structure, work
+/// counters, store-read accounting and the chunk-order-merged
+/// [`ariadne_pql::EvalStats`]. Thread counts that do not divide the
+/// touched-set sizes are included, so chunk boundaries land unevenly.
+#[test]
+fn layered_deterministic_across_threads() {
+    use ariadne::session::Ariadne;
+    use ariadne::{queries, CaptureSpec, CompiledQuery, LayeredConfig};
+    use ariadne_pql::Value;
+    use ariadne_provenance::ProvStore;
+
+    fn assert_layered_thread_invariant(tag: &str, g: &Csr, store: &ProvStore, q: &CompiledQuery) {
+        let ariadne = Ariadne::default();
+        let seq = ariadne
+            .layered_with(g, store, q, &LayeredConfig::parallel(1))
+            .unwrap();
+        for t in THREADS {
+            let par = ariadne
+                .layered_with(g, store, q, &LayeredConfig::parallel(t))
+                .unwrap();
+            for pred in q.query().idbs.keys() {
+                assert_eq!(
+                    seq.query_results.sorted(pred),
+                    par.query_results.sorted(pred),
+                    "{tag}: {pred} differs at {t} threads"
+                );
+            }
+            assert_eq!(
+                (seq.layers, seq.flush_rounds),
+                (par.layers, par.flush_rounds),
+                "{tag}: round structure differs at {t} threads"
+            );
+            assert_eq!(
+                (seq.shipped_tuples, seq.injected_tuples, seq.evaluated_vertices),
+                (par.shipped_tuples, par.injected_tuples, par.evaluated_vertices),
+                "{tag}: work counters differ at {t} threads"
+            );
+            assert_eq!(
+                (seq.segments_read, seq.segments_skipped, seq.bytes_read, seq.bytes_skipped),
+                (par.segments_read, par.segments_skipped, par.bytes_read, par.bytes_skipped),
+                "{tag}: store-read accounting differs at {t} threads"
+            );
+            assert_eq!(
+                seq.query_stats, par.query_stats,
+                "{tag}: EvalStats differ at {t} threads"
+            );
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let g = graph().map_weights(|_, _, _| 0.05 + rng.gen::<f64>());
+    let ariadne = Ariadne::default();
+    let capture = ariadne
+        .capture(&Sssp::new(VertexId(0)), &g, &CaptureSpec::full())
+        .unwrap();
+
+    // Forward: the apt query ships `change` replicas every layer.
+    let apt = queries::apt("udf_diff", Value::Float(0.1)).unwrap();
+    assert_layered_thread_invariant("sssp/apt", &g, &capture.store, &apt);
+
+    // Backward: descending replay with layer-0 pre-injection.
+    let sigma = capture.store.max_superstep().unwrap();
+    let target = capture
+        .store
+        .layer(sigma)
+        .unwrap()
+        .into_iter()
+        .find(|(p, _)| p == "superstep")
+        .and_then(|(_, ts)| ts.first().and_then(|t| t[0].as_id()))
+        .expect("someone was active in the last superstep");
+    let back = queries::backward_lineage(VertexId(target), sigma).unwrap();
+    assert_layered_thread_invariant("sssp/backward", &g, &capture.store, &back);
+}
+
 #[test]
 fn als_deterministic_across_threads() {
     let br = BipartiteRatings::generate(&RatingsConfig {
