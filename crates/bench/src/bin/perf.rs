@@ -18,12 +18,21 @@
 //! all replay counters) and verifies the pruned/unpruned byte
 //! partition, so a published JSON is itself evidence of determinism.
 //!
+//! **Segments section.** Captures PageRank and SSSP with the full
+//! Table-1 spec twice each — once under the v1 row-major segment format
+//! and once under the v2 columnar format — and reports bytes-on-disk,
+//! layered-replay read bytes, and the column blocks the backward-lineage
+//! query's column masks skipped. Before anything is written the harness
+//! asserts the replay result sets are bit-identical across both formats
+//! and across thread counts 1/2/3/7, and that v2 shrinks the
+//! full-capture PageRank store by at least 30%.
+//!
 //! ```text
 //! cargo run --release -p ariadne-bench --bin perf -- \
-//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr4.json] [--quick]
+//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr5.json] [--quick]
 //! ```
 //!
-//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr4.json").
+//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr5.json").
 
 use ariadne::session::Ariadne;
 use ariadne::{queries, CaptureSpec, CompiledQuery, LayeredConfig, LayeredRun};
@@ -300,6 +309,50 @@ fn assert_layered_identical(tag: &str, query: &CompiledQuery, a: &LayeredRun, b:
 }
 
 // ---------------------------------------------------------------------
+// Segment-format measurement (v1 row-major vs v2 columnar)
+// ---------------------------------------------------------------------
+
+/// One (analytic, segment format) cell of the segments section.
+struct SegmentMeasurement {
+    analytic: &'static str,
+    format: &'static str, // "v1" | "v2"
+    /// Encoded store bytes after capture (memory + spool).
+    store_bytes: usize,
+    /// Decoded tuple count (identical across formats by construction).
+    store_tuples: usize,
+    /// Number of (superstep, predicate) segments.
+    segments: usize,
+    /// Encoded bytes the t=1 replay decoded.
+    replay_bytes_read: usize,
+    /// Column runs the replay's column masks skipped.
+    replay_cols_skipped: usize,
+    /// Encoded bytes of skipped v2 column blocks.
+    replay_col_bytes_skipped: usize,
+    /// Best-of-reps t=1 replay wall time, seconds.
+    replay_secs: f64,
+}
+
+fn segment_json(m: &SegmentMeasurement) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"analytic\":\"{}\",\"format\":\"{}\",\"store_bytes\":{},\"store_tuples\":{},\
+         \"segments\":{},\"replay_bytes_read\":{},\"replay_cols_skipped\":{},\
+         \"replay_col_bytes_skipped\":{},\"replay_secs\":{}}}",
+        m.analytic,
+        m.format,
+        m.store_bytes,
+        m.store_tuples,
+        m.segments,
+        m.replay_bytes_read,
+        m.replay_cols_skipped,
+        m.replay_col_bytes_skipped,
+        json_f64(m.replay_secs),
+    );
+    s
+}
+
+// ---------------------------------------------------------------------
 // JSON (hand-rolled; the workspace is offline and carries no serde)
 // ---------------------------------------------------------------------
 
@@ -395,7 +448,7 @@ fn parse_cli() -> Cli {
         edge_factor: 16,
         threads: vec![1, 2, 4, 8],
         reps: 3,
-        out: "BENCH_pr4.json".to_string(),
+        out: "BENCH_pr5.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -592,6 +645,107 @@ fn main() {
     let layered_t1_secs = pruned_ref.secs;
     layered_runs.push(full_m);
 
+    // -----------------------------------------------------------------
+    // Segments: full-capture PageRank and SSSP under both segment
+    // formats (v1 row-major, v2 columnar). Replays the backward-lineage
+    // query (whose `send_message` payload column is provably dead, so
+    // the column masks have something to skip) at threads 1/2/3/7 and
+    // asserts bit-identical result sets across formats and thread
+    // counts before reporting byte volumes.
+    // -----------------------------------------------------------------
+    use ariadne_provenance::SegmentFormat;
+    let seg_threads: [usize; 4] = [1, 2, 3, 7];
+    let mut segment_rows: Vec<SegmentMeasurement> = Vec::new();
+    let mut seg_reductions: Vec<(String, f64)> = Vec::new();
+    let seg_cases: [(&'static str, &Csr); 2] =
+        [("pagerank", &layered_graph), ("sssp", &layered_weighted)];
+    for (analytic, seg_graph) in seg_cases {
+        let alpha = seg_graph.max_out_degree_vertex().unwrap();
+        let mut v1_bytes = 0usize;
+        let mut cross_format_ref: Option<LayeredRun> = None;
+        for format in [SegmentFormat::V1, SegmentFormat::V2] {
+            let fmt_name = match format {
+                SegmentFormat::V1 => "v1",
+                SegmentFormat::V2 => "v2",
+            };
+            eprintln!("perf: segments analytic={analytic} format={fmt_name}");
+            let mut session = Ariadne::default();
+            session.store = session.store.with_format(format);
+            let capture = match analytic {
+                "pagerank" => session
+                    .capture(
+                        &PageRank {
+                            supersteps: 10,
+                            ..PageRank::default()
+                        },
+                        seg_graph,
+                        &CaptureSpec::full(),
+                    )
+                    .expect("segments capture"),
+                _ => session
+                    .capture(&Sssp::new(VertexId(0)), seg_graph, &CaptureSpec::full())
+                    .expect("segments capture"),
+            };
+            let store = &capture.store;
+            let sigma = store.max_superstep().unwrap_or(0);
+            let query = queries::backward_lineage(alpha, sigma).expect("lineage query");
+            // t=1 first: it becomes the reference every other thread
+            // count (and the other segment format) is pinned to.
+            let mut t1: Option<(LayeredMeasurement, LayeredRun)> = None;
+            for &threads in &seg_threads {
+                let config = LayeredConfig::parallel(threads);
+                let (m, run) =
+                    measure_layered(&session, seg_graph, store, &query, &config, cli.reps);
+                match &t1 {
+                    None => t1 = Some((m, run)),
+                    Some((_, r)) => assert_layered_identical(
+                        &format!("segments {analytic} {fmt_name} t={threads}"),
+                        &query,
+                        &run,
+                        r,
+                    ),
+                }
+            }
+            let (m1, run1) = t1.expect("t=1 measured");
+            if let Some(r) = &cross_format_ref {
+                assert_layered_identical(
+                    &format!("segments {analytic} v1-vs-v2"),
+                    &query,
+                    &run1,
+                    r,
+                );
+            }
+            let store_bytes = store.byte_size();
+            if format == SegmentFormat::V1 {
+                v1_bytes = store_bytes;
+            } else {
+                let reduction = 1.0 - store_bytes as f64 / v1_bytes.max(1) as f64;
+                if analytic == "pagerank" {
+                    assert!(
+                        reduction >= 0.30,
+                        "v2 must shrink the full-capture PageRank store by >= 30%, got {:.1}%",
+                        reduction * 100.0
+                    );
+                }
+                seg_reductions.push((analytic.to_string(), reduction));
+            }
+            segment_rows.push(SegmentMeasurement {
+                analytic,
+                format: fmt_name,
+                store_bytes,
+                store_tuples: store.tuple_count(),
+                segments: store.segment_index().count(),
+                replay_bytes_read: m1.bytes_read,
+                replay_cols_skipped: run1.cols_skipped,
+                replay_col_bytes_skipped: run1.col_bytes_skipped,
+                replay_secs: m1.secs,
+            });
+            if cross_format_ref.is_none() {
+                cross_format_ref = Some(run1);
+            }
+        }
+    }
+
     // Summary: flat-over-naive supersteps/sec speedup per (analytic, threads)
     // in baseline mode, plus the SSSP combiner-path allocation comparison.
     let lookup = |analytic: &str, plane: MessagePlane, mode: &str, threads: usize| {
@@ -624,7 +778,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr4/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr5/v1\",");
     let _ = writeln!(
         json,
         "  \"command\": \"cargo run --release -p ariadne-bench --bin perf\","
@@ -666,6 +820,27 @@ fn main() {
         let _ = writeln!(json, "      {}{}", layered_json(m), sep);
     }
     json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"segments\": {{\n    \"graph\": {{\"generator\": \"rmat\", \"scale\": {}, \"edge_factor\": {}}},\n    \"query\": \"backward_lineage(max_out_degree_vertex, max_superstep)\",\n    \"capture\": \"full\",\n    \"replay_threads\": [1,2,3,7],\n    \"cases\": [",
+        layered_scale, cli.edge_factor
+    );
+    for (i, m) in segment_rows.iter().enumerate() {
+        let sep = if i + 1 < segment_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "      {}{}", segment_json(m), sep);
+    }
+    json.push_str("    ],\n    \"summary\": {");
+    for (i, (analytic, reduction)) in seg_reductions.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\"{analytic}_store_bytes_reduction\": {}",
+            json_f64(*reduction)
+        );
+    }
+    json.push_str("}\n  },\n");
     let _ = writeln!(json, "  \"summary\": {{");
     {
         let mut speedups = String::from("{");
@@ -765,5 +940,26 @@ fn main() {
             m.bytes_read,
             m.alloc_calls
         );
+    }
+    println!();
+    println!(
+        "{:<9} {:<4} {:>12} {:>10} {:>8} {:>12} {:>10} {:>14}",
+        "segments", "fmt", "store_bytes", "tuples", "segs", "read_bytes", "col_skip", "col_skip_bytes"
+    );
+    for m in &segment_rows {
+        println!(
+            "{:<9} {:<4} {:>12} {:>10} {:>8} {:>12} {:>10} {:>14}",
+            m.analytic,
+            m.format,
+            m.store_bytes,
+            m.store_tuples,
+            m.segments,
+            m.replay_bytes_read,
+            m.replay_cols_skipped,
+            m.replay_col_bytes_skipped
+        );
+    }
+    for (analytic, reduction) in &seg_reductions {
+        println!("segments: {analytic} v2 store bytes reduction {:.1}%", reduction * 100.0);
     }
 }

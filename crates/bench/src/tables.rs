@@ -116,22 +116,31 @@ fn size_row(
     }
 }
 
+/// A session whose store is pinned to the v1 (row-major) segment
+/// format. Tables 3–4 reproduce the *paper's* accounting — the raw
+/// captured-tuple footprint — which the v2 columnar compression would
+/// understate (its savings are measured separately by the `segments`
+/// perf section).
+fn v1_session(w: &Workloads) -> ariadne::Ariadne {
+    let mut a = w.ariadne.clone();
+    a.store = a.store.with_format(ariadne_provenance::SegmentFormat::V1);
+    a
+}
+
 /// Table 3: full provenance graph size (Query 2) vs input size.
 pub fn table3(w: &Workloads) -> Vec<SizeRow> {
+    let ariadne = v1_session(w);
     let mut rows = Vec::new();
     for c in &w.crawls {
-        let pr = w
-            .ariadne
+        let pr = ariadne
             .capture(&w.pagerank(), &c.graph, &CaptureSpec::full())
             .unwrap();
         rows.push(size_row(c.dataset.name(), "PageRank", &c.graph, &pr.store));
-        let ss = w
-            .ariadne
+        let ss = ariadne
             .capture(&w.sssp(c), &c.weighted, &CaptureSpec::full())
             .unwrap();
         rows.push(size_row(c.dataset.name(), "SSSP", &c.weighted, &ss.store));
-        let wc = w
-            .ariadne
+        let wc = ariadne
             .capture(&w.wcc(), &c.graph, &CaptureSpec::full())
             .unwrap();
         rows.push(size_row(c.dataset.name(), "WCC", &c.graph, &wc.store));
@@ -142,23 +151,22 @@ pub fn table3(w: &Workloads) -> Vec<SizeRow> {
 /// Table 4: custom provenance size (Query 3, forward lineage from the
 /// highest-degree vertex for PageRank/WCC and from the source for SSSP).
 pub fn table4(w: &Workloads) -> Vec<SizeRow> {
+    let ariadne = v1_session(w);
     let mut rows = Vec::new();
     for c in &w.crawls {
         let hub = c.graph.max_out_degree_vertex().unwrap();
         let spec_hub = queries::capture_forward_lineage(hub).unwrap();
         let spec_src = queries::capture_forward_lineage(c.source).unwrap();
 
-        let pr = w
-            .ariadne
+        let pr = ariadne
             .capture(&w.pagerank(), &c.graph, &spec_hub)
             .unwrap();
         rows.push(size_row(c.dataset.name(), "PageRank", &c.graph, &pr.store));
-        let ss = w
-            .ariadne
+        let ss = ariadne
             .capture(&w.sssp(c), &c.weighted, &spec_src)
             .unwrap();
         rows.push(size_row(c.dataset.name(), "SSSP", &c.weighted, &ss.store));
-        let wc = w.ariadne.capture(&w.wcc(), &c.graph, &spec_hub).unwrap();
+        let wc = ariadne.capture(&w.wcc(), &c.graph, &spec_hub).unwrap();
         rows.push(size_row(c.dataset.name(), "WCC", &c.graph, &wc.store));
     }
     rows

@@ -48,13 +48,14 @@
 //!
 //! [`ProvStore::layer_filtered`]: ariadne_provenance::ProvStore::layer_filtered
 
+use crate::columns::column_masks;
 use crate::compile::CompiledQuery;
 use crate::session::AriadneError;
 use crate::state::QueryState;
 use ariadne_graph::{ChunkTable, Csr, VertexId};
 use ariadne_obs::trace::{self, Level};
 use ariadne_pql::{Database, Direction, EvalStats, Evaluator, PqlError, Tuple};
-use ariadne_provenance::ProvStore;
+use ariadne_provenance::{LayerFilter, ProvStore};
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
@@ -141,6 +142,15 @@ pub struct LayeredConfig {
     /// (EDBs plus IDB names, so replayed persisted derivations still
     /// inject). Skipped segments are never decoded or read from disk.
     pub prune: bool,
+    /// Column-selective replay: derive per-predicate keep-masks from the
+    /// query ([`crate::columns::column_masks`]) and skip stored columns
+    /// the query provably never observes. v2 segments skip the encoded
+    /// column blocks wholesale; v1 records skip per value. Result sets
+    /// are unchanged (masked positions decode as `Unit`, which only
+    /// singleton variables ever bind); intermediate [`EvalStats`] may
+    /// differ from an unprojected run because dropped columns can
+    /// collapse tuples that differed only there.
+    pub project: bool,
 }
 
 impl Default for LayeredConfig {
@@ -149,6 +159,7 @@ impl Default for LayeredConfig {
             threads: 1,
             chunks_per_thread: 4,
             prune: true,
+            project: true,
         }
     }
 }
@@ -188,6 +199,11 @@ pub struct LayeredRun {
     pub bytes_read: usize,
     /// Encoded store bytes the filter avoided touching.
     pub bytes_skipped: usize,
+    /// Stored column blocks skipped by column-selective replay (their
+    /// segments were decoded, the masked columns were not materialized).
+    pub cols_skipped: usize,
+    /// Encoded bytes of those skipped column blocks.
+    pub col_bytes_skipped: usize,
     /// Worker threads used.
     pub threads: usize,
     /// Query-evaluation counters summed in chunk order
@@ -214,6 +230,8 @@ impl LayeredRun {
             segments_skipped: 0,
             bytes_read: 0,
             bytes_skipped: 0,
+            cols_skipped: 0,
+            col_bytes_skipped: 0,
             threads,
             query_stats: EvalStats::default(),
             phase_inject_ns: 0,
@@ -277,12 +295,22 @@ pub fn run_layered_with(
     // Prune to every predicate the query can join: its EDBs plus its
     // IDB names (a capture may have persisted derived tuples that a
     // recursive replay re-reads). Anything else in the store is dead
-    // weight for this query and is skipped unread.
-    let relevant: Option<BTreeSet<String>> = config.prune.then(|| {
+    // weight for this query and is skipped unread. On top of the
+    // predicate allow-set, column-selective projection skips stored
+    // columns the query provably never observes (see
+    // [`crate::columns`]).
+    let mut filter = if config.prune {
         let mut preds = analyzed.edbs.clone();
         preds.extend(analyzed.idbs.keys().cloned());
-        preds
-    });
+        LayerFilter::for_preds(preds)
+    } else {
+        LayerFilter::all()
+    };
+    if config.project {
+        for (pred, mask) in column_masks(analyzed) {
+            filter = filter.with_mask(&pred, mask);
+        }
+    }
 
     let chunks = threads.saturating_mul(config.chunks_per_thread.max(1)).max(1);
     let mut driver = Driver {
@@ -317,9 +345,7 @@ pub fn run_layered_with(
     let mut layer0_owners: BTreeSet<usize> = BTreeSet::new();
     if !ascending {
         let t0 = Instant::now();
-        let read = store
-            .layer_filtered(0, relevant.as_ref())
-            .map_err(AriadneError::Store)?;
+        let read = store.layer_read(0, &filter).map_err(AriadneError::Store)?;
         driver.account_read(&read);
         for (pred, tuples) in read.tuples {
             for t in tuples {
@@ -348,9 +374,7 @@ pub fn run_layered_with(
             // Already injected up front; just evaluate the owners.
             touched.extend(layer0_owners.iter().copied());
         } else {
-            let read = store
-                .layer_filtered(layer, relevant.as_ref())
-                .map_err(AriadneError::Store)?;
+            let read = store.layer_read(layer, &filter).map_err(AriadneError::Store)?;
             driver.account_read(&read);
             for (pred, tuples) in read.tuples {
                 for t in tuples {
@@ -456,6 +480,8 @@ impl Driver<'_> {
         self.run.segments_skipped += read.segments_skipped;
         self.run.bytes_read += read.bytes_read;
         self.run.bytes_skipped += read.bytes_skipped;
+        self.run.cols_skipped += read.cols_skipped;
+        self.run.col_bytes_skipped += read.col_bytes_skipped;
     }
 
     /// One bulk-synchronous evaluation round over `touched`: partition
@@ -865,6 +891,72 @@ mod tests {
             "forward chain over the final layer must complete"
         );
         assert!(run.flush_rounds >= 2, "got {}", run.flush_rounds);
+    }
+
+    /// Column-selective replay skips stored payload columns the query
+    /// never observes, without changing the result set — across both
+    /// segment formats.
+    #[test]
+    fn projection_skips_unobserved_columns() {
+        use ariadne_provenance::SegmentFormat;
+        let g = path(6);
+        for format in [SegmentFormat::V1, SegmentFormat::V2] {
+            let mut store = ProvStore::new(StoreConfig::in_memory().with_format(format));
+            for s in 0..3u32 {
+                for v in 0..5u64 {
+                    store
+                        .ingest(
+                            s,
+                            "receive_message",
+                            vec![vec![
+                                Value::Id(v + 1),
+                                Value::Id(v),
+                                // A fat payload the query never looks at.
+                                Value::floats(&[v as f64; 16]),
+                                Value::Int(s as i64),
+                            ]],
+                        )
+                        .unwrap();
+                    store
+                        .ingest(s, "superstep", vec![vec![Value::Id(v), Value::Int(s as i64)]])
+                        .unwrap();
+                }
+            }
+            store.pack_all();
+            // `m` occurs once -> the payload column is provably dead.
+            let q = compile(
+                "hot(x, i) :- receive_message(x, y, m, i), superstep(y, i).",
+                Params::new(),
+            )
+            .unwrap();
+            let projected = run_layered(&g, &store, &q).unwrap();
+            let full = run_layered_with(
+                &g,
+                &store,
+                &q,
+                &LayeredConfig {
+                    project: false,
+                    ..LayeredConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                projected.query_results.sorted("hot"),
+                full.query_results.sorted("hot"),
+                "projection must not change results ({format:?})"
+            );
+            assert!(
+                projected.cols_skipped > 0,
+                "expected skipped columns under {format:?}"
+            );
+            assert_eq!(full.cols_skipped, 0);
+            if format == SegmentFormat::V2 {
+                assert!(
+                    projected.col_bytes_skipped > 0,
+                    "v2 block skips must be byte-accounted"
+                );
+            }
+        }
     }
 
     /// The parallel path is bit-identical to the sequential reference on

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod capture;
+pub mod columns;
 pub mod compile;
 pub mod custom;
 pub mod layered;
@@ -56,6 +57,7 @@ pub mod snap;
 pub mod state;
 
 pub use capture::CaptureSpec;
+pub use columns::column_masks;
 pub use compile::{compile, compile_with, CompiledQuery};
 pub use custom::CustomProv;
 pub use layered::{run_layered, run_layered_with, LayeredConfig, LayeredRun};

@@ -50,6 +50,8 @@
 //! assert!(jsonl.contains("\"name\":\"superstep\""));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod export;
 pub mod metrics;
 pub mod trace;

@@ -114,6 +114,45 @@ pub fn read_value(buf: &mut Bytes) -> Result<Value, CodecError> {
     })
 }
 
+/// Advance past one value without materializing it (column-masked reads
+/// of row-major v1 records).
+pub fn skip_value(buf: &mut Bytes) -> Result<(), CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        0x00..=0x02 => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated);
+            }
+            buf.advance(8);
+        }
+        0x03 => {
+            if !buf.has_remaining() {
+                return Err(CodecError::Truncated);
+            }
+            buf.advance(1);
+        }
+        0x04 => {
+            let len = get_u32(buf)? as usize;
+            if buf.remaining() < len {
+                return Err(CodecError::Truncated);
+            }
+            buf.advance(len);
+        }
+        0x05 => {
+            let len = get_u32(buf)? as usize;
+            for _ in 0..len {
+                skip_value(buf)?;
+            }
+        }
+        0x06 => {}
+        other => return Err(CodecError::BadTag(other)),
+    }
+    Ok(())
+}
+
 /// Serialize a batch of tuples.
 pub fn encode_tuples(tuples: &[Tuple]) -> Bytes {
     let mut buf = BytesMut::new();
@@ -128,14 +167,32 @@ pub fn encode_tuples(tuples: &[Tuple]) -> Bytes {
 }
 
 /// Deserialize a batch of tuples.
-pub fn decode_tuples(mut data: Bytes) -> Result<Vec<Tuple>, CodecError> {
+pub fn decode_tuples(data: Bytes) -> Result<Vec<Tuple>, CodecError> {
+    decode_tuples_masked(data, None)
+}
+
+/// Deserialize a batch of tuples, optionally applying a keep-mask in
+/// column order: positions whose mask entry is `false` are skipped via
+/// [`skip_value`] (never materialized) and decode as [`Value::Unit`],
+/// preserving arity and row order. Positions past the end of the mask
+/// are kept.
+pub fn decode_tuples_masked(
+    mut data: Bytes,
+    mask: Option<&[bool]>,
+) -> Result<Vec<Tuple>, CodecError> {
     let count = get_u32(&mut data)? as usize;
     let mut out = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
         let arity = get_u32(&mut data)? as usize;
         let mut tuple = Vec::with_capacity(arity.min(64));
-        for _ in 0..arity {
-            tuple.push(read_value(&mut data)?);
+        for col in 0..arity {
+            let keep = mask.is_none_or(|m| m.get(col).copied().unwrap_or(true));
+            if keep {
+                tuple.push(read_value(&mut data)?);
+            } else {
+                skip_value(&mut data)?;
+                tuple.push(Value::Unit);
+            }
         }
         out.push(tuple);
     }

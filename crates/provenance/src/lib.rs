@@ -14,17 +14,26 @@
 //!   decomposition (Definition 5.1), used by the naive mode and by tests
 //!   that check compact ≡ unfolded.
 //! * [`codec`] — a compact binary serialization of tuples for spilled
-//!   segments.
+//!   segments (the v1 row-major record payload).
+//! * [`columnar`] — the v2 columnar record payload: per-column
+//!   [`columnar::Encoding`]s (delta+varint, dictionary, raw floats)
+//!   chosen by a stats pass at pack time, with skippable column blocks
+//!   for column-selective replay reads.
+
+#![warn(missing_docs)]
 
 pub mod codec;
+pub mod columnar;
 pub mod edb;
 pub mod encode;
 pub mod store;
 pub mod unfold;
 
+pub use columnar::{ColumnStat, Encoding};
 pub use edb::{static_graph_edbs, EdbTracker, VertexStepRecord};
 pub use encode::ProvEncode;
 pub use store::{
-    LayerRead, ProvStore, SegmentInfo, StoreConfig, StoreError, StoreSender, StoreWriter,
+    LayerFilter, LayerRead, ProvStore, SegmentFormat, SegmentInfo, StoreConfig, StoreError,
+    StoreSender, StoreWriter,
 };
 pub use unfold::{Layers, UnfoldedGraph};

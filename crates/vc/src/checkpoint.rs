@@ -44,7 +44,14 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ARSN";
 /// reject other versions with a typed error rather than misparsing.
 /// v3: `SuperstepMetrics` gained `messages_delivered`, per-phase wall
 /// times and a `checkpoint` duration.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// v4: no layout change in the snapshot file itself, but the
+/// capture-resume contract it anchors now spans the provenance store's
+/// record format too — a store resumed alongside a v4 snapshot may hold
+/// mixed v1/v2 (columnar) segment records, and replay after resume must
+/// stay bit-identical across both. Readers predating the v2 record
+/// magic would accept an old-versioned snapshot yet choke on the spool,
+/// so the version gates the pair.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// When and where the engine writes barrier snapshots.
 #[derive(Clone, Debug)]

@@ -33,6 +33,10 @@ pub trait Buf {
         self.get_u64_le() as i64
     }
 
+    /// Discard the next `n` bytes without materializing them. Panics if
+    /// short (matches upstream `Buf::advance`).
+    fn advance(&mut self, n: usize);
+
     /// Consume `len` bytes into a new [`Bytes`]. Panics if short.
     fn copy_to_bytes(&mut self, len: usize) -> Bytes;
 }
@@ -115,11 +119,6 @@ impl Bytes {
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
-
-    fn advance(&mut self, n: usize) {
-        assert!(n <= self.len(), "advance past end of buffer");
-        self.start += n;
-    }
 }
 
 impl Default for Bytes {
@@ -164,6 +163,11 @@ impl From<Vec<u8>> for Bytes {
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        self.start += n;
     }
 
     fn get_u8(&mut self) -> u8 {
