@@ -55,7 +55,7 @@ use crate::state::QueryState;
 use ariadne_graph::{ChunkTable, Csr, VertexId};
 use ariadne_obs::trace::{self, Level};
 use ariadne_pql::{Database, Direction, EvalStats, Evaluator, PqlError, Tuple};
-use ariadne_provenance::{LayerFilter, ProvStore};
+use ariadne_provenance::{Degradation, LayerFilter, ProvStore, ReadPolicy};
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
@@ -151,6 +151,13 @@ pub struct LayeredConfig {
     /// differ from an unprojected run because dropped columns can
     /// collapse tuples that differed only there.
     pub project: bool,
+    /// How layer reads treat damaged store data. The default
+    /// [`ReadPolicy::Strict`] fails the replay typed on any corruption,
+    /// quarantined segment, or poisoned store;
+    /// [`ReadPolicy::Degraded`] replays what survives and reports the
+    /// exact loss on [`LayeredRun::degradation`] — partial results,
+    /// always labelled, never silently wrong.
+    pub read_policy: ReadPolicy,
 }
 
 impl Default for LayeredConfig {
@@ -160,6 +167,7 @@ impl Default for LayeredConfig {
             chunks_per_thread: 4,
             prune: true,
             project: true,
+            read_policy: ReadPolicy::Strict,
         }
     }
 }
@@ -215,6 +223,10 @@ pub struct LayeredRun {
     pub phase_eval_ns: u64,
     /// Wall-clock nanoseconds merging per-chunk outboxes.
     pub phase_merge_ns: u64,
+    /// Damage a [`ReadPolicy::Degraded`] replay skipped over, summed
+    /// across every layer read. Always clean under
+    /// [`ReadPolicy::Strict`] (damage errors out instead).
+    pub degradation: Degradation,
 }
 
 impl LayeredRun {
@@ -237,6 +249,7 @@ impl LayeredRun {
             phase_inject_ns: 0,
             phase_eval_ns: 0,
             phase_merge_ns: 0,
+            degradation: Degradation::default(),
         }
     }
 }
@@ -345,7 +358,9 @@ pub fn run_layered_with(
     let mut layer0_owners: BTreeSet<usize> = BTreeSet::new();
     if !ascending {
         let t0 = Instant::now();
-        let read = store.layer_read(0, &filter).map_err(AriadneError::Store)?;
+        let read = store
+            .layer_read_with(0, &filter, config.read_policy)
+            .map_err(AriadneError::Store)?;
         driver.account_read(&read);
         for (pred, tuples) in read.tuples {
             for t in tuples {
@@ -374,7 +389,9 @@ pub fn run_layered_with(
             // Already injected up front; just evaluate the owners.
             touched.extend(layer0_owners.iter().copied());
         } else {
-            let read = store.layer_read(layer, &filter).map_err(AriadneError::Store)?;
+            let read = store
+                .layer_read_with(layer, &filter, config.read_policy)
+                .map_err(AriadneError::Store)?;
             driver.account_read(&read);
             for (pred, tuples) in read.tuples {
                 for t in tuples {
@@ -482,6 +499,7 @@ impl Driver<'_> {
         self.run.bytes_skipped += read.bytes_skipped;
         self.run.cols_skipped += read.cols_skipped;
         self.run.col_bytes_skipped += read.col_bytes_skipped;
+        self.run.degradation.absorb(&read.degradation);
     }
 
     /// One bulk-synchronous evaluation round over `touched`: partition

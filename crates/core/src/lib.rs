@@ -65,8 +65,12 @@ pub use online::{OnlineProgram, OnlineRun, QueryFailure};
 pub use report::{RunReport, StoreReport};
 pub use session::{Ariadne, AriadneError};
 
-// Fault-tolerance surface: checkpointing, typed engine/store errors and
-// the deterministic fault-injection harness, re-exported so users drive
+// Fault-tolerance surface: checkpointing, durability and degraded-read
+// policies, scrub/repair, typed engine/store errors and the
+// deterministic fault-injection harness, re-exported so users drive
 // everything through this crate.
-pub use ariadne_provenance::{StoreConfig, StoreError};
+pub use ariadne_provenance::{
+    scrub_spool, Degradation, Durability, OnSpillError, ReadPolicy, ScrubReport, StoreConfig,
+    StoreError,
+};
 pub use ariadne_vc::{CheckpointConfig, EngineConfig, EngineError, FaultPlan, Snapshot};

@@ -81,6 +81,16 @@ pub struct StoreReport {
     pub spills: usize,
     /// Sealed (durable, checksummed) spool segments.
     pub sealed_segments: usize,
+    /// Records recovered from torn spool tails on resume or scrub
+    /// repair (zero on a clean run).
+    pub salvaged_records: usize,
+    /// Segments a scrub repair moved into `quarantine/` (zero on a
+    /// clean run).
+    pub quarantined_segments: usize,
+    /// Batches dropped after a spill failure poisoned the store under
+    /// [`ariadne_provenance::OnSpillError::DropCapture`] (zero on a
+    /// clean run).
+    pub dropped_batches: usize,
 }
 
 impl StoreReport {
@@ -92,6 +102,9 @@ impl StoreReport {
             disk_bytes: store.disk_bytes(),
             spills: store.spills(),
             sealed_segments: store.sealed_segments(),
+            salvaged_records: store.salvaged_records(),
+            quarantined_segments: store.quarantined_segments(),
+            dropped_batches: store.dropped_batches(),
         }
     }
 }
@@ -210,6 +223,12 @@ impl RunReport {
                 s.push_str(&format!(",\"disk_bytes\":{}", st.disk_bytes));
                 s.push_str(&format!(",\"spills\":{}", st.spills));
                 s.push_str(&format!(",\"sealed_segments\":{}", st.sealed_segments));
+                s.push_str(&format!(",\"salvaged_records\":{}", st.salvaged_records));
+                s.push_str(&format!(
+                    ",\"quarantined_segments\":{}",
+                    st.quarantined_segments
+                ));
+                s.push_str(&format!(",\"dropped_batches\":{}", st.dropped_batches));
                 s.push('}');
             }
             None => s.push_str(",\"store\":null"),

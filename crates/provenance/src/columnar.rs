@@ -41,6 +41,14 @@ use std::collections::HashMap;
 /// more distinct values than this fall back to Plain/FloatRaw.
 pub const DICT_MAX: usize = 256;
 
+/// Upper bound on the cells (`rows × arity`) a single columnar record
+/// may materialize. The encoder refuses batches above it (they fall
+/// back to the v1 row format, which spends at least one byte per value
+/// on disk and so cannot amplify), and the decoder rejects headers
+/// claiming more — a corrupt or adversarial 6-byte header must not be
+/// able to command an arbitrarily large allocation.
+pub const MAX_DECODE_CELLS: usize = 1 << 22;
+
 /// Per-column physical encodings available to the v2 segment format.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Encoding {
@@ -383,6 +391,9 @@ pub fn encode_columnar(tuples: &[Tuple]) -> Option<ColumnarBatch> {
     if arity == 0 || arity > u16::MAX as usize || tuples.len() > u32::MAX as usize {
         return None;
     }
+    if tuples.len().saturating_mul(arity) > MAX_DECODE_CELLS {
+        return None; // stay decodable: the decoder rejects larger headers
+    }
     if tuples.iter().any(|t| t.len() != arity) {
         return None;
     }
@@ -442,12 +453,48 @@ pub fn decode_columnar(
     }
     let arity = u16::from_le_bytes(payload[0..2].try_into().unwrap()) as usize;
     let rows = u32::from_le_bytes(payload[2..6].try_into().unwrap()) as usize;
+    if arity == 0 || rows.saturating_mul(arity) > MAX_DECODE_CELLS {
+        return Err(CodecError::Truncated);
+    }
+    // Validate the whole column layout before materializing anything:
+    // the header fields are untrusted, and every encoding except Const
+    // spends at least one byte per row (FloatRaw exactly eight), so a
+    // header claiming more rows than any non-const block could hold is
+    // corrupt. Rejecting it here means no allocation is ever sized by a
+    // row count the payload cannot back. All-const records carry no
+    // per-row bytes; they are bounded by [`MAX_DECODE_CELLS`] alone.
+    {
+        let mut scan = 6usize;
+        for _ in 0..arity {
+            if payload.len() - scan < 5 {
+                return Err(CodecError::Truncated);
+            }
+            let enc =
+                Encoding::from_tag(payload[scan]).ok_or(CodecError::BadTag(payload[scan]))?;
+            let len = u32::from_le_bytes(payload[scan + 1..scan + 5].try_into().unwrap()) as usize;
+            scan += 5;
+            if payload.len() - scan < len {
+                return Err(CodecError::Truncated);
+            }
+            scan += len;
+            let rows_fit = match enc {
+                Encoding::Const => true,
+                Encoding::FloatRaw => len == rows.saturating_mul(8),
+                // Dict: 4-byte count + one value + one index byte per row.
+                Encoding::Dict => rows <= len.saturating_sub(4),
+                Encoding::Plain | Encoding::DeltaId | Encoding::DeltaInt => rows <= len,
+            };
+            if !rows_fit {
+                return Err(CodecError::Truncated);
+            }
+        }
+        if scan != payload.len() {
+            return Err(CodecError::Truncated);
+        }
+    }
     let mut off = 6usize;
     let start = out.len();
-    out.extend(std::iter::repeat_with(|| Vec::with_capacity(arity)).take(rows.min(1 << 24)));
-    if out.len() - start != rows {
-        return Err(CodecError::Truncated); // absurd row count
-    }
+    out.extend(std::iter::repeat_with(|| Vec::with_capacity(arity)).take(rows));
     let mut read = ColumnarRead::default();
     for col in 0..arity {
         if payload.len() - off < 5 {

@@ -33,7 +33,8 @@ pub use columnar::{ColumnStat, Encoding};
 pub use edb::{static_graph_edbs, EdbTracker, VertexStepRecord};
 pub use encode::ProvEncode;
 pub use store::{
-    LayerFilter, LayerRead, ProvStore, SegmentFormat, SegmentInfo, StoreConfig, StoreError,
-    StoreSender, StoreWriter,
+    scrub_spool, Degradation, Durability, LayerFilter, LayerRead, OnSpillError, ProvStore,
+    ReadPolicy, ScrubAction, ScrubReport, SegmentDamage, SegmentFormat, SegmentInfo, StoreConfig,
+    StoreError, StoreSender, StoreWriter,
 };
 pub use unfold::{Layers, UnfoldedGraph};

@@ -43,10 +43,33 @@
 //! +--------+---------+----------------+---------+--------+
 //! ```
 //!
-//! Truncated or corrupted spill files therefore surface as typed
-//! [`StoreError::Corrupt`] values naming the file — never a panic. The
-//! spool directory is created lazily on the first spill, and spill IO
-//! failures carry the offending path.
+//! Corrupted records surface as typed [`StoreError::Corrupt`] values
+//! naming the file — never a panic. The spool directory is created
+//! lazily on the first spill, and spill IO failures carry the offending
+//! path.
+//!
+//! The on-disk spool distinguishes two segment states. `seg-*.bin`
+//! files are **unsealed append tails**: a crash can tear their final
+//! record, so [`ProvStore::resume_from_spool`] *salvages* a torn tail —
+//! the original bytes are backed up to a `.torn` sidecar, the file is
+//! truncated back to the last record boundary, and the retained records
+//! are counted as `store_salvaged_records`. `seg-*.seal` files are
+//! **sealed segments** written only via temp-file + atomic rename under
+//! [`Durability::Seal`]; they are either complete or absent, so any
+//! damage inside one is real corruption and validation stays strict.
+//! [`StoreConfig::durability`] selects how hard spills push bytes to
+//! stable storage (no fsync, fsync-per-spill, or atomic sealed
+//! rewrites); see [`Durability`] for the exact contract per level.
+//!
+//! [`ProvStore::scrub`] (and the standalone [`scrub_spool`] used by the
+//! `ariadne scrub` CLI subcommand) re-verifies every record of every
+//! segment and reports damage as a structured [`ScrubReport`]; with
+//! `repair` enabled, torn tails are truncated and irrecoverable files
+//! move into a `quarantine/` subdirectory. Layer reads take a
+//! [`ReadPolicy`]: [`ReadPolicy::Strict`] fails on any damage (the
+//! default), [`ReadPolicy::Degraded`] skips damaged records/segments
+//! and reports exactly what was lost via [`Degradation`] — partial
+//! results are always labelled, never silently wrong.
 //!
 //! After a crash, [`ProvStore::resume_from_spool`] re-attaches the
 //! segment files a previous incarnation left behind (validating every
@@ -224,6 +247,30 @@ mod obs_handles {
         "encoded column-block bytes skipped (never materialized) by masked reads",
         true
     );
+    store_counter!(
+        fsync_ns,
+        "store_fsync_ns",
+        "wall nanoseconds spent fsyncing spool files and directories",
+        false
+    );
+    store_counter!(
+        salvaged_records,
+        "store_salvaged_records",
+        "records retained by truncating a torn unsealed tail at resume/scrub",
+        true
+    );
+    store_counter!(
+        quarantined_segments,
+        "store_quarantined_segments",
+        "irrecoverable segment files moved into quarantine/ by scrub --repair",
+        true
+    );
+    store_counter!(
+        io_retries,
+        "store_io_retries",
+        "transient spill IO failures absorbed by the bounded retry loop",
+        false
+    );
 
     macro_rules! encoding_hist {
         ($fn_name:ident, $name:literal) => {
@@ -290,6 +337,28 @@ pub enum StoreError {
     FinishTimeout {
         /// The deadline that elapsed.
         timeout: Duration,
+        /// Ingest batches still queued when the deadline elapsed.
+        pending: u64,
+    },
+    /// A strict read was refused because the store holds less than the
+    /// full capture: it was poisoned by a spill failure under
+    /// [`OnSpillError::DropCapture`], or damage was detected earlier.
+    /// Use [`ReadPolicy::Degraded`] to read what survives, with the
+    /// loss reported as [`Degradation`].
+    Degraded {
+        /// Why the store is incomplete.
+        detail: String,
+        /// The failure that caused the degradation, when known.
+        source: Option<Arc<StoreError>>,
+    },
+    /// A strict read touched a layer whose segment file was moved into
+    /// `quarantine/` by a scrub repair.
+    Quarantined {
+        /// The quarantined segment file.
+        path: PathBuf,
+        /// The corruption that condemned the file, when quarantined in
+        /// this process (`None` when discovered at resume).
+        source: Option<Box<StoreError>>,
     },
 }
 
@@ -306,8 +375,17 @@ impl fmt::Display for StoreError {
                 write!(f, "injected failure of spill write #{attempt}")
             }
             StoreError::WriterDead => write!(f, "store writer thread is gone"),
-            StoreError::FinishTimeout { timeout } => {
-                write!(f, "store writer did not drain within {timeout:?}")
+            StoreError::FinishTimeout { timeout, pending } => {
+                write!(
+                    f,
+                    "store writer did not drain within {timeout:?} ({pending} batches pending)"
+                )
+            }
+            StoreError::Degraded { detail, .. } => {
+                write!(f, "store degraded: {detail}")
+            }
+            StoreError::Quarantined { path, .. } => {
+                write!(f, "segment quarantined: {}", path.display())
             }
         }
     }
@@ -317,6 +395,12 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io { source, .. } => Some(source),
+            StoreError::Degraded { source, .. } => source
+                .as_ref()
+                .map(|e| e.as_ref() as &(dyn std::error::Error + 'static)),
+            StoreError::Quarantined { source, .. } => source
+                .as_ref()
+                .map(|e| e.as_ref() as &(dyn std::error::Error + 'static)),
             _ => None,
         }
     }
@@ -346,6 +430,229 @@ pub enum SegmentFormat {
     V2,
 }
 
+/// How hard spill writes push bytes toward stable storage — the store's
+/// explicit durability contract.
+///
+/// Every level keeps the *integrity* guarantee (a reopened spool never
+/// yields wrong data: records are CRC-framed and validated on read);
+/// the levels differ in how much captured provenance is guaranteed to
+/// *survive* a crash or power loss.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Durability {
+    /// No fsync anywhere (the pre-durability behavior and the default).
+    /// Spills append whole records to unsealed `seg-*.bin` tails; after
+    /// an OS crash the tail may be torn, which resume salvages back to
+    /// the last record boundary. Survives process crash, not power loss.
+    #[default]
+    None,
+    /// Like [`Durability::None`], plus `fsync` on the segment file after
+    /// every spill append and on the spool directory when it (or a new
+    /// segment file) is created. Spilled records survive power loss;
+    /// the final append may still tear and be salvaged.
+    Spill,
+    /// Every spill atomically rewrites the whole segment as a sealed
+    /// `seg-*.seal` file (temp file + fsync + rename + directory fsync).
+    /// The spool never holds a torn segment — each file is complete or
+    /// absent — at the price of write amplification proportional to the
+    /// segment size on every spill.
+    Seal,
+}
+
+/// What [`ProvStore::ingest`] does when a spill write fails after
+/// retries (disk full, permission lost, injected fault).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum OnSpillError {
+    /// Propagate the error to the ingest caller (the default): capture
+    /// aborts with a typed [`StoreError`].
+    #[default]
+    Abort,
+    /// Poison the store and drop this and all subsequent ingests, so the
+    /// analytics run completes with partial provenance. Strict reads of
+    /// a poisoned store fail with [`StoreError::Degraded`] (chaining the
+    /// original spill error); [`ReadPolicy::Degraded`] reads succeed and
+    /// report the loss.
+    DropCapture,
+}
+
+/// How layer reads treat damaged or missing data.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// Any corrupt record, quarantined segment, or store poisoning is a
+    /// typed error (the default).
+    #[default]
+    Strict,
+    /// Skip damaged records (resyncing to the next valid record) and
+    /// quarantined segments, and report exactly what was lost as
+    /// [`Degradation`] — partial results, always labelled.
+    Degraded,
+}
+
+/// Detail cap for [`Degradation::details`] so a badly damaged store
+/// cannot balloon reports.
+const DEGRADATION_DETAIL_CAP: usize = 8;
+
+/// What a [`ReadPolicy::Degraded`] read skipped. Attached to
+/// [`LayerRead`]; aggregated upward into layered-run and run reports.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Damaged record regions skipped inside otherwise-readable files
+    /// (each contiguous damaged byte range counts once).
+    pub records_skipped: usize,
+    /// Whole segments skipped (quarantined, or unreadable end to end).
+    pub segments_skipped: usize,
+    /// Encoded bytes skipped over.
+    pub bytes_skipped: usize,
+    /// Human-readable damage descriptions, capped at
+    /// `DEGRADATION_DETAIL_CAP` entries (the counts above stay exact).
+    pub details: Vec<String>,
+}
+
+impl Degradation {
+    /// True when nothing was skipped and no damage was noted — the read
+    /// was complete.
+    pub fn is_clean(&self) -> bool {
+        self.records_skipped == 0
+            && self.segments_skipped == 0
+            && self.bytes_skipped == 0
+            && self.details.is_empty()
+    }
+
+    /// Fold another degradation into this one (report aggregation).
+    pub fn absorb(&mut self, other: &Degradation) {
+        self.records_skipped += other.records_skipped;
+        self.segments_skipped += other.segments_skipped;
+        self.bytes_skipped += other.bytes_skipped;
+        for d in &other.details {
+            self.note(d.clone());
+        }
+    }
+
+    /// Append a damage description, respecting the detail cap.
+    fn note(&mut self, detail: String) {
+        if self.details.len() < DEGRADATION_DETAIL_CAP {
+            self.details.push(detail);
+        }
+    }
+}
+
+/// What a repairing scrub did about one damaged file.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ScrubAction {
+    /// Detected only (scrub ran without `repair`), or the damage lives
+    /// in memory where no repair applies.
+    None,
+    /// Torn tail: the original bytes were backed up to a `.torn`
+    /// sidecar and the file was truncated to its last record boundary.
+    Salvaged,
+    /// Irrecoverable corruption: the file was moved into the spool's
+    /// `quarantine/` subdirectory.
+    Quarantined,
+}
+
+impl std::fmt::Display for ScrubAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScrubAction::None => "none",
+            ScrubAction::Salvaged => "salvaged",
+            ScrubAction::Quarantined => "quarantined",
+        })
+    }
+}
+
+/// One damaged file found by a scrub.
+#[derive(Clone, Debug)]
+pub struct SegmentDamage {
+    /// The damaged file (a synthetic `<mem:...>` path for in-memory
+    /// buffer damage).
+    pub path: PathBuf,
+    /// The segment's superstep.
+    pub superstep: u32,
+    /// The segment's predicate.
+    pub pred: String,
+    /// Whether the file was an atomically written `.seal` segment.
+    pub sealed: bool,
+    /// True for a torn (crash-truncated) tail — salvageable; false for
+    /// real corruption inside complete frames.
+    pub torn: bool,
+    /// Human-readable failure description.
+    pub detail: String,
+    /// What a repairing scrub did about it.
+    pub action: ScrubAction,
+    /// Valid records preceding the damage (kept by a salvage).
+    pub records_kept: usize,
+    /// Bytes the damage spans (cut by a salvage, or the whole file for
+    /// a quarantine).
+    pub bytes_lost: usize,
+}
+
+/// The result of a [`ProvStore::scrub`] or [`scrub_spool`] pass over
+/// every segment file.
+#[derive(Clone, Debug, Default)]
+pub struct ScrubReport {
+    /// Segment files examined.
+    pub files_checked: usize,
+    /// Records whose checksum and payload decode verified clean.
+    pub records_verified: usize,
+    /// Tuples decoded while verifying.
+    pub tuples_verified: usize,
+    /// Whether the scrub ran in repair mode.
+    pub repaired: bool,
+    /// Every damaged file found, in (superstep, predicate) order.
+    pub damage: Vec<SegmentDamage>,
+}
+
+impl ScrubReport {
+    /// True when no damage was found anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.damage.is_empty()
+    }
+
+    /// Render the report as a JSON object (stable key order, no
+    /// dependencies).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"files_checked\":{},\"records_verified\":{},\"tuples_verified\":{},\"clean\":{},\"repaired\":{},\"damage\":[",
+            self.files_checked, self.records_verified, self.tuples_verified,
+            self.is_clean(), self.repaired,
+        ));
+        for (i, d) in self.damage.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"path\":\"{}\",\"superstep\":{},\"pred\":\"{}\",\"sealed\":{},\"torn\":{},\"action\":\"{}\",\"records_kept\":{},\"bytes_lost\":{},\"detail\":\"{}\"}}",
+                esc(&d.path.display().to_string()),
+                d.superstep,
+                esc(&d.pred),
+                d.sealed,
+                d.torn,
+                d.action,
+                d.records_kept,
+                d.bytes_lost,
+                esc(&d.detail),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
 /// Store configuration.
 #[derive(Clone, Debug, Default)]
 pub struct StoreConfig {
@@ -359,6 +666,10 @@ pub struct StoreConfig {
     pub fault: Option<Arc<FaultPlan>>,
     /// Write format for new records (defaults to [`SegmentFormat::V2`]).
     pub format: SegmentFormat,
+    /// Fsync level for spill writes (defaults to [`Durability::None`]).
+    pub durability: Durability,
+    /// Spill-failure policy (defaults to [`OnSpillError::Abort`]).
+    pub on_spill_error: OnSpillError,
 }
 
 impl StoreConfig {
@@ -366,9 +677,7 @@ impl StoreConfig {
     pub fn in_memory() -> Self {
         StoreConfig {
             memory_budget: 256 << 20,
-            spool_dir: None,
-            fault: None,
-            format: SegmentFormat::default(),
+            ..StoreConfig::default()
         }
     }
 
@@ -377,8 +686,7 @@ impl StoreConfig {
         StoreConfig {
             memory_budget: budget,
             spool_dir: Some(dir),
-            fault: None,
-            format: SegmentFormat::default(),
+            ..StoreConfig::default()
         }
     }
 
@@ -393,6 +701,18 @@ impl StoreConfig {
         self.format = format;
         self
     }
+
+    /// Select the spill durability level (builder style).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Select the spill-failure policy (builder style).
+    pub fn with_on_spill_error(mut self, policy: OnSpillError) -> Self {
+        self.on_spill_error = policy;
+        self
+    }
 }
 
 /// One (superstep, predicate) segment: encoded records in memory plus an
@@ -404,7 +724,8 @@ struct Segment {
     mem: Vec<u8>,
     /// Tuples encoded inside `mem` (excludes `pending`).
     mem_tuples: usize,
-    disk: Option<DiskPart>,
+    /// Spool files holding the spilled prefix of this segment.
+    disk: DiskPart,
     /// Sealed segments were fully persisted by a previous incarnation
     /// (see [`ProvStore::resume_from_spool`]); re-ingests are dropped.
     sealed: bool,
@@ -420,11 +741,34 @@ struct Segment {
     cols: Vec<ColumnStat>,
 }
 
-#[derive(Debug)]
+/// The spilled portion of a segment: one or more spool files, read in
+/// order. A segment can span a sealed `.seal` file *and* an unsealed
+/// `.bin` tail when incarnations with different durability levels wrote
+/// to the same spool (sealed part always first).
+#[derive(Debug, Default)]
 struct DiskPart {
+    files: Vec<DiskFile>,
+}
+
+/// One spool file backing part of a segment.
+#[derive(Clone, Debug)]
+struct DiskFile {
     path: PathBuf,
     bytes: usize,
     tuples: usize,
+    /// Written via temp-file + atomic rename (`.seal`): any damage in
+    /// it is real corruption, never a salvageable torn tail.
+    atomic: bool,
+}
+
+impl DiskPart {
+    fn bytes(&self) -> usize {
+        self.files.iter().map(|f| f.bytes).sum()
+    }
+
+    fn tuples(&self) -> usize {
+        self.files.iter().map(|f| f.tuples).sum()
+    }
 }
 
 /// Non-tuple outcomes of decoding a stretch of records.
@@ -450,17 +794,18 @@ impl Segment {
     /// buffer at its v1-record estimate (so byte accounting is stable
     /// whether or not a pack has happened yet).
     fn total_bytes(&self) -> usize {
-        self.mem.len() + self.pending_bytes + self.disk.as_ref().map_or(0, |d| d.bytes)
+        self.mem.len() + self.pending_bytes + self.disk.bytes()
     }
 
     /// Total tuple count, memory plus spilled parts plus pending rows.
     fn total_tuples(&self) -> usize {
-        self.mem_tuples + self.pending.len() + self.disk.as_ref().map_or(0, |d| d.tuples)
+        self.mem_tuples + self.pending.len() + self.disk.tuples()
     }
 
     /// Decode the whole segment (spilled prefix first, then the
     /// in-memory tail, then pending rows) into `out`, returning the
-    /// encoded bytes read plus skip accounting. `mask` is the keep-mask
+    /// encoded bytes read plus skip accounting and any degradation
+    /// incurred under [`ReadPolicy::Degraded`]. `mask` is the keep-mask
     /// applied to every record *and* to cloned pending rows, so masked
     /// reads are identical whether rows were packed yet or not.
     fn decode_into(
@@ -468,35 +813,42 @@ impl Segment {
         mask: Option<&[bool]>,
         out: &mut Vec<Tuple>,
         stats: Option<&mut Vec<ColumnStat>>,
-    ) -> Result<(usize, DecodeCounts), StoreError> {
+        policy: ReadPolicy,
+    ) -> Result<(usize, DecodeCounts, Degradation), StoreError> {
+        let mode = match policy {
+            ReadPolicy::Strict => WalkMode::Strict,
+            ReadPolicy::Degraded => WalkMode::Degraded,
+        };
         let mut bytes_read = 0usize;
         let mut counts = DecodeCounts::default();
+        let mut damage = Degradation::default();
         let mut stats = stats;
-        if let Some(disk) = &self.disk {
-            let mut data = Vec::with_capacity(disk.bytes);
-            File::open(&disk.path)
-                .and_then(|mut f| f.read_to_end(&mut data))
-                .map_err(|e| StoreError::Io {
-                    path: disk.path.clone(),
-                    source: e,
-                })?;
+        for file in &self.disk.files {
+            let mut data = Vec::with_capacity(file.bytes);
+            match File::open(&file.path).and_then(|mut f| f.read_to_end(&mut data)) {
+                Ok(_) => {}
+                Err(e) if policy == ReadPolicy::Degraded => {
+                    damage.segments_skipped += 1;
+                    damage.bytes_skipped += file.bytes;
+                    damage.note(format!("{}: unreadable: {e}", file.path.display()));
+                    continue;
+                }
+                Err(e) => {
+                    return Err(StoreError::Io {
+                        path: file.path.clone(),
+                        source: e,
+                    })
+                }
+            }
             bytes_read += data.len();
-            counts.absorb(&decode_records(
-                &data,
-                &disk.path,
-                out,
-                mask,
-                stats.as_deref_mut(),
-            )?);
+            let walked = walk_records(&data, &file.path, out, mask, stats.as_deref_mut(), mode)?;
+            counts.absorb(&walked.counts);
+            damage.absorb(&walked.damage);
         }
         bytes_read += self.mem.len();
-        counts.absorb(&decode_records(
-            &self.mem,
-            Path::new("<memory>"),
-            out,
-            mask,
-            stats,
-        )?);
+        let walked = walk_records(&self.mem, Path::new("<memory>"), out, mask, stats, mode)?;
+        counts.absorb(&walked.counts);
+        damage.absorb(&walked.damage);
         if !self.pending.is_empty() {
             bytes_read += self.pending_bytes;
             match mask {
@@ -515,7 +867,7 @@ impl Segment {
                 })),
             }
         }
-        Ok((bytes_read, counts))
+        Ok((bytes_read, counts, damage))
     }
 }
 
@@ -532,6 +884,20 @@ pub struct ProvStore {
     /// replay drivers and [`ProvStore::to_database`] never rescan the
     /// whole segment index for it.
     max_step: Option<u32>,
+    /// Records retained by truncating torn unsealed tails at resume.
+    salvaged: usize,
+    /// Segment files found in (or moved to) `quarantine/`, keyed like
+    /// segments. Strict reads of their layers fail typed; degraded
+    /// reads count them as skipped segments.
+    quarantined: BTreeMap<(u32, String), PathBuf>,
+    /// Set when a spill failure under [`OnSpillError::DropCapture`]
+    /// stopped capture: subsequent ingests are dropped and strict reads
+    /// fail with [`StoreError::Degraded`] chaining this error.
+    poison: Option<Arc<StoreError>>,
+    /// Ingest batches dropped after poisoning.
+    dropped_batches: usize,
+    /// Tuples dropped after poisoning.
+    dropped_tuples: usize,
 }
 
 /// One row of the per-(superstep, predicate) segment index: the counts a
@@ -582,6 +948,9 @@ pub struct LayerRead {
     /// Encoded bytes of the skipped v2 column blocks (v1 skips are not
     /// byte-accounted).
     pub col_bytes_skipped: usize,
+    /// What a [`ReadPolicy::Degraded`] read skipped as damaged; always
+    /// clean under [`ReadPolicy::Strict`] (damage errors out instead).
+    pub degradation: Degradation,
 }
 
 /// What a layer read should materialize: a predicate allow-set plus
@@ -669,123 +1038,585 @@ fn append_record_v2(buf: &mut Vec<u8>, payload: &[u8]) {
     buf.extend_from_slice(&SEGMENT_FOOTER_V2);
 }
 
-/// Decode a concatenation of checksummed records, validating each frame,
-/// appending decoded tuples to `out`. The record's version byte (fourth
-/// magic byte) dispatches between the v1 row-major and v2 columnar
-/// payload decoders; a mixed stream (v1 records sealed by a previous
+/// How [`walk_records`] reacts to a record that fails validation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum WalkMode {
+    /// First failure is a typed error (sealed segments, default reads).
+    Strict,
+    /// A failure whose damage extends to end-of-data (truncated header
+    /// or payload overrunning the buffer — the signature of a torn
+    /// write) stops the walk and reports a torn tail; any other failure
+    /// is still a typed error. Used on unsealed tails at resume/scrub.
+    Salvage,
+    /// Any failure is counted and skipped, resyncing to the next fully
+    /// valid record. Used by [`ReadPolicy::Degraded`] reads.
+    Degraded,
+}
+
+/// One validated record frame inside a byte stream.
+struct Frame<'a> {
+    /// v2 (columnar) payload, per the version byte.
+    v2: bool,
+    payload: &'a [u8],
+    /// Offset just past this record's footer.
+    next: usize,
+}
+
+/// Why a frame failed validation.
+struct FrameError {
+    /// The failure region extends to end-of-data — what a torn (crash-
+    /// truncated) write leaves behind. A complete-but-invalid frame
+    /// (CRC mismatch, bad magic/footer) is *not* torn: truncation
+    /// cannot produce it, so it is real corruption.
+    torn: bool,
+    detail: String,
+}
+
+/// Validate the record frame starting at `off`: magic, length, CRC,
+/// footer. Does not decode the payload.
+fn try_frame(data: &[u8], off: usize) -> Result<Frame<'_>, FrameError> {
+    if data.len() - off < RECORD_OVERHEAD {
+        return Err(FrameError {
+            torn: true,
+            detail: format!(
+                "truncated record header at offset {off} ({} trailing bytes)",
+                data.len() - off
+            ),
+        });
+    }
+    let magic = &data[off..off + 4];
+    let v2 = if magic == SEGMENT_MAGIC {
+        false
+    } else if magic == SEGMENT_MAGIC_V2 {
+        true
+    } else {
+        return Err(FrameError {
+            torn: false,
+            detail: format!("bad record magic at offset {off}"),
+        });
+    };
+    let len = u64::from_le_bytes(data[off + 4..off + 12].try_into().unwrap()) as usize;
+    let stored_crc = u32::from_le_bytes(data[off + 12..off + 16].try_into().unwrap());
+    let body_start = off + 16;
+    let footer_start = match body_start.checked_add(len) {
+        Some(e) if e + 4 <= data.len() => e,
+        _ => {
+            return Err(FrameError {
+                torn: true,
+                detail: format!(
+                    "record at offset {off} claims {len} payload bytes past end of data"
+                ),
+            })
+        }
+    };
+    let payload = &data[body_start..footer_start];
+    let actual_crc = crc32(payload);
+    if actual_crc != stored_crc {
+        obs_handles::checksum_failures().inc();
+        trace::event(
+            Level::Error,
+            "store",
+            "checksum_failure",
+            &[
+                ("offset", off.into()),
+                ("stored_crc", u64::from(stored_crc).into()),
+                ("computed_crc", u64::from(actual_crc).into()),
+            ],
+        );
+        return Err(FrameError {
+            torn: false,
+            detail: format!(
+                "CRC mismatch at offset {off}: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            ),
+        });
+    }
+    let footer = if v2 { SEGMENT_FOOTER_V2 } else { SEGMENT_FOOTER };
+    if data[footer_start..footer_start + 4] != footer {
+        obs_handles::checksum_failures().inc();
+        return Err(FrameError {
+            torn: false,
+            detail: format!("bad record footer at offset {footer_start}"),
+        });
+    }
+    Ok(Frame {
+        v2,
+        payload,
+        next: footer_start + 4,
+    })
+}
+
+/// The outcome of walking a stretch of records.
+#[derive(Debug, Default)]
+struct WalkOutcome {
+    counts: DecodeCounts,
+    /// Records fully validated and decoded.
+    records: usize,
+    /// Tuples appended to `out`.
+    tuples: usize,
+    /// Offset just past the last valid record — the truncation point a
+    /// salvage should cut back to.
+    valid_end: usize,
+    /// Set under [`WalkMode::Salvage`] when trailing bytes formed a
+    /// torn (crash-truncated) partial record; holds the failure detail.
+    torn_tail: Option<String>,
+    /// Damage skipped under [`WalkMode::Degraded`].
+    damage: Degradation,
+}
+
+/// Decode a concatenation of checksummed records, appending decoded
+/// tuples to `out`. The record's version byte (fourth magic byte)
+/// dispatches between the v1 row-major and v2 columnar payload
+/// decoders; a mixed stream (v1 records sealed by a previous
 /// incarnation followed by freshly packed v2 ones) is valid. `origin`
-/// names the data source in errors. `mask`, when given, is the keep-mask
-/// applied to every record; `stats`, when given, accumulates per-column
-/// encode accounting from v2 records (spool resume rebuilding a
-/// segment's column index).
-fn decode_records(
+/// names the data source in errors. `mask`, when given, is the
+/// keep-mask applied to every record; `stats`, when given, accumulates
+/// per-column encode accounting from v2 records (spool resume
+/// rebuilding a segment's column index). `mode` selects how validation
+/// failures are handled — see [`WalkMode`].
+fn walk_records(
     data: &[u8],
     origin: &Path,
     out: &mut Vec<Tuple>,
     mask: Option<&[bool]>,
     mut stats: Option<&mut Vec<ColumnStat>>,
-) -> Result<DecodeCounts, StoreError> {
+    mode: WalkMode,
+) -> Result<WalkOutcome, StoreError> {
     let corrupt = |detail: String| StoreError::Corrupt {
         path: origin.to_path_buf(),
         detail,
     };
-    let mut counts = DecodeCounts::default();
+    let mut o = WalkOutcome::default();
     let mut off = 0usize;
     while off < data.len() {
-        if data.len() - off < RECORD_OVERHEAD {
-            return Err(corrupt(format!(
-                "truncated record header at offset {off} ({} trailing bytes)",
-                data.len() - off
-            )));
-        }
-        let magic = &data[off..off + 4];
-        let v2 = if magic == SEGMENT_MAGIC {
-            false
-        } else if magic == SEGMENT_MAGIC_V2 {
-            true
-        } else {
-            return Err(corrupt(format!("bad record magic at offset {off}")));
+        let failure = match try_frame(data, off) {
+            Ok(frame) => {
+                // The frame is CRC-valid; a payload decode failure here
+                // is real corruption (or a decoder bug), never a torn
+                // tail — treat it like a complete-but-invalid frame.
+                match decode_frame(&frame, mask, stats.as_deref_mut(), out, &mut o.counts) {
+                    Ok(tuples) => {
+                        obs_handles::records_verified().inc();
+                        o.records += 1;
+                        o.tuples += tuples;
+                        off = frame.next;
+                        o.valid_end = off;
+                        continue;
+                    }
+                    Err(detail) => FrameError { torn: false, detail },
+                }
+            }
+            Err(e) => e,
         };
-        let len = u64::from_le_bytes(data[off + 4..off + 12].try_into().unwrap()) as usize;
-        let stored_crc = u32::from_le_bytes(data[off + 12..off + 16].try_into().unwrap());
-        let body_start = off + 16;
-        let footer_start = match body_start.checked_add(len) {
-            Some(e) if e + 4 <= data.len() => e,
-            _ => {
-                return Err(corrupt(format!(
-                    "record at offset {off} claims {len} payload bytes past end of data"
-                )))
-            }
-        };
-        let payload = &data[body_start..footer_start];
-        let actual_crc = crc32(payload);
-        if actual_crc != stored_crc {
-            obs_handles::checksum_failures().inc();
-            trace::event(
-                Level::Error,
-                "store",
-                "checksum_failure",
-                &[
-                    ("offset", off.into()),
-                    ("stored_crc", u64::from(stored_crc).into()),
-                    ("computed_crc", u64::from(actual_crc).into()),
-                ],
-            );
-            return Err(corrupt(format!(
-                "CRC mismatch at offset {off}: stored {stored_crc:#010x}, computed {actual_crc:#010x}"
-            )));
-        }
-        let footer = if v2 { SEGMENT_FOOTER_V2 } else { SEGMENT_FOOTER };
-        if data[footer_start..footer_start + 4] != footer {
-            obs_handles::checksum_failures().inc();
-            return Err(corrupt(format!("bad record footer at offset {footer_start}")));
-        }
-        obs_handles::records_verified().inc();
-        if v2 {
-            let read = decode_columnar(payload, mask, out)
-                .map_err(|e| corrupt(format!("columnar decode failed: {e}")))?;
-            counts.cols_skipped += read.cols_skipped;
-            counts.col_bytes_skipped += read.col_bytes_skipped;
-            if let Some(stats) = stats.as_deref_mut() {
-                if stats.len() < read.columns.len() {
-                    stats.resize(read.columns.len(), ColumnStat::default());
+        match mode {
+            WalkMode::Strict => return Err(corrupt(failure.detail)),
+            WalkMode::Salvage => {
+                if failure.torn {
+                    o.torn_tail = Some(failure.detail);
+                    return Ok(o);
                 }
-                for (agg, col) in stats.iter_mut().zip(&read.columns) {
-                    agg.absorb(col);
-                }
+                return Err(corrupt(failure.detail));
             }
-        } else {
-            let batch = bytes::Bytes::copy_from_slice(payload);
-            let before = out.len();
-            out.extend(
-                decode_tuples_masked(batch, mask)
-                    .map_err(|e| corrupt(format!("tuple decode failed: {e}")))?,
-            );
-            // v1 records skip masked values one at a time; count the
-            // masked columns per non-empty record (the v2 analogue of a
-            // skipped column block) even though the byte savings are not
-            // tracked at this granularity.
-            if out.len() > before {
-                if let Some(m) = mask {
-                    counts.cols_skipped += m.iter().filter(|k| !**k).count();
+            WalkMode::Degraded => {
+                // Resync: scan forward for the next offset holding a
+                // fully valid frame; everything in between is damage.
+                let start = off;
+                let mut next = None;
+                let mut probe = off + 1;
+                while probe + RECORD_OVERHEAD <= data.len() {
+                    let magic = &data[probe..probe + 4];
+                    if (magic == SEGMENT_MAGIC || magic == SEGMENT_MAGIC_V2)
+                        && try_frame(data, probe).is_ok()
+                    {
+                        next = Some(probe);
+                        break;
+                    }
+                    probe += 1;
+                }
+                let end = next.unwrap_or(data.len());
+                o.damage.records_skipped += 1;
+                o.damage.bytes_skipped += end - start;
+                o.damage
+                    .note(format!("{}: {}", origin.display(), failure.detail));
+                match next {
+                    Some(n) => off = n,
+                    None => break,
                 }
             }
         }
-        off = footer_start + 4;
     }
-    Ok(counts)
+    Ok(o)
 }
 
-/// The spool file name for a (superstep, predicate) segment.
+/// Decode one validated frame's payload into `out`, returning the tuple
+/// count appended, or the failure detail.
+fn decode_frame(
+    frame: &Frame<'_>,
+    mask: Option<&[bool]>,
+    stats: Option<&mut Vec<ColumnStat>>,
+    out: &mut Vec<Tuple>,
+    counts: &mut DecodeCounts,
+) -> Result<usize, String> {
+    let before = out.len();
+    if frame.v2 {
+        let read = decode_columnar(frame.payload, mask, out).map_err(|e| {
+            // A failed decode may have appended partial rows; drop them
+            // so Degraded-mode skips leave no half-decoded tuples.
+            out.truncate(before);
+            format!("columnar decode failed: {e}")
+        })?;
+        counts.cols_skipped += read.cols_skipped;
+        counts.col_bytes_skipped += read.col_bytes_skipped;
+        if let Some(stats) = stats {
+            if stats.len() < read.columns.len() {
+                stats.resize(read.columns.len(), ColumnStat::default());
+            }
+            for (agg, col) in stats.iter_mut().zip(&read.columns) {
+                agg.absorb(col);
+            }
+        }
+    } else {
+        let batch = bytes::Bytes::copy_from_slice(frame.payload);
+        out.extend(
+            decode_tuples_masked(batch, mask).map_err(|e| format!("tuple decode failed: {e}"))?,
+        );
+        // v1 records skip masked values one at a time; count the
+        // masked columns per non-empty record (the v2 analogue of a
+        // skipped column block) even though the byte savings are not
+        // tracked at this granularity.
+        if out.len() > before {
+            if let Some(m) = mask {
+                counts.cols_skipped += m.iter().filter(|k| !**k).count();
+            }
+        }
+    }
+    Ok(out.len() - before)
+}
+
+/// The unsealed (append-tail) spool file for a (superstep, predicate)
+/// segment.
 fn segment_path(dir: &Path, superstep: u32, pred: &str) -> PathBuf {
     dir.join(format!("seg-{superstep}-{pred}.bin"))
 }
 
-/// Parse a spool file name back into its (superstep, predicate) key.
-fn parse_segment_name(name: &str) -> Option<(u32, String)> {
-    let stem = name.strip_prefix("seg-")?.strip_suffix(".bin")?;
+/// The sealed (atomic-rename) spool file for a (superstep, predicate)
+/// segment, written under [`Durability::Seal`].
+fn sealed_segment_path(dir: &Path, superstep: u32, pred: &str) -> PathBuf {
+    dir.join(format!("seg-{superstep}-{pred}.seal"))
+}
+
+/// The sidecar holding a torn tail's original bytes before salvage
+/// truncated it (kept for forensics; ignored by resume).
+fn torn_sidecar_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".torn");
+    PathBuf::from(name)
+}
+
+/// The subdirectory scrub repairs move irrecoverable segments into.
+fn quarantine_dir(dir: &Path) -> PathBuf {
+    dir.join("quarantine")
+}
+
+/// Parse a spool file name back into its (superstep, predicate) key and
+/// whether the file is a sealed (`.seal`) segment. `.torn` sidecars and
+/// `.tmp` leftovers parse as `None` and are ignored.
+fn parse_segment_name(name: &str) -> Option<(u32, String, bool)> {
+    let stem = name.strip_prefix("seg-")?;
+    let (stem, sealed) = match stem.strip_suffix(".seal") {
+        Some(s) => (s, true),
+        None => (stem.strip_suffix(".bin")?, false),
+    };
     let (step, pred) = stem.split_once('-')?;
-    Some((step.parse().ok()?, pred.to_string()))
+    Some((step.parse().ok()?, pred.to_string(), sealed))
+}
+
+/// Salvage a torn unsealed tail: back the original bytes up to a
+/// `.torn` sidecar, then truncate the file to `valid_end` (the last
+/// record boundary). The sidecar write happens first so the pre-salvage
+/// bytes are never lost.
+fn salvage_truncate(path: &Path, original: &[u8], valid_end: usize) -> Result<(), StoreError> {
+    let sidecar = torn_sidecar_path(path);
+    std::fs::write(&sidecar, original).map_err(|e| StoreError::Io {
+        path: sidecar.clone(),
+        source: e,
+    })?;
+    OpenOptions::new()
+        .write(true)
+        .truncate(false) // keep the valid prefix; set_len cuts the tail
+        .open(path)
+        .and_then(|f| f.set_len(valid_end as u64))
+        .map_err(|e| StoreError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        })
+}
+
+/// What a scrub found wrong with one segment file (or nothing).
+enum FileVerdict {
+    Clean {
+        records: usize,
+        tuples: usize,
+    },
+    /// A torn (crash-truncated) trailing record in an unsealed tail —
+    /// salvageable by truncating back to `valid_end`.
+    Torn {
+        records: usize,
+        tuples: usize,
+        valid_end: usize,
+        detail: String,
+    },
+    /// Damage inside complete frames, or any damage in a sealed file —
+    /// irrecoverable; the repair is quarantine.
+    Corrupt {
+        detail: String,
+    },
+}
+
+/// Read and fully re-verify one segment file: every CRC, every payload
+/// decode. Torn tails only count as salvageable in unsealed files; a
+/// sealed file was renamed into place complete, so any damage in it —
+/// including an apparent truncation — is corruption.
+fn verify_file(path: &Path, sealed: bool) -> Result<(Vec<u8>, FileVerdict), StoreError> {
+    let mut data = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut data))
+        .map_err(|e| StoreError::Io {
+            path: path.to_path_buf(),
+            source: e,
+        })?;
+    let mut scratch = Vec::new();
+    let verdict = match walk_records(&data, path, &mut scratch, None, None, WalkMode::Salvage) {
+        Ok(w) => match w.torn_tail {
+            None => FileVerdict::Clean {
+                records: w.records,
+                tuples: w.tuples,
+            },
+            Some(detail) if sealed => FileVerdict::Corrupt {
+                detail: format!("torn tail in sealed segment: {detail}"),
+            },
+            Some(detail) => FileVerdict::Torn {
+                records: w.records,
+                tuples: w.tuples,
+                valid_end: w.valid_end,
+                detail,
+            },
+        },
+        Err(e) => FileVerdict::Corrupt {
+            detail: e.to_string(),
+        },
+    };
+    Ok((data, verdict))
+}
+
+/// Move a corrupt segment file into the spool's `quarantine/`
+/// subdirectory, returning its new path.
+fn quarantine_file(dir: &Path, path: &Path) -> Result<PathBuf, StoreError> {
+    let qdir = quarantine_dir(dir);
+    std::fs::create_dir_all(&qdir).map_err(|e| StoreError::Io {
+        path: qdir.clone(),
+        source: e,
+    })?;
+    let dest = qdir.join(path.file_name().unwrap_or_default());
+    std::fs::rename(path, &dest).map_err(|e| StoreError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    })?;
+    obs_handles::quarantined_segments().inc();
+    trace::event(
+        Level::Warn,
+        "store",
+        "segment_quarantined",
+        &[
+            ("from", path.display().to_string().as_str().into()),
+            ("to", dest.display().to_string().as_str().into()),
+        ],
+    );
+    Ok(dest)
+}
+
+/// Scrub a spool directory offline (no open store required): walk every
+/// `seg-*.bin` / `seg-*.seal` file, re-verify every checksum and payload
+/// decode, and report the damage found. With `repair`, torn unsealed
+/// tails are salvaged (truncated after a `.torn` sidecar backup) and
+/// irrecoverably corrupt files are moved into `quarantine/`, after which
+/// a [`ProvStore::resume_from_spool`] opens strict-clean (degraded reads
+/// then report exactly the quarantined loss).
+///
+/// Backs the `ariadne scrub` CLI subcommand.
+pub fn scrub_spool(dir: &Path, repair: bool) -> Result<ScrubReport, StoreError> {
+    let mut report = ScrubReport {
+        repaired: repair,
+        ..ScrubReport::default()
+    };
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => {
+            return Err(StoreError::Io {
+                path: dir.to_path_buf(),
+                source: e,
+            })
+        }
+    };
+    let mut found: Vec<((u32, String), PathBuf, bool)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| StoreError::Io {
+            path: dir.to_path_buf(),
+            source: e,
+        })?;
+        let name = entry.file_name();
+        let Some((step, pred, sealed)) = parse_segment_name(&name.to_string_lossy()) else {
+            continue;
+        };
+        found.push(((step, pred), entry.path(), sealed));
+    }
+    found.sort_by(|a, b| (&a.0, !a.2).cmp(&(&b.0, !b.2)));
+    for ((step, pred), path, sealed) in found {
+        report.files_checked += 1;
+        let (data, verdict) = verify_file(&path, sealed)?;
+        match verdict {
+            FileVerdict::Clean { records, tuples } => {
+                report.records_verified += records;
+                report.tuples_verified += tuples;
+            }
+            FileVerdict::Torn {
+                records,
+                tuples,
+                valid_end,
+                detail,
+            } => {
+                report.records_verified += records;
+                report.tuples_verified += tuples;
+                let mut action = ScrubAction::None;
+                if repair {
+                    salvage_truncate(&path, &data, valid_end)?;
+                    obs_handles::salvaged_records().add(records as u64);
+                    action = ScrubAction::Salvaged;
+                }
+                report.damage.push(SegmentDamage {
+                    path,
+                    superstep: step,
+                    pred,
+                    sealed,
+                    torn: true,
+                    detail,
+                    action,
+                    records_kept: records,
+                    bytes_lost: data.len() - valid_end,
+                });
+            }
+            FileVerdict::Corrupt { detail } => {
+                let mut action = ScrubAction::None;
+                let mut reported = path.clone();
+                if repair {
+                    reported = quarantine_file(dir, &path)?;
+                    action = ScrubAction::Quarantined;
+                }
+                report.damage.push(SegmentDamage {
+                    path: reported,
+                    superstep: step,
+                    pred,
+                    sealed,
+                    torn: false,
+                    detail,
+                    action,
+                    records_kept: 0,
+                    bytes_lost: data.len(),
+                });
+            }
+        }
+    }
+    trace::event(
+        Level::Info,
+        "store",
+        "scrub",
+        &[
+            ("dir", dir.display().to_string().as_str().into()),
+            ("files_checked", report.files_checked.into()),
+            ("records_verified", report.records_verified.into()),
+            ("damage", report.damage.len().into()),
+            ("repaired", if repair { 1u64.into() } else { 0u64.into() }),
+        ],
+    );
+    Ok(report)
+}
+
+/// Default number of retries for transient spill IO failures
+/// (interrupted/timed-out/would-block), with 1/2/4 ms backoff.
+const DEFAULT_SPILL_RETRIES: u32 = 3;
+
+/// Whether an IO failure is worth retrying. Disk-full and permission
+/// errors are not: retrying cannot fix them.
+fn is_transient_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Run a spill IO operation with bounded retry-with-backoff on
+/// transient failures. `op` must be idempotent (each attempt redoes the
+/// whole operation from scratch). A scripted
+/// [`FaultPlan::transient_io_failures`] budget injects failures before
+/// the real operation runs.
+fn with_spill_retries<T>(
+    fault: Option<&FaultPlan>,
+    path: &Path,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> Result<T, StoreError> {
+    let mut delay = Duration::from_millis(1);
+    let mut attempt = 0u32;
+    loop {
+        let result = match fault {
+            Some(f) if f.take_transient_io_failure() => Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected transient io failure",
+            )),
+            _ => op(),
+        };
+        match result {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < DEFAULT_SPILL_RETRIES && is_transient_io(&e) => {
+                attempt += 1;
+                obs_handles::io_retries().inc();
+                trace::event(
+                    Level::Warn,
+                    "store",
+                    "spill_io_retry",
+                    &[
+                        ("attempt", u64::from(attempt).into()),
+                        ("error", e.to_string().into()),
+                    ],
+                );
+                std::thread::sleep(delay);
+                delay *= 2;
+            }
+            Err(e) => {
+                return Err(StoreError::Io {
+                    path: path.to_path_buf(),
+                    source: e,
+                })
+            }
+        }
+    }
+}
+
+/// `fsync` a file, charging the wall time to `store_fsync_ns`.
+fn timed_sync(file: &File) -> std::io::Result<()> {
+    let t0 = std::time::Instant::now();
+    let r = file.sync_all();
+    obs_handles::fsync_ns().add(t0.elapsed().as_nanos() as u64);
+    r
+}
+
+/// `fsync` a directory's entry table, charging `store_fsync_ns`.
+fn timed_sync_dir(dir: &Path) -> std::io::Result<()> {
+    let t0 = std::time::Instant::now();
+    let r = File::open(dir).and_then(|f| f.sync_all());
+    obs_handles::fsync_ns().add(t0.elapsed().as_nanos() as u64);
+    r
 }
 
 impl ProvStore {
@@ -801,6 +1632,15 @@ impl ProvStore {
     /// Re-open a store over the spool directory a previous incarnation
     /// spilled into, validating every record of every segment file.
     ///
+    /// Unsealed `seg-*.bin` tails are **salvaged** when they end in a
+    /// torn (crash-truncated) partial record: the original bytes are
+    /// backed up to a `.torn` sidecar, the file is truncated back to
+    /// the last record boundary, and the retained records count as
+    /// salvaged. Damage *inside* a file — and any damage in an
+    /// atomically written `seg-*.seal` segment — is real corruption and
+    /// fails typed. Files under `quarantine/` are registered so strict
+    /// reads of their layers fail with [`StoreError::Quarantined`].
+    ///
     /// Recovered segments are **sealed**: subsequent [`ProvStore::ingest`]
     /// calls for their (superstep, predicate) keys are dropped, which
     /// makes replaying already-persisted layers after a crash idempotent.
@@ -815,16 +1655,22 @@ impl ProvStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(store),
             Err(e) => return Err(StoreError::Io { path: dir, source: e }),
         };
+        // Collect and sort so a segment's sealed part is attached before
+        // its unsealed tail regardless of directory iteration order.
+        let mut found: Vec<((u32, String), PathBuf, bool)> = Vec::new();
         for entry in entries {
             let entry = entry.map_err(|e| StoreError::Io {
                 path: dir.clone(),
                 source: e,
             })?;
             let name = entry.file_name();
-            let Some(key) = parse_segment_name(&name.to_string_lossy()) else {
+            let Some((step, pred, sealed)) = parse_segment_name(&name.to_string_lossy()) else {
                 continue;
             };
-            let path = entry.path();
+            found.push(((step, pred), entry.path(), sealed));
+        }
+        found.sort_by(|a, b| (&a.0, !a.2).cmp(&(&b.0, !b.2)));
+        for (key, path, sealed) in found {
             let mut data = Vec::new();
             File::open(&path)
                 .and_then(|mut f| f.read_to_end(&mut data))
@@ -834,23 +1680,59 @@ impl ProvStore {
                 })?;
             let mut tuples = Vec::new();
             let mut cols = Vec::new();
-            decode_records(&data, &path, &mut tuples, None, Some(&mut cols))?;
+            let mode = if sealed {
+                WalkMode::Strict
+            } else {
+                WalkMode::Salvage
+            };
+            let walked = walk_records(&data, &path, &mut tuples, None, Some(&mut cols), mode)?;
+            let mut kept = data.len();
+            if let Some(detail) = walked.torn_tail {
+                salvage_truncate(&path, &data, walked.valid_end)?;
+                kept = walked.valid_end;
+                store.salvaged += walked.records;
+                obs_handles::salvaged_records().add(walked.records as u64);
+                trace::event(
+                    Level::Warn,
+                    "store",
+                    "torn_tail_salvaged",
+                    &[
+                        ("path", path.display().to_string().as_str().into()),
+                        ("records_kept", walked.records.into()),
+                        ("bytes_cut", (data.len() - walked.valid_end).into()),
+                        ("detail", detail.as_str().into()),
+                    ],
+                );
+            }
             store.tuples += tuples.len();
-            store.disk_bytes += data.len();
+            store.disk_bytes += kept;
             store.max_step = Some(store.max_step.map_or(key.0, |m| m.max(key.0)));
-            store.segments.insert(
-                key,
-                Segment {
-                    disk: Some(DiskPart {
-                        path,
-                        bytes: data.len(),
-                        tuples: tuples.len(),
-                    }),
-                    sealed: true,
-                    cols,
-                    ..Default::default()
-                },
-            );
+            let seg = store.segments.entry(key).or_default();
+            seg.sealed = true;
+            seg.disk.files.push(DiskFile {
+                path,
+                bytes: kept,
+                tuples: tuples.len(),
+                atomic: sealed,
+            });
+            if seg.cols.len() < cols.len() {
+                seg.cols.resize(cols.len(), ColumnStat::default());
+            }
+            for (agg, col) in seg.cols.iter_mut().zip(&cols) {
+                agg.absorb(col);
+            }
+        }
+        // Register segments a scrub repair moved into quarantine/, so
+        // reads of their layers know data is missing.
+        let qdir = quarantine_dir(&dir);
+        if let Ok(entries) = std::fs::read_dir(&qdir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if let Some((step, pred, _)) = parse_segment_name(&name.to_string_lossy()) {
+                    store.max_step = Some(store.max_step.map_or(step, |m| m.max(step)));
+                    store.quarantined.insert((step, pred), entry.path());
+                }
+            }
         }
         obs_handles::resumes().inc();
         obs_handles::sealed_segments().add(store.segments.len() as u64);
@@ -862,9 +1744,150 @@ impl ProvStore {
                 ("segments", store.segments.len().into()),
                 ("tuples", store.tuples.into()),
                 ("disk_bytes", store.disk_bytes.into()),
+                ("salvaged_records", store.salvaged.into()),
+                ("quarantined_segments", store.quarantined.len().into()),
             ],
         );
         Ok(store)
+    }
+
+    /// Scrub every segment of the open store — in-memory buffers and
+    /// every spilled file, v1 and v2 — re-verifying each record's
+    /// checksum and payload decode, and report the damage found.
+    ///
+    /// With `repair`, torn unsealed tails are salvaged (truncated after
+    /// a `.torn` sidecar backup) and irrecoverably corrupt files are
+    /// moved into the spool's `quarantine/` subdirectory; the store's
+    /// segment index and byte/tuple accounting are updated to match, so
+    /// subsequent [`ReadPolicy::Strict`] reads of undamaged layers
+    /// succeed while quarantined layers fail typed (or are reported by
+    /// [`ReadPolicy::Degraded`] reads as exactly the quarantined loss).
+    /// In-memory damage is detection-only: it indicates a store bug, not
+    /// a disk fault, and has no sidecar to repair from.
+    pub fn scrub(&mut self, repair: bool) -> Result<ScrubReport, StoreError> {
+        let mut report = ScrubReport {
+            repaired: repair,
+            ..ScrubReport::default()
+        };
+        // In-memory buffers: packed records verify like disk records
+        // (unpacked v2 pending rows are not yet encoded — nothing to
+        // verify). Strict walk; memory has no torn-tail failure mode.
+        for ((step, pred), seg) in &self.segments {
+            if seg.mem.is_empty() {
+                continue;
+            }
+            let origin = PathBuf::from(format!("<mem:seg-{step}-{pred}>"));
+            let mut scratch = Vec::new();
+            match walk_records(&seg.mem, &origin, &mut scratch, None, None, WalkMode::Strict) {
+                Ok(w) => {
+                    report.records_verified += w.records;
+                    report.tuples_verified += w.tuples;
+                }
+                Err(e) => report.damage.push(SegmentDamage {
+                    path: origin,
+                    superstep: *step,
+                    pred: pred.clone(),
+                    sealed: false,
+                    torn: false,
+                    detail: e.to_string(),
+                    action: ScrubAction::None,
+                    records_kept: 0,
+                    bytes_lost: seg.mem.len(),
+                }),
+            }
+        }
+        // Disk files, with index/accounting updates on repair.
+        let spool = self.config.spool_dir.clone();
+        let keys: Vec<(u32, String)> = self.segments.keys().cloned().collect();
+        for key in keys {
+            let files = self.segments[&key].disk.files.clone();
+            for file in files {
+                report.files_checked += 1;
+                let (data, verdict) = verify_file(&file.path, file.atomic)?;
+                match verdict {
+                    FileVerdict::Clean { records, tuples } => {
+                        report.records_verified += records;
+                        report.tuples_verified += tuples;
+                    }
+                    FileVerdict::Torn {
+                        records,
+                        tuples,
+                        valid_end,
+                        detail,
+                    } => {
+                        report.records_verified += records;
+                        report.tuples_verified += tuples;
+                        let mut action = ScrubAction::None;
+                        if repair {
+                            salvage_truncate(&file.path, &data, valid_end)?;
+                            let seg = self.segments.get_mut(&key).expect("key from snapshot");
+                            if let Some(f) = seg.disk.files.iter_mut().find(|f| f.path == file.path)
+                            {
+                                let lost_tuples = f.tuples.saturating_sub(tuples);
+                                let lost_bytes = f.bytes.saturating_sub(valid_end);
+                                f.bytes = valid_end;
+                                f.tuples = tuples;
+                                self.disk_bytes = self.disk_bytes.saturating_sub(lost_bytes);
+                                self.tuples = self.tuples.saturating_sub(lost_tuples);
+                            }
+                            obs_handles::salvaged_records().add(records as u64);
+                            self.salvaged += records;
+                            action = ScrubAction::Salvaged;
+                        }
+                        report.damage.push(SegmentDamage {
+                            path: file.path.clone(),
+                            superstep: key.0,
+                            pred: key.1.clone(),
+                            sealed: file.atomic,
+                            torn: true,
+                            detail,
+                            action,
+                            records_kept: records,
+                            bytes_lost: data.len() - valid_end,
+                        });
+                    }
+                    FileVerdict::Corrupt { detail } => {
+                        let mut action = ScrubAction::None;
+                        let mut reported = file.path.clone();
+                        if repair {
+                            let dir = spool.as_deref().unwrap_or_else(|| {
+                                file.path.parent().unwrap_or(Path::new("."))
+                            });
+                            reported = quarantine_file(dir, &file.path)?;
+                            let seg = self.segments.get_mut(&key).expect("key from snapshot");
+                            seg.disk.files.retain(|f| f.path != file.path);
+                            self.disk_bytes = self.disk_bytes.saturating_sub(file.bytes);
+                            self.tuples = self.tuples.saturating_sub(file.tuples);
+                            self.quarantined.insert(key.clone(), reported.clone());
+                            action = ScrubAction::Quarantined;
+                        }
+                        report.damage.push(SegmentDamage {
+                            path: reported,
+                            superstep: key.0,
+                            pred: key.1.clone(),
+                            sealed: file.atomic,
+                            torn: false,
+                            detail,
+                            action,
+                            records_kept: 0,
+                            bytes_lost: data.len(),
+                        });
+                    }
+                }
+            }
+        }
+        trace::event(
+            Level::Info,
+            "store",
+            "scrub",
+            &[
+                ("files_checked", report.files_checked.into()),
+                ("records_verified", report.records_verified.into()),
+                ("damage", report.damage.len().into()),
+                ("repaired", if repair { 1u64.into() } else { 0u64.into() }),
+            ],
+        );
+        Ok(report)
     }
 
     /// Ingest a batch of tuples for (superstep, pred), serializing them
@@ -878,6 +1901,13 @@ impl ProvStore {
         tuples: Vec<Tuple>,
     ) -> Result<(), StoreError> {
         if tuples.is_empty() {
+            return Ok(());
+        }
+        if self.poison.is_some() {
+            // Capture was downgraded by a spill failure under
+            // OnSpillError::DropCapture: drop the batch, count the loss.
+            self.dropped_batches += 1;
+            self.dropped_tuples += tuples.len();
             return Ok(());
         }
         if let Some(fault) = &self.config.fault {
@@ -935,7 +1965,24 @@ impl ProvStore {
                 }
             }
         }
-        self.maybe_spill()
+        match self.maybe_spill() {
+            Ok(()) => Ok(()),
+            Err(e) if self.config.on_spill_error == OnSpillError::DropCapture => {
+                // Poison the store instead of aborting the run: already-
+                // captured provenance (memory + spool) stays readable in
+                // degraded mode; everything from here on is dropped.
+                let err = Arc::new(e);
+                trace::event(
+                    Level::Error,
+                    "store",
+                    "capture_dropped",
+                    &[("error", err.to_string().into())],
+                );
+                self.poison = Some(err);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Pack one segment's pending rows into a columnar record, fixing up
@@ -1031,66 +2078,271 @@ impl ProvStore {
             }
             if !dir_ready {
                 // Lazy spool-dir creation: only a store that actually
-                // spills needs the directory to exist.
+                // spills needs the directory to exist. Under durable
+                // levels the new directory entry is synced too.
                 std::fs::create_dir_all(&dir).map_err(|e| StoreError::Io {
                     path: dir.clone(),
                     source: e,
                 })?;
+                if self.config.durability != Durability::None {
+                    if let Some(parent) = dir.parent() {
+                        let _ = timed_sync_dir(parent);
+                    }
+                }
                 dir_ready = true;
             }
-            if let Some(fault) = &self.config.fault {
-                if fault.take_spill_failure() {
-                    obs_handles::faults_injected().inc();
-                    trace::event(
-                        Level::Warn,
-                        "store::fault",
-                        "injected_spill_failure",
-                        &[("attempt", (fault.spill_attempts() - 1).into())],
-                    );
-                    return Err(StoreError::InjectedSpillFailure {
-                        attempt: fault.spill_attempts() - 1,
-                    });
-                }
-            }
-            let seg = self.segments.get_mut(&key).expect("segment exists");
-            let path = segment_path(&dir, key.0, &key.1);
-            let io = |e| StoreError::Io {
-                path: path.clone(),
-                source: e,
-            };
-            let mut file = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-                .map_err(io)?;
-            file.write_all(&seg.mem).map_err(io)?;
-            let disk = seg.disk.get_or_insert(DiskPart {
-                path: path.clone(),
-                bytes: 0,
-                tuples: 0,
-            });
-            disk.bytes += seg.mem.len();
-            disk.tuples += seg.mem_tuples;
-            self.disk_bytes += seg.mem.len();
-            self.mem_bytes -= seg.mem.len();
-            obs_handles::spills().inc();
-            obs_handles::spilled_bytes().add(seg.mem.len() as u64);
-            trace::event(
-                Level::Debug,
-                "store",
-                "spill",
-                &[
-                    ("superstep", key.0.into()),
-                    ("pred", key.1.as_str().into()),
-                    ("bytes", seg.mem.len().into()),
-                    ("tuples", seg.mem_tuples.into()),
-                ],
-            );
-            seg.mem = Vec::new();
-            seg.mem_tuples = 0;
-            self.spills += 1;
+            self.spill_segment(&dir, &key)?;
         }
         Ok(())
+    }
+
+    /// Spill one segment's in-memory records to the spool, honouring the
+    /// configured [`Durability`] level and any scripted faults. On
+    /// failure the in-memory records are restored, so a store kept
+    /// alive by [`OnSpillError::DropCapture`] still serves them.
+    fn spill_segment(&mut self, dir: &Path, key: &(u32, String)) -> Result<(), StoreError> {
+        // Scripted faults. `take_spill_failure` owns the attempt
+        // counter; the other hooks key off the same ordinal.
+        let fault = self.config.fault.clone();
+        let mut attempt = 0u64;
+        if let Some(fault) = &fault {
+            if fault.take_spill_failure() {
+                obs_handles::faults_injected().inc();
+                trace::event(
+                    Level::Warn,
+                    "store::fault",
+                    "injected_spill_failure",
+                    &[("attempt", (fault.spill_attempts() - 1).into())],
+                );
+                return Err(StoreError::InjectedSpillFailure {
+                    attempt: fault.spill_attempts() - 1,
+                });
+            }
+            attempt = fault.spill_attempts() - 1;
+        }
+        let seg = self.segments.get_mut(key).expect("segment exists");
+        let mem = std::mem::take(&mut seg.mem);
+        let mem_tuples = std::mem::replace(&mut seg.mem_tuples, 0);
+        let existing = seg.disk.files.clone();
+        let disk_tuples = seg.disk.tuples();
+        let spilling = mem.len();
+
+        match self.spill_io(
+            dir,
+            key,
+            &mem,
+            mem_tuples,
+            disk_tuples,
+            &existing,
+            attempt,
+            fault.as_deref(),
+        ) {
+            Ok(files) => {
+                let seg = self.segments.get_mut(key).expect("segment exists");
+                seg.disk.files = files;
+                // Either durability level grows the spool by exactly the
+                // in-memory bytes just written (a seal rewrite re-lands
+                // bytes already counted as disk bytes).
+                self.disk_bytes += spilling;
+                self.mem_bytes -= spilling;
+                obs_handles::spills().inc();
+                obs_handles::spilled_bytes().add(spilling as u64);
+                trace::event(
+                    Level::Debug,
+                    "store",
+                    "spill",
+                    &[
+                        ("superstep", key.0.into()),
+                        ("pred", key.1.as_str().into()),
+                        ("bytes", spilling.into()),
+                        ("tuples", mem_tuples.into()),
+                    ],
+                );
+                self.spills += 1;
+                Ok(())
+            }
+            Err(e) => {
+                // Restore the unwritten records so the segment still
+                // reads back from memory.
+                let seg = self.segments.get_mut(key).expect("segment exists");
+                seg.mem = mem;
+                seg.mem_tuples = mem_tuples;
+                Err(e)
+            }
+        }
+    }
+
+    /// The IO half of a spill write: push `mem` to the spool under the
+    /// configured durability level and return the segment's new
+    /// disk-file list. Does not touch segment state.
+    #[allow(clippy::too_many_arguments)]
+    fn spill_io(
+        &self,
+        dir: &Path,
+        key: &(u32, String),
+        mem: &[u8],
+        mem_tuples: usize,
+        disk_tuples: usize,
+        existing: &[DiskFile],
+        attempt: u64,
+        fault: Option<&FaultPlan>,
+    ) -> Result<Vec<DiskFile>, StoreError> {
+        if let Some(fault) = fault {
+            if fault.take_enospc((self.disk_bytes + mem.len()) as u64) {
+                obs_handles::faults_injected().inc();
+                trace::event(
+                    Level::Warn,
+                    "store::fault",
+                    "injected_enospc",
+                    &[("disk_bytes", self.disk_bytes.into())],
+                );
+                return Err(StoreError::Io {
+                    path: segment_path(dir, key.0, &key.1),
+                    source: std::io::Error::other("injected ENOSPC: no space left on device"),
+                });
+            }
+        }
+        // A scripted bit flip silently corrupts the bytes on their way
+        // to disk (scrub-detection tests); a torn write persists only a
+        // prefix and then fails like a crash.
+        let mut payload = std::borrow::Cow::Borrowed(mem);
+        let mut torn_at: Option<usize> = None;
+        if let Some(fault) = fault {
+            if fault.take_bit_flip(attempt) {
+                obs_handles::faults_injected().inc();
+                let mut owned = payload.into_owned();
+                let mid = owned.len() / 2;
+                if let Some(b) = owned.get_mut(mid) {
+                    *b ^= 0x01;
+                }
+                trace::event(
+                    Level::Warn,
+                    "store::fault",
+                    "injected_bit_flip",
+                    &[("attempt", attempt.into()), ("offset", mid.into())],
+                );
+                payload = std::borrow::Cow::Owned(owned);
+            }
+            if let Some(keep) = fault.take_torn_write(attempt) {
+                obs_handles::faults_injected().inc();
+                trace::event(
+                    Level::Warn,
+                    "store::fault",
+                    "injected_torn_write",
+                    &[("attempt", attempt.into()), ("keep_bytes", keep.into())],
+                );
+                torn_at = Some(keep.min(payload.len()));
+            }
+        }
+
+        match self.config.durability {
+            Durability::None | Durability::Spill => {
+                let path = segment_path(dir, key.0, &key.1);
+                let fsync = self.config.durability == Durability::Spill;
+                let new_file = !path.exists();
+                // Append whole records to the unsealed tail. The write
+                // is made retry-idempotent by truncating back to the
+                // pre-write length before every attempt.
+                let before = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                with_spill_retries(fault, &path, || {
+                    let mut file = OpenOptions::new()
+                        .create(true)
+                        .write(true)
+                        .truncate(false) // set_len below resets to the pre-write length
+                        .open(&path)?;
+                    file.set_len(before)?;
+                    std::io::Seek::seek(&mut file, std::io::SeekFrom::Start(before))?;
+                    if let Some(keep) = torn_at {
+                        // Crash mid-record: persist the prefix, fail.
+                        file.write_all(&payload[..keep])?;
+                        let _ = file.sync_all();
+                        return Err(std::io::Error::other(
+                            "injected torn write (crash mid-record)",
+                        ));
+                    }
+                    file.write_all(&payload)?;
+                    if fsync {
+                        timed_sync(&file)?;
+                    }
+                    Ok(())
+                })?;
+                if fsync && new_file {
+                    let _ = timed_sync_dir(dir);
+                }
+                let mut files = existing.to_vec();
+                match files.iter_mut().find(|f| f.path == path) {
+                    Some(f) => {
+                        f.bytes += mem.len();
+                        f.tuples += mem_tuples;
+                    }
+                    None => files.push(DiskFile {
+                        path,
+                        bytes: mem.len(),
+                        tuples: mem_tuples,
+                        atomic: false,
+                    }),
+                }
+                Ok(files)
+            }
+            Durability::Seal => {
+                // Atomic full rewrite: old sealed bytes (plus any .bin
+                // tail left by a previous, less-durable incarnation) and
+                // the new records land in a temp file that is synced and
+                // renamed over the .seal path. The spool never holds a
+                // torn sealed segment — write amplification proportional
+                // to the segment size is the price.
+                let seal_path = sealed_segment_path(dir, key.0, &key.1);
+                let mut full = Vec::new();
+                for f in existing {
+                    let mut data = Vec::with_capacity(f.bytes);
+                    File::open(&f.path)
+                        .and_then(|mut h| h.read_to_end(&mut data))
+                        .map_err(|e| StoreError::Io {
+                            path: f.path.clone(),
+                            source: e,
+                        })?;
+                    full.extend_from_slice(&data);
+                }
+                full.extend_from_slice(&payload);
+                let tmp = {
+                    let mut name = seal_path.as_os_str().to_os_string();
+                    name.push(".tmp");
+                    PathBuf::from(name)
+                };
+                with_spill_retries(fault, &seal_path, || {
+                    let mut file = File::create(&tmp)?;
+                    if let Some(keep) = torn_at {
+                        // Crash mid-seal: only the temp file is torn;
+                        // the published .seal is untouched.
+                        let cut = full.len() - payload.len() + keep;
+                        file.write_all(&full[..cut])?;
+                        let _ = file.sync_all();
+                        return Err(std::io::Error::other(
+                            "injected torn write (crash mid-seal)",
+                        ));
+                    }
+                    file.write_all(&full)?;
+                    timed_sync(&file)?;
+                    std::fs::rename(&tmp, &seal_path)?;
+                    Ok(())
+                })?;
+                let _ = timed_sync_dir(dir);
+                // Absorbed files are now part of the sealed rewrite;
+                // remove a stale .bin tail so resume does not double
+                // count it.
+                for f in existing {
+                    if !f.atomic && f.path != seal_path {
+                        let _ = std::fs::remove_file(&f.path);
+                    }
+                }
+                Ok(vec![DiskFile {
+                    path: seal_path,
+                    bytes: full.len(),
+                    tuples: disk_tuples + mem_tuples,
+                    atomic: true,
+                }])
+            }
+        }
     }
 
     /// All tuples of one provenance layer (= superstep), per predicate,
@@ -1122,8 +2374,57 @@ impl ProvStore {
     /// segment pruning plus column-selective decode. Masked-out columns
     /// decode as [`Value::Unit`] without materializing the stored
     /// values; for v2 records the whole encoded column block is skipped.
+    /// Uses [`ReadPolicy::Strict`]; see [`ProvStore::layer_read_with`].
     pub fn layer_read(&self, superstep: u32, filter: &LayerFilter) -> Result<LayerRead, StoreError> {
+        self.layer_read_with(superstep, filter, ReadPolicy::Strict)
+    }
+
+    /// [`ProvStore::layer_read`] with an explicit [`ReadPolicy`]. Under
+    /// [`ReadPolicy::Strict`] any damage — a corrupt record, a
+    /// quarantined segment of this layer, or a poisoned store — is a
+    /// typed error. Under [`ReadPolicy::Degraded`] damaged records are
+    /// skipped, quarantined segments are counted, and the exact loss is
+    /// reported on [`LayerRead::degradation`].
+    pub fn layer_read_with(
+        &self,
+        superstep: u32,
+        filter: &LayerFilter,
+        policy: ReadPolicy,
+    ) -> Result<LayerRead, StoreError> {
         let mut out = LayerRead::default();
+        if let Some(poison) = &self.poison {
+            match policy {
+                ReadPolicy::Strict => {
+                    return Err(StoreError::Degraded {
+                        detail: "store poisoned: capture dropped after a spill failure".into(),
+                        source: Some(Arc::clone(poison)),
+                    })
+                }
+                ReadPolicy::Degraded => out.degradation.note(format!(
+                    "store poisoned: capture dropped after a spill failure ({poison}); \
+                     {} batches / {} tuples lost",
+                    self.dropped_batches, self.dropped_tuples
+                )),
+            }
+        }
+        for ((_, pred), qpath) in self.quarantined.range(layer_bounds(superstep)) {
+            if !filter.wants(pred) {
+                continue;
+            }
+            match policy {
+                ReadPolicy::Strict => {
+                    return Err(StoreError::Quarantined {
+                        path: qpath.clone(),
+                        source: None,
+                    })
+                }
+                ReadPolicy::Degraded => {
+                    out.degradation.segments_skipped += 1;
+                    out.degradation
+                        .note(format!("{}: quarantined", qpath.display()));
+                }
+            }
+        }
         for ((_, pred), seg) in self.segments.range(layer_bounds(superstep)) {
             if !filter.wants(pred) {
                 out.segments_skipped += 1;
@@ -1131,10 +2432,12 @@ impl ProvStore {
                 continue;
             }
             let mut tuples = Vec::with_capacity(seg.total_tuples());
-            let (bytes, counts) = seg.decode_into(filter.mask(pred), &mut tuples, None)?;
+            let (bytes, counts, damage) =
+                seg.decode_into(filter.mask(pred), &mut tuples, None, policy)?;
             out.bytes_read += bytes;
             out.cols_skipped += counts.cols_skipped;
             out.col_bytes_skipped += counts.col_bytes_skipped;
+            out.degradation.absorb(&damage);
             out.segments_read += 1;
             out.tuples.push((pred.clone(), tuples));
         }
@@ -1160,7 +2463,7 @@ impl ProvStore {
             pred: pred.clone(),
             tuples: seg.total_tuples(),
             bytes: seg.total_bytes(),
-            spilled: seg.disk.is_some(),
+            spilled: !seg.disk.files.is_empty(),
             sealed: seg.sealed,
             columns: seg.cols.clone(),
         })
@@ -1168,12 +2471,26 @@ impl ProvStore {
 
     /// Load everything into one database (centralized evaluation). One
     /// pass over the segment index in (superstep, predicate) order — no
-    /// per-layer range scans, and empty layers cost nothing.
+    /// per-layer range scans, and empty layers cost nothing. Strict: a
+    /// poisoned store or quarantined segment is a typed error (partial
+    /// evaluation over a full-database load would be silently wrong).
     pub fn to_database(&self) -> Result<Database, StoreError> {
+        if let Some(poison) = &self.poison {
+            return Err(StoreError::Degraded {
+                detail: "store poisoned: capture dropped after a spill failure".into(),
+                source: Some(Arc::clone(poison)),
+            });
+        }
+        if let Some(path) = self.quarantined.values().next() {
+            return Err(StoreError::Quarantined {
+                path: path.clone(),
+                source: None,
+            });
+        }
         let mut db = Database::new();
         for ((_, pred), seg) in &self.segments {
             let mut tuples = Vec::with_capacity(seg.total_tuples());
-            seg.decode_into(None, &mut tuples, None)?;
+            seg.decode_into(None, &mut tuples, None, ReadPolicy::Strict)?;
             for t in tuples {
                 db.insert(pred, t);
             }
@@ -1205,6 +2522,36 @@ impl ProvStore {
     /// Number of sealed (recovered, idempotent-on-re-ingest) segments.
     pub fn sealed_segments(&self) -> usize {
         self.segments.values().filter(|s| s.sealed).count()
+    }
+
+    /// Records recovered from a torn unsealed tail during
+    /// [`ProvStore::resume_from_spool`] (the valid prefix kept after the
+    /// truncated frame was cut off).
+    pub fn salvaged_records(&self) -> usize {
+        self.salvaged
+    }
+
+    /// Segments currently sitting in the spool's `quarantine/`
+    /// subdirectory (moved there by a repairing scrub).
+    pub fn quarantined_segments(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// The spill failure that poisoned this store, if any. A poisoned
+    /// store (see [`OnSpillError::DropCapture`]) dropped capture after
+    /// the failure; [`ReadPolicy::Strict`] reads refuse it.
+    pub fn poisoned(&self) -> Option<&StoreError> {
+        self.poison.as_deref()
+    }
+
+    /// Batches dropped after the store was poisoned.
+    pub fn dropped_batches(&self) -> usize {
+        self.dropped_batches
+    }
+
+    /// Tuples dropped after the store was poisoned.
+    pub fn dropped_tuples(&self) -> usize {
+        self.dropped_tuples
     }
 }
 
@@ -1241,12 +2588,16 @@ pub struct StoreWriter {
     /// Raised by a timed-out finish; the writer thread checks it between
     /// batches and stops ingesting once it is set.
     abandoned: Arc<std::sync::atomic::AtomicBool>,
+    /// Batches queued but not yet consumed by the writer thread, so a
+    /// finish timeout can report how far behind the writer was.
+    pending: Arc<std::sync::atomic::AtomicU64>,
 }
 
 /// Cloneable ingestion handle usable from vertex programs.
 #[derive(Clone)]
 pub struct StoreSender {
     sender: Sender<WriterMsg>,
+    pending: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl StoreSender {
@@ -1258,6 +2609,8 @@ impl StoreSender {
         if tuples.is_empty() {
             return;
         }
+        self.pending
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let _ = self.sender.send(WriterMsg::Ingest {
             superstep,
             pred: pred.to_string(),
@@ -1282,15 +2635,20 @@ impl StoreWriter {
     where
         F: FnOnce() -> Result<ProvStore, StoreError> + Send + 'static,
     {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
         let (sender, receiver) = unbounded();
         let (done_tx, done_rx) = unbounded();
         let abandoned = Arc::new(AtomicBool::new(false));
         let fence = Arc::clone(&abandoned);
+        let pending = Arc::new(AtomicU64::new(0));
+        let drained = Arc::clone(&pending);
         let handle = std::thread::spawn(move || {
             let result = (|| {
                 let mut store = make()?;
                 while let Ok(msg) = receiver.recv() {
+                    if matches!(msg, WriterMsg::Ingest { .. }) {
+                        drained.fetch_sub(1, Ordering::Relaxed);
+                    }
                     // Fence: once finish_timeout has given up on us, stop
                     // ingesting (and stop touching the spool) at the next
                     // batch boundary. See "Abandonment invariant" above.
@@ -1319,6 +2677,7 @@ impl StoreWriter {
             done: done_rx,
             handle,
             abandoned,
+            pending,
         }
     }
 
@@ -1326,6 +2685,7 @@ impl StoreWriter {
     pub fn sender(&self) -> StoreSender {
         StoreSender {
             sender: self.sender.clone(),
+            pending: Arc::clone(&self.pending),
         }
     }
 
@@ -1355,13 +2715,17 @@ impl StoreWriter {
                 self.abandoned
                     .store(true, std::sync::atomic::Ordering::Release);
                 obs_handles::writers_abandoned().inc();
+                let pending = self.pending.load(std::sync::atomic::Ordering::Relaxed);
                 trace::event(
                     Level::Warn,
                     "store",
                     "writer_abandoned",
-                    &[("timeout_ms", (timeout.as_millis() as u64).into())],
+                    &[
+                        ("timeout_ms", (timeout.as_millis() as u64).into()),
+                        ("pending_batches", pending.into()),
+                    ],
                 );
-                Err(StoreError::FinishTimeout { timeout })
+                Err(StoreError::FinishTimeout { timeout, pending })
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(StoreError::WriterDead),
         }
@@ -1704,7 +3068,9 @@ mod tests {
             sender.ingest(0, "value", vec![tuple(k, 0)]);
         }
         match writer.finish_timeout(Duration::from_millis(10)) {
-            Err(StoreError::FinishTimeout { .. }) => {}
+            Err(StoreError::FinishTimeout { pending, .. }) => {
+                assert!(pending > 0, "timeout must report the queue backlog");
+            }
             other => panic!("expected finish timeout, got {other:?}"),
         }
         // Give the abandoned thread time to clear its stall, observe the
@@ -1961,5 +3327,328 @@ mod tests {
         assert!(after - before < 100, "{}", after - before);
         store.ingest(0, "value", vec![]).unwrap(); // empty batch is a no-op
         assert_eq!(store.tuple_count(), 1);
+    }
+
+    /// [`Durability::Seal`] writes only atomic `.seal` files — never an
+    /// append tail — and repeated spills of the same segment rewrite the
+    /// sealed file with the full content.
+    #[test]
+    fn seal_durability_writes_only_atomic_files() {
+        let dir = temp_dir("seal-atomic");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ProvStore::new(
+            StoreConfig::spilling(0, dir.clone()).with_durability(Durability::Seal),
+        );
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store
+            .ingest(0, "value", (10..20).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| n.ends_with(".seal")),
+            "only sealed files expected, got {names:?}"
+        );
+        assert_eq!(names.len(), 1, "rewrite replaces, never accumulates");
+        let resumed = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+        assert_eq!(resumed.layer(0).unwrap()[0].1.len(), 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A torn (crash-truncated) unsealed tail is salvaged on resume: the
+    /// valid prefix survives, the original bytes land in a `.torn`
+    /// sidecar, and the salvage is counted.
+    #[test]
+    fn torn_unsealed_tail_salvaged_on_resume() {
+        let dir = temp_dir("torn-salvage");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store
+            .ingest(0, "value", (10..20).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        drop(store);
+        let path = segment_path(&dir, 0, "value");
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut into the middle of the second record: a torn tail.
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let store = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+        assert_eq!(store.salvaged_records(), 1, "the intact first record");
+        assert_eq!(store.layer(0).unwrap()[0].1.len(), 10, "valid prefix kept");
+        let sidecar = torn_sidecar_path(&path);
+        assert_eq!(
+            std::fs::read(&sidecar).unwrap().len(),
+            bytes.len() - 7,
+            "sidecar preserves the pre-salvage bytes"
+        );
+        // The salvaged file itself re-verifies clean.
+        assert!(scrub_spool(&dir, false).unwrap().is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Damage in a sealed (atomically renamed) segment is never a torn
+    /// tail: resume fails typed instead of salvaging.
+    #[test]
+    fn sealed_segment_damage_is_strict() {
+        let dir = temp_dir("seal-strict");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ProvStore::new(
+            StoreConfig::spilling(0, dir.clone()).with_durability(Durability::Seal),
+        );
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        drop(store);
+        let path = sealed_segment_path(&dir, 0, "value");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(matches!(
+            ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Degraded reads skip damaged records, resync to the next valid
+    /// one, and report exactly what was lost; Strict reads of the same
+    /// store fail typed.
+    #[test]
+    fn degraded_read_skips_and_reports_damage() {
+        let dir = temp_dir("degraded-read");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store
+            .ingest(0, "value", (10..20).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        let path = segment_path(&dir, 0, "value");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[RECORD_OVERHEAD / 2] ^= 0xFF; // inside the first record's header
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            store.layer(0),
+            Err(StoreError::Corrupt { .. })
+        ));
+        let read = store
+            .layer_read_with(0, &LayerFilter::all(), ReadPolicy::Degraded)
+            .unwrap();
+        assert_eq!(read.tuples[0].1.len(), 10, "second record survives");
+        assert_eq!(read.degradation.records_skipped, 1);
+        assert!(read.degradation.bytes_skipped > 0);
+        assert!(!read.degradation.details.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Scrub detects an injected bit flip; repair quarantines the file;
+    /// the store's reads then behave per policy: Strict fails typed with
+    /// [`StoreError::Quarantined`], Degraded reports exactly the loss,
+    /// and a fresh resume opens strict-clean.
+    #[test]
+    fn scrub_detects_and_repair_quarantines() {
+        let dir = temp_dir("scrub-repair");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store
+            .ingest(1, "value", (0..10).map(|v| tuple(v, 1)).collect())
+            .unwrap();
+        let path = segment_path(&dir, 0, "value");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Detection pass: damage reported, nothing moved.
+        let report = store.scrub(false).unwrap();
+        assert_eq!(report.damage.len(), 1);
+        assert_eq!(report.damage[0].action, ScrubAction::None);
+        assert!(path.exists());
+
+        // Repair pass: the corrupt file moves into quarantine/.
+        let report = store.scrub(true).unwrap();
+        assert_eq!(report.damage.len(), 1);
+        assert_eq!(report.damage[0].action, ScrubAction::Quarantined);
+        assert!(!path.exists(), "corrupt file moved out of the spool");
+        assert_eq!(store.quarantined_segments(), 1);
+        let json = report.to_json();
+        assert!(json.contains("\"action\":\"quarantined\""), "{json}");
+
+        // Undamaged layer 1 reads clean; quarantined layer 0 is typed
+        // under Strict and exact-loss-reported under Degraded.
+        assert_eq!(store.layer(1).unwrap()[0].1.len(), 10);
+        assert!(matches!(
+            store.layer(0),
+            Err(StoreError::Quarantined { .. })
+        ));
+        let read = store
+            .layer_read_with(0, &LayerFilter::all(), ReadPolicy::Degraded)
+            .unwrap();
+        assert_eq!(read.degradation.segments_skipped, 1);
+        let remaining: usize = read.tuples.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(remaining, 0, "quarantined layer has no readable tuples");
+
+        // A fresh resume sees the quarantine and opens without error.
+        let resumed = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+        assert_eq!(resumed.quarantined_segments(), 1);
+        assert_eq!(resumed.layer(1).unwrap()[0].1.len(), 10);
+        assert!(matches!(
+            resumed.layer(0),
+            Err(StoreError::Quarantined { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Offline scrub of a spool directory: a torn tail is detected, a
+    /// repair salvages it, and a second scrub comes back clean.
+    #[test]
+    fn scrub_spool_salvages_torn_tail_offline() {
+        let dir = temp_dir("scrub-offline");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        store
+            .ingest(0, "value", (10..20).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        drop(store);
+        let path = segment_path(&dir, 0, "value");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let report = scrub_spool(&dir, false).unwrap();
+        assert_eq!(report.damage.len(), 1);
+        assert!(report.damage[0].torn);
+        assert_eq!(report.records_verified, 1);
+
+        let report = scrub_spool(&dir, true).unwrap();
+        assert_eq!(report.damage[0].action, ScrubAction::Salvaged);
+        assert!(torn_sidecar_path(&path).exists());
+
+        let report = scrub_spool(&dir, false).unwrap();
+        assert!(report.is_clean(), "post-repair scrub: {:?}", report.damage);
+        let resumed = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+        assert_eq!(resumed.layer(0).unwrap()[0].1.len(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// [`OnSpillError::DropCapture`]: a spill failure poisons the store
+    /// instead of failing ingest; later batches are dropped and counted;
+    /// Strict reads refuse the poisoned store with the original error
+    /// chained; Degraded reads succeed and report the loss.
+    #[test]
+    fn drop_capture_poisons_instead_of_failing() {
+        let dir = temp_dir("drop-capture");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = FaultPlan::new();
+        plan.enospc_after_bytes(0);
+        let mut store = ProvStore::new(
+            StoreConfig::spilling(8, dir.clone())
+                .with_fault(Arc::clone(&plan))
+                .with_on_spill_error(OnSpillError::DropCapture),
+        );
+        // The spill fails (injected ENOSPC) but ingest still succeeds.
+        store
+            .ingest(0, "value", (0..20).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        assert!(store.poisoned().is_some());
+        store.ingest(1, "value", vec![tuple(9, 1)]).unwrap();
+        assert_eq!(store.dropped_batches(), 1);
+        assert_eq!(store.dropped_tuples(), 1);
+        // Strict read: typed degradation chaining the spill error.
+        match store.layer(0) {
+            Err(e @ StoreError::Degraded { .. }) => {
+                use std::error::Error;
+                assert!(e.source().is_some(), "poison cause must chain");
+            }
+            other => panic!("expected degraded error, got {other:?}"),
+        }
+        assert!(matches!(
+            store.to_database(),
+            Err(StoreError::Degraded { .. })
+        ));
+        // Degraded read: the in-memory records survive (the failed spill
+        // restored them) and the poisoning is reported.
+        let read = store
+            .layer_read_with(0, &LayerFilter::all(), ReadPolicy::Degraded)
+            .unwrap();
+        assert_eq!(read.tuples[0].1.len(), 20);
+        assert!(!read.degradation.is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Transient IO failures (interrupted syscalls) are retried with
+    /// backoff; the spill succeeds and the data round-trips.
+    #[test]
+    fn transient_spill_failures_are_retried() {
+        let dir = temp_dir("transient-retry");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = FaultPlan::new();
+        plan.transient_io_failures(2);
+        let mut store =
+            ProvStore::new(StoreConfig::spilling(0, dir.clone()).with_fault(Arc::clone(&plan)));
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        assert!(store.spills() > 0, "spill succeeded after retries");
+        assert_eq!(store.layer(0).unwrap()[0].1.len(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Injected ENOSPC under the default [`OnSpillError::Abort`] policy
+    /// is a typed, non-retried error naming the segment path.
+    #[test]
+    fn enospc_aborts_typed_by_default() {
+        let dir = temp_dir("enospc-abort");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = FaultPlan::new();
+        plan.enospc_after_bytes(0);
+        let mut store =
+            ProvStore::new(StoreConfig::spilling(8, dir.clone()).with_fault(Arc::clone(&plan)));
+        let err = store
+            .ingest(0, "value", (0..20).map(|v| tuple(v, 0)).collect())
+            .unwrap_err();
+        match err {
+            StoreError::Io { path, source } => {
+                assert_eq!(path, segment_path(&dir, 0, "value"));
+                assert!(source.to_string().contains("ENOSPC"), "{source}");
+            }
+            other => panic!("expected typed Io error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An injected torn write fails the spill typed, and the resulting
+    /// spool (holding the partial record) salvages back to the last
+    /// record boundary on resume.
+    #[test]
+    fn injected_torn_write_salvages_on_resume() {
+        let dir = temp_dir("torn-inject");
+        std::fs::remove_dir_all(&dir).ok();
+        let plan = FaultPlan::new();
+        plan.torn_write_at(1, 5);
+        let mut store =
+            ProvStore::new(StoreConfig::spilling(0, dir.clone()).with_fault(Arc::clone(&plan)));
+        store
+            .ingest(0, "value", (0..10).map(|v| tuple(v, 0)).collect())
+            .unwrap();
+        let err = store
+            .ingest(0, "value", (10..20).map(|v| tuple(v, 0)).collect())
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "got {err:?}");
+        let resumed = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+        assert_eq!(resumed.salvaged_records(), 1);
+        assert_eq!(resumed.layer(0).unwrap()[0].1.len(), 10, "clean prefix");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

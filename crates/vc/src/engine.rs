@@ -1346,7 +1346,7 @@ where
         source: e,
     })?;
     let path = checkpoint_path(&cfg.dir, state.superstep);
-    crate::checkpoint::write_versioned(&path, &payload)?;
+    crate::checkpoint::write_versioned_durable(&path, &payload, cfg.fsync)?;
 
     if let Some(f) = fault {
         if f.take_corruption(state.superstep) {
@@ -1358,6 +1358,16 @@ where
                 &[("superstep", state.superstep.into())],
             );
             corrupt_snapshot_file(&path)?;
+        }
+        if f.take_truncation(state.superstep) {
+            obs_handles::faults_injected().inc();
+            trace::event(
+                Level::Warn,
+                "engine::fault",
+                "snapshot_truncated",
+                &[("superstep", state.superstep.into())],
+            );
+            truncate_snapshot_file(&path)?;
         }
     }
     Ok(())
@@ -1376,6 +1386,17 @@ fn corrupt_snapshot_file(path: &std::path::Path) -> Result<(), EngineError> {
         *b ^= 0xA5;
     }
     std::fs::write(path, &bytes).map_err(io)
+}
+
+/// Cut the file in half, simulating a torn write that died mid-stream
+/// (the `FaultPlan::truncate_checkpoint` effect).
+fn truncate_snapshot_file(path: &std::path::Path) -> Result<(), EngineError> {
+    let io = |e| EngineError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    };
+    let bytes = std::fs::read(path).map_err(io)?;
+    std::fs::write(path, &bytes[..bytes.len() / 2]).map_err(io)
 }
 
 struct WorkerOutput<M> {

@@ -13,6 +13,9 @@
 //! `s` again, and a re-triggering fault would livelock the test. The
 //! counters survive in the plan itself (it is shared via `Arc`), so a
 //! resume using the same plan replays cleanly past the crash point.
+//! (The only deliberate exception is [`FaultPlan::transient_io_failures`],
+//! which arms a *budget* of consecutive failures rather than a single
+//! ordinal — each firing consumes one unit of the budget.)
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,11 +34,26 @@ pub struct FaultPlan {
     /// Barrier supersteps whose checkpoint file gets corrupted after
     /// being written.
     corruptions: Mutex<BTreeSet<u32>>,
+    /// Barrier supersteps whose checkpoint file gets truncated (torn
+    /// write) after being written.
+    truncations: Mutex<BTreeSet<u32>>,
     /// Zero-based ordinals of store-ingest attempts that stall, mapped
     /// to the stall duration in milliseconds.
     ingest_stalls: Mutex<std::collections::BTreeMap<u64, u64>>,
     /// Running count of store-ingest attempts observed.
     ingest_attempts: AtomicU64,
+    /// Zero-based spill-write ordinals torn mid-record, mapped to the
+    /// number of bytes actually written before the simulated crash.
+    torn_writes: Mutex<std::collections::BTreeMap<u64, usize>>,
+    /// Zero-based spill-write ordinals whose bytes get one byte flipped
+    /// on the way to disk (silent corruption for scrub tests).
+    bit_flips: Mutex<BTreeSet<u64>>,
+    /// Cumulative spilled-byte threshold past which the next spill write
+    /// fails like a full disk (ENOSPC).
+    enospc_after: Mutex<Option<u64>>,
+    /// Remaining budget of spill IO attempts that fail with a
+    /// *transient* (retryable) error before succeeding.
+    transient_budget: AtomicU64,
 }
 
 impl FaultPlan {
@@ -68,12 +86,53 @@ impl FaultPlan {
         self
     }
 
+    /// Truncate the checkpoint file written at barrier superstep `s`
+    /// immediately after it lands on disk — a torn write, as opposed to
+    /// the flipped-byte corruption of [`FaultPlan::corrupt_checkpoint`].
+    pub fn truncate_checkpoint(&self, s: u32) -> &Self {
+        self.truncations.lock().unwrap().insert(s);
+        self
+    }
+
     /// Make the `n`-th (zero-based) store-ingest attempt stall for
     /// `millis` milliseconds before processing its batch. Used to pin
     /// the async store writer mid-queue so `finish_timeout`
     /// abandonment is deterministic to trigger in tests.
     pub fn stall_ingest(&self, n: u64, millis: u64) -> &Self {
         self.ingest_stalls.lock().unwrap().insert(n, millis);
+        self
+    }
+
+    /// Tear the `n`-th (zero-based) spill write: only the first
+    /// `keep_bytes` bytes of the segment bytes reach the file before the
+    /// write fails as if the process crashed mid-`write`. The spool is
+    /// left with a genuinely torn tail for salvage tests.
+    pub fn torn_write_at(&self, n: u64, keep_bytes: usize) -> &Self {
+        self.torn_writes.lock().unwrap().insert(n, keep_bytes);
+        self
+    }
+
+    /// Flip one byte of the `n`-th (zero-based) spill write on its way
+    /// to disk. The write *succeeds* — the corruption is silent until a
+    /// read or a scrub re-verifies the record CRCs.
+    pub fn bit_flip_at(&self, n: u64) -> &Self {
+        self.bit_flips.lock().unwrap().insert(n);
+        self
+    }
+
+    /// Fail the first spill write that would push cumulative spilled
+    /// bytes past `bytes`, with an ENOSPC-style (non-retryable) IO
+    /// error — the simulated full disk.
+    pub fn enospc_after_bytes(&self, bytes: u64) -> &Self {
+        *self.enospc_after.lock().unwrap() = Some(bytes);
+        self
+    }
+
+    /// Arm `n` consecutive *transient* spill IO failures: the next `n`
+    /// attempts fail with a retryable error, then IO succeeds again.
+    /// Exercises the store's bounded retry-with-backoff wrapper.
+    pub fn transient_io_failures(&self, n: u64) -> &Self {
+        self.transient_budget.store(n, Ordering::SeqCst);
         self
     }
 
@@ -98,6 +157,48 @@ impl FaultPlan {
         self.corruptions.lock().unwrap().remove(&s)
     }
 
+    /// Checkpoint hook: should the snapshot at barrier `s` be truncated
+    /// (torn write)? Consumes the fault when it fires.
+    pub fn take_truncation(&self, s: u32) -> bool {
+        self.truncations.lock().unwrap().remove(&s)
+    }
+
+    /// Store hook: is spill-write attempt `attempt` torn? Returns the
+    /// bytes to keep. Keyed by the ordinal [`FaultPlan::take_spill_failure`]
+    /// just assigned (that hook owns the attempt counter). Consumes the
+    /// fault when it fires.
+    pub fn take_torn_write(&self, attempt: u64) -> Option<usize> {
+        self.torn_writes.lock().unwrap().remove(&attempt)
+    }
+
+    /// Store hook: should spill-write attempt `attempt` have one byte
+    /// flipped? Consumes the fault when it fires.
+    pub fn take_bit_flip(&self, attempt: u64) -> bool {
+        self.bit_flips.lock().unwrap().remove(&attempt)
+    }
+
+    /// Store hook: with `written` cumulative spilled bytes about to be
+    /// exceeded, has the scripted disk-full threshold been crossed?
+    /// Consumes the fault when it fires.
+    pub fn take_enospc(&self, written: u64) -> bool {
+        let mut guard = self.enospc_after.lock().unwrap();
+        match *guard {
+            Some(limit) if written >= limit => {
+                *guard = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Store hook: should this spill IO attempt fail transiently?
+    /// Consumes one unit of the armed budget when it fires.
+    pub fn take_transient_io_failure(&self) -> bool {
+        self.transient_budget
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
     /// Store hook: record one ingest attempt; `Some(d)` means this
     /// attempt must sleep for `d` before proceeding. Consumes the fault
     /// when it fires.
@@ -118,7 +219,12 @@ impl FaultPlan {
         self.kills.lock().unwrap().len()
             + self.spill_failures.lock().unwrap().len()
             + self.corruptions.lock().unwrap().len()
+            + self.truncations.lock().unwrap().len()
             + self.ingest_stalls.lock().unwrap().len()
+            + self.torn_writes.lock().unwrap().len()
+            + self.bit_flips.lock().unwrap().len()
+            + usize::from(self.enospc_after.lock().unwrap().is_some())
+            + self.transient_budget.load(Ordering::SeqCst) as usize
     }
 
     /// Spill-write attempts observed so far.
@@ -179,6 +285,53 @@ mod tests {
         assert!(plan.take_corruption(4));
         assert!(!plan.take_corruption(4));
         assert_eq!(plan.pending(), 1);
+    }
+
+    #[test]
+    fn torn_write_and_bit_flip_target_exact_ordinals() {
+        let plan = FaultPlan::new();
+        plan.torn_write_at(2, 17).bit_flip_at(1);
+        assert_eq!(plan.pending(), 2);
+        assert_eq!(plan.take_torn_write(0), None);
+        assert_eq!(plan.take_torn_write(2), Some(17));
+        assert_eq!(plan.take_torn_write(2), None, "consumed");
+        assert!(!plan.take_bit_flip(0));
+        assert!(plan.take_bit_flip(1));
+        assert!(!plan.take_bit_flip(1), "consumed");
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn enospc_fires_once_past_threshold() {
+        let plan = FaultPlan::new();
+        plan.enospc_after_bytes(100);
+        assert_eq!(plan.pending(), 1);
+        assert!(!plan.take_enospc(99));
+        assert!(plan.take_enospc(100));
+        assert!(!plan.take_enospc(1 << 40), "disk-full fault is one-shot");
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn transient_budget_drains() {
+        let plan = FaultPlan::new();
+        plan.transient_io_failures(2);
+        assert_eq!(plan.pending(), 2);
+        assert!(plan.take_transient_io_failure());
+        assert!(plan.take_transient_io_failure());
+        assert!(!plan.take_transient_io_failure(), "budget exhausted");
+        assert_eq!(plan.pending(), 0);
+    }
+
+    #[test]
+    fn checkpoint_truncation_consumed_once() {
+        let plan = FaultPlan::new();
+        plan.truncate_checkpoint(6);
+        assert_eq!(plan.pending(), 1);
+        assert!(!plan.take_truncation(4));
+        assert!(plan.take_truncation(6));
+        assert!(!plan.take_truncation(6));
+        assert_eq!(plan.pending(), 0);
     }
 
     #[test]

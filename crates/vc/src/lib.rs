@@ -71,7 +71,8 @@ pub mod program;
 
 pub use aggregate::{AggOp, AggValue, Aggregates};
 pub use checkpoint::{
-    CheckpointConfig, EngineCheckpoint, EngineError, SnapError, Snapshot, SNAPSHOT_VERSION,
+    fsync_dir, write_versioned_durable, CheckpointConfig, EngineCheckpoint, EngineError, SnapError,
+    Snapshot, SNAPSHOT_VERSION,
 };
 pub use context::Context;
 pub use engine::{Engine, EngineConfig, MessagePlane, RunResult};

@@ -6,10 +6,17 @@
 //!             --query query.pql --param eps=0.1 [--mode online|layered|naive]
 //!
 //! ariadne-cli --generate rmat:10:8 --analytic pagerank --builtin pagerank_check
+//!
+//! ariadne-cli scrub --spool DIR [--repair] [--json]
 //! ```
 //!
 //! Analytic values are printed for the first vertices; every query IDB
 //! relation is printed (truncated).
+//!
+//! The `scrub` subcommand re-verifies every record of every segment in
+//! a provenance spool directory (see
+//! [`ariadne_provenance::scrub_spool`]), exiting 0 when the spool is
+//! clean (or was just repaired) and 1 when damage remains.
 
 use ariadne::queries;
 use ariadne::session::Ariadne;
@@ -45,9 +52,78 @@ fn usage() -> ! {
          \n\
          builtins: pagerank_check, sssp_wcc_value_check,\n\
          \x20         sssp_wcc_no_message_no_change, apt\n\
-         params:   numbers parse as floats/ints; 'vN' parses as vertex id"
+         params:   numbers parse as floats/ints; 'vN' parses as vertex id\n\
+         \n\
+         or:    ariadne-cli scrub --spool DIR [--repair] [--json]\n\
+         \x20      re-verify every stored record; --repair salvages torn\n\
+         \x20      tails and quarantines corrupt segments"
     );
     exit(2)
+}
+
+/// `ariadne-cli scrub --spool DIR [--repair] [--json]`: verify (and
+/// optionally repair) a provenance spool offline. Exit 0 when the spool
+/// is clean or every damage was repaired; exit 1 when damage remains.
+fn run_scrub(args: &[String]) -> ! {
+    let mut spool: Option<String> = None;
+    let mut repair = false;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spool" => {
+                spool = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--spool needs a value");
+                    usage()
+                }))
+            }
+            "--repair" => repair = true,
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown scrub argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(dir) = spool else {
+        eprintln!("scrub requires --spool DIR");
+        usage()
+    };
+    // A typo'd path must not report a clean spool (the library treats a
+    // missing directory as an empty-but-healthy spool for resume).
+    if !std::path::Path::new(&dir).is_dir() {
+        eprintln!("scrub failed: {dir} is not a directory");
+        exit(1)
+    }
+    let report = ariadne::scrub_spool(std::path::Path::new(&dir), repair).unwrap_or_else(|e| {
+        eprintln!("scrub failed: {e}");
+        exit(1)
+    });
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "scrubbed {}: {} files, {} records / {} tuples verified",
+            dir, report.files_checked, report.records_verified, report.tuples_verified
+        );
+        for d in &report.damage {
+            println!(
+                "  damaged {} (superstep {}, pred {}): {} [{}]",
+                d.path.display(),
+                d.superstep,
+                d.pred,
+                d.detail,
+                d.action
+            );
+        }
+        if report.is_clean() {
+            println!("spool is clean");
+        }
+    }
+    // Damage found without --repair (or damage that detection-only
+    // reported) leaves the spool unhealthy: nonzero exit.
+    exit(if report.is_clean() || repair { 0 } else { 1 })
 }
 
 fn parse_args() -> Options {
@@ -252,6 +328,10 @@ fn print_values<V: std::fmt::Debug>(values: &[V]) {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("scrub") {
+        run_scrub(&argv[2..]);
+    }
     let o = parse_args();
     let graph = load_graph(&o);
     println!(

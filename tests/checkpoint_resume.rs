@@ -265,6 +265,27 @@ fn corrupted_newest_checkpoint_falls_back_to_older_one() {
 }
 
 #[test]
+fn torn_newest_checkpoint_falls_back_to_older_one() {
+    // A checkpoint truncated mid-write (torn tail, not a flipped byte)
+    // must be skipped in favour of the previous complete snapshot.
+    let g = cycle(12);
+    let reference = Ariadne::default().baseline(&Wcc, &g);
+
+    let dir = scratch("torn");
+    let plan = FaultPlan::new();
+    plan.kill_at_superstep(4).truncate_checkpoint(3);
+    assert!(matches!(
+        ckpt_session(&dir, 1, Some(plan)).baseline_checkpointed(&Wcc, &g),
+        Err(AriadneError::Engine(EngineError::InjectedCrash { superstep: 4 }))
+    ));
+    let resumed = ckpt_session(&dir, 1, None)
+        .resume_baseline(&Wcc, &g)
+        .unwrap();
+    assert_eq!(fingerprint(&reference), fingerprint(&resumed));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn all_checkpoints_corrupt_is_a_typed_error() {
     let g = cycle(8);
     let dir = scratch("allbad");

@@ -135,4 +135,92 @@ fn bad_arguments_fail_cleanly() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+    // scrub without --spool is a usage error too.
+    let out = cli().args(["scrub"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // A typo'd spool path must not report a clean spool.
+    let out = cli()
+        .args(["scrub", "--spool", "/nonexistent/ariadne-spool"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not a directory"));
+}
+
+/// Build a spool directory with two spilled segments by driving a store
+/// directly (the test binary links the provenance crate).
+fn make_spool(tag: &str) -> std::path::PathBuf {
+    use ariadne_pql::Value;
+    use ariadne_provenance::{ProvStore, StoreConfig};
+    let dir = std::env::temp_dir().join(format!("ariadne-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+    for s in 0..2u32 {
+        store
+            .ingest(
+                s,
+                "value",
+                (0..10)
+                    .map(|v| vec![Value::Id(v), Value::Int(s as i64)])
+                    .collect(),
+            )
+            .unwrap();
+    }
+    dir
+}
+
+#[test]
+fn scrub_clean_spool_exits_zero() {
+    let dir = make_spool("scrub-clean");
+    let out = cli()
+        .args(["scrub", "--spool", dir.to_str().unwrap()])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("spool is clean"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scrub_detects_damage_then_repairs() {
+    let dir = make_spool("scrub-damage");
+    // Flip a bit in the first segment file.
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "bin"))
+        .expect("a spilled segment");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    // Detection: exit 1, damage in the JSON report.
+    let out = cli()
+        .args(["scrub", "--spool", dir.to_str().unwrap(), "--json"])
+        .output()
+        .expect("cli runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"clean\":false"), "{stdout}");
+    assert!(stdout.contains("\"action\":\"none\""), "{stdout}");
+
+    // Repair: exit 0, the corrupt file is quarantined.
+    let out = cli()
+        .args(["scrub", "--spool", dir.to_str().unwrap(), "--repair", "--json"])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"action\":\"quarantined\""), "{stdout}");
+    assert!(dir.join("quarantine").exists());
+
+    // A second scrub of the repaired spool is clean.
+    let out = cli()
+        .args(["scrub", "--spool", dir.to_str().unwrap()])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
 }

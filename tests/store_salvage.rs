@@ -1,0 +1,264 @@
+//! The durability contract, exhaustively: torn writes at every byte
+//! offset of both segment formats salvage back to a record boundary
+//! (never returning data a clean run's prefix would not have), scrub
+//! detects every injected bit flip, repair quarantines irrecoverable
+//! segments so a strict open succeeds and degraded reads report exactly
+//! the loss, and an out-of-space capture under `DropCapture` completes
+//! the analytic run with a poisoned store instead of failing it.
+
+use ariadne_pql::Value;
+use ariadne_provenance::{
+    scrub_spool, LayerFilter, ProvStore, ReadPolicy, ScrubAction, SegmentFormat, StoreConfig,
+    StoreError,
+};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ariadne-salvage-{tag}-{}", std::process::id()))
+}
+
+/// Truncate one segment file at *every* byte offset and resume. Each
+/// cut must come back as an exact record-granularity prefix of the
+/// clean run: whole records before the cut survive, the torn tail is
+/// backed up to a `.torn` sidecar and truncated away, and nothing the
+/// clean run did not hold is ever returned.
+fn torn_write_matrix(format: SegmentFormat, tag: &str) {
+    let dir = temp_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let seg_path = dir.join("seg-0-value.bin");
+    let sidecar = dir.join("seg-0-value.bin.torn");
+
+    // Four ingests into one segment -> one spool file of four records.
+    // Record the file length after each ingest: those are the only
+    // valid salvage points.
+    let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()).with_format(format));
+    let mut boundaries = Vec::new();
+    let mut batches: Vec<Vec<Vec<Value>>> = Vec::new();
+    for b in 0..4i64 {
+        let batch: Vec<Vec<Value>> = (0..5u64).map(|v| vec![Value::Id(v), Value::Int(b)]).collect();
+        store.ingest(0, "value", batch.clone()).unwrap();
+        batches.push(batch);
+        boundaries.push(std::fs::metadata(&seg_path).unwrap().len() as usize);
+    }
+    drop(store);
+    let clean = std::fs::read(&seg_path).unwrap();
+    assert_eq!(*boundaries.last().unwrap(), clean.len());
+
+    for cut in 0..=clean.len() {
+        std::fs::write(&seg_path, &clean[..cut]).unwrap();
+        let _ = std::fs::remove_file(&sidecar);
+
+        let resumed = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone()))
+            .unwrap_or_else(|e| panic!("cut {cut}: resume must salvage, got {e}"));
+        let k = boundaries.iter().filter(|b| **b <= cut).count();
+        let expect: Vec<Vec<Value>> = batches[..k].concat();
+        let read = resumed.layer_read(0, &LayerFilter::all()).unwrap();
+        let got: Vec<Vec<Value>> = read
+            .tuples
+            .iter()
+            .flat_map(|(_, t)| t.iter().cloned())
+            .collect();
+        assert_eq!(got, expect, "cut {cut}: salvage is not a clean-run record prefix");
+
+        let at_boundary = cut == 0 || boundaries.contains(&cut);
+        let valid_end = if k > 0 { boundaries[k - 1] } else { 0 };
+        if at_boundary {
+            assert_eq!(resumed.salvaged_records(), 0, "cut {cut}: boundary needs no salvage");
+            assert!(!sidecar.exists(), "cut {cut}: no sidecar at a record boundary");
+        } else {
+            assert_eq!(resumed.salvaged_records(), k, "cut {cut}: salvaged record count");
+            assert!(sidecar.exists(), "cut {cut}: torn bytes must be backed up first");
+            assert_eq!(
+                std::fs::metadata(&seg_path).unwrap().len() as usize,
+                valid_end,
+                "cut {cut}: file truncated back to the last whole record"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_write_matrix_v1() {
+    torn_write_matrix(SegmentFormat::V1, "torn-v1");
+}
+
+#[test]
+fn torn_write_matrix_v2() {
+    torn_write_matrix(SegmentFormat::V2, "torn-v2");
+}
+
+/// Flip every bit of every byte of every spool file, one at a time: a
+/// detection-only scrub must report damage for each flip (CRCs over the
+/// payload, framed magics/footers and length fields leave no byte whose
+/// corruption can pass), and must report the spool clean once restored.
+fn bit_flip_matrix(format: SegmentFormat, tag: &str) {
+    let dir = temp_dir(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()).with_format(format));
+    for s in 0..2u32 {
+        let batch: Vec<Vec<Value>> = (0..6u64)
+            .map(|v| vec![Value::Id(v), Value::Int(s as i64)])
+            .collect();
+        store.ingest(s, "value", batch).unwrap();
+    }
+    drop(store);
+
+    let files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "bin"))
+        .collect();
+    assert_eq!(files.len(), 2);
+
+    for path in &files {
+        let clean = std::fs::read(path).unwrap();
+        for i in 0..clean.len() {
+            for bit in 0..8u8 {
+                let mut bytes = clean.clone();
+                bytes[i] ^= 1 << bit;
+                std::fs::write(path, &bytes).unwrap();
+                let report = scrub_spool(&dir, false).unwrap();
+                assert!(
+                    !report.is_clean(),
+                    "flip of bit {bit} at byte {i} of {} went undetected",
+                    path.display()
+                );
+                assert!(
+                    report.damage.iter().any(|d| d.path == *path),
+                    "flip at byte {i}: damage blamed on the wrong file"
+                );
+            }
+        }
+        std::fs::write(path, &clean).unwrap();
+    }
+    assert!(scrub_spool(&dir, false).unwrap().is_clean());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_matrix_v1() {
+    bit_flip_matrix(SegmentFormat::V1, "flip-v1");
+}
+
+#[test]
+fn bit_flip_matrix_v2() {
+    bit_flip_matrix(SegmentFormat::V2, "flip-v2");
+}
+
+/// The repair contract end to end: detect -> repair (quarantine) ->
+/// strict open succeeds -> strict reads of the damaged layer are a
+/// typed error -> degraded reads report exactly the quarantined loss ->
+/// a second scrub is clean.
+#[test]
+fn repair_then_strict_open_and_degraded_loss() {
+    let dir = temp_dir("repair");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+    for s in 0..3u32 {
+        let batch: Vec<Vec<Value>> = (0..8u64)
+            .map(|v| vec![Value::Id(v), Value::Int(s as i64)])
+            .collect();
+        store.ingest(s, "value", batch).unwrap();
+    }
+    drop(store);
+
+    // Corrupt a payload byte inside a complete frame of the middle
+    // layer: CRC-detectable, not salvageable.
+    let victim = dir.join("seg-1-value.bin");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[20] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let detect = scrub_spool(&dir, false).unwrap();
+    assert!(!detect.is_clean());
+    assert!(!detect.repaired);
+    assert!(detect.damage.iter().all(|d| d.action == ScrubAction::None));
+
+    let repair = scrub_spool(&dir, true).unwrap();
+    assert!(repair.repaired);
+    assert!(repair
+        .damage
+        .iter()
+        .any(|d| d.action == ScrubAction::Quarantined));
+    assert!(dir.join("quarantine").join("seg-1-value.bin").exists());
+
+    // Strict open of the repaired spool succeeds; intact layers read
+    // fully under the default strict policy.
+    let resumed = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+    for s in [0u32, 2] {
+        let read = resumed.layer_read(s, &LayerFilter::all()).unwrap();
+        assert_eq!(read.tuples.iter().map(|(_, t)| t.len()).sum::<usize>(), 8);
+        assert!(read.degradation.is_clean());
+    }
+
+    // The quarantined layer: strict is typed, degraded counts the loss.
+    let err = resumed.layer_read(1, &LayerFilter::all()).unwrap_err();
+    assert!(matches!(err, StoreError::Quarantined { .. }), "{err:?}");
+    let read = resumed
+        .layer_read_with(1, &LayerFilter::all(), ReadPolicy::Degraded)
+        .unwrap();
+    assert_eq!(read.degradation.segments_skipped, 1);
+    assert!(!read.degradation.is_clean());
+    assert_eq!(read.tuples.iter().map(|(_, t)| t.len()).sum::<usize>(), 0);
+
+    assert!(scrub_spool(&dir, false).unwrap().is_clean());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Out-of-space during capture under `OnSpillError::DropCapture`: the
+/// analytic run completes with correct values, the store is poisoned
+/// (strict reads fail typed with a chained source; degraded reads
+/// disclose the dropped batches), and the run report records the drop.
+#[test]
+fn enospc_drop_capture_completes_the_run() {
+    use ariadne::session::Ariadne;
+    use ariadne::{CaptureSpec, FaultPlan, OnSpillError, ReadPolicy, StoreConfig};
+    use ariadne_analytics::Sssp;
+    use ariadne_graph::generators::regular::path;
+    use ariadne_graph::VertexId;
+    use std::error::Error;
+
+    let dir = temp_dir("enospc");
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::new();
+    plan.enospc_after_bytes(0);
+
+    let ariadne = Ariadne {
+        store: StoreConfig::spilling(0, dir.clone())
+            .with_fault(plan)
+            .with_on_spill_error(OnSpillError::DropCapture),
+        ..Ariadne::default()
+    };
+
+    let graph = path(32);
+    let run = ariadne
+        .capture(&Sssp::new(VertexId(0)), &graph, &CaptureSpec::full())
+        .expect("run completes despite the full disk");
+    assert_eq!(run.values.len(), 32);
+    assert_eq!(run.values[31], 31.0);
+
+    let store = &run.store;
+    assert!(store.poisoned().is_some(), "spill failure must poison");
+    assert!(store.dropped_batches() > 0);
+
+    let err = store
+        .layer_read_with(0, &LayerFilter::all(), ReadPolicy::Strict)
+        .unwrap_err();
+    assert!(matches!(err, StoreError::Degraded { .. }), "{err:?}");
+    assert!(err.source().is_some(), "poison cause must be chained");
+
+    let read = store
+        .layer_read_with(0, &LayerFilter::all(), ReadPolicy::Degraded)
+        .unwrap();
+    assert!(!read.degradation.is_clean());
+
+    let report = run.report();
+    let store_report = report.store.expect("capture run reports its store");
+    assert!(store_report.dropped_batches > 0);
+    assert_eq!(store_report.quarantined_segments, 0);
+    let json = report.to_json();
+    assert!(json.contains("\"dropped_batches\":"), "{json}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
