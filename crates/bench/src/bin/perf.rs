@@ -19,20 +19,28 @@
 //! partition, so a published JSON is itself evidence of determinism.
 //!
 //! **Segments section.** Captures PageRank and SSSP with the full
-//! Table-1 spec twice each — once under the v1 row-major segment format
-//! and once under the v2 columnar format — and reports bytes-on-disk,
+//! Table-1 spec under each segment format — v1 row-major, v2 columnar,
+//! v3 columnar + per-record LZ — and reports bytes-on-disk,
 //! layered-replay read bytes, and the column blocks the backward-lineage
 //! query's column masks skipped. Before anything is written the harness
-//! asserts the replay result sets are bit-identical across both formats
+//! asserts the replay result sets are bit-identical across all formats
 //! and across thread counts 1/2/3/7, and that v2 shrinks the
 //! full-capture PageRank store by at least 30%.
 //!
+//! **Spool section.** The same full SSSP capture spilled to an on-disk
+//! spool under each format, the v3 spool compacted into an indexed
+//! generation file, then the backward-lineage replay measured at
+//! threads 1/2/3/7 under both read backends (buffered and mmap). Every
+//! cell is pinned bit-for-bit to the v1/buffered/t=1 reference, and the
+//! harness asserts the compacted v3 spool serves the replay with
+//! strictly fewer bytes read than the v2 spool.
+//!
 //! ```text
 //! cargo run --release -p ariadne-bench --bin perf -- \
-//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr5.json] [--quick]
+//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr7.json] [--quick]
 //! ```
 //!
-//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr5.json").
+//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr7.json").
 
 use ariadne::session::Ariadne;
 use ariadne::{queries, CaptureSpec, CompiledQuery, LayeredConfig, LayeredRun};
@@ -315,7 +323,7 @@ fn assert_layered_identical(tag: &str, query: &CompiledQuery, a: &LayeredRun, b:
 /// One (analytic, segment format) cell of the segments section.
 struct SegmentMeasurement {
     analytic: &'static str,
-    format: &'static str, // "v1" | "v2"
+    format: &'static str, // "v1" | "v2" | "v3"
     /// Encoded store bytes after capture (memory + spool).
     store_bytes: usize,
     /// Decoded tuple count (identical across formats by construction).
@@ -347,6 +355,38 @@ fn segment_json(m: &SegmentMeasurement) -> String {
         m.replay_bytes_read,
         m.replay_cols_skipped,
         m.replay_col_bytes_skipped,
+        json_f64(m.replay_secs),
+    );
+    s
+}
+
+/// One (record format, read backend) cell of the spool section: a full
+/// capture spilled to disk, replayed through the backward-lineage
+/// query. The v3 cell is measured after compaction.
+struct SpoolMeasurement {
+    format: &'static str,  // "v1" | "v2" | "v3"
+    backend: &'static str, // "buffered" | "mmap"
+    /// Whether the spool was compacted before replay (v3 only).
+    compacted: bool,
+    /// On-disk bytes of every spool file (segments + manifest).
+    spool_bytes: u64,
+    /// Encoded bytes the t=1 replay read from the spool.
+    replay_bytes_read: usize,
+    /// Best-of-reps t=1 replay wall time, seconds.
+    replay_secs: f64,
+}
+
+fn spool_json(m: &SpoolMeasurement) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"format\":\"{}\",\"backend\":\"{}\",\"compacted\":{},\"spool_bytes\":{},\
+         \"replay_bytes_read\":{},\"replay_secs\":{}}}",
+        m.format,
+        m.backend,
+        m.compacted,
+        m.spool_bytes,
+        m.replay_bytes_read,
         json_f64(m.replay_secs),
     );
     s
@@ -448,7 +488,7 @@ fn parse_cli() -> Cli {
         edge_factor: 16,
         threads: vec![1, 2, 4, 8],
         reps: 3,
-        out: "BENCH_pr5.json".to_string(),
+        out: "BENCH_pr7.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -663,10 +703,11 @@ fn main() {
         let alpha = seg_graph.max_out_degree_vertex().unwrap();
         let mut v1_bytes = 0usize;
         let mut cross_format_ref: Option<LayeredRun> = None;
-        for format in [SegmentFormat::V1, SegmentFormat::V2] {
+        for format in [SegmentFormat::V1, SegmentFormat::V2, SegmentFormat::V3] {
             let fmt_name = match format {
                 SegmentFormat::V1 => "v1",
                 SegmentFormat::V2 => "v2",
+                SegmentFormat::V3 => "v3",
             };
             eprintln!("perf: segments analytic={analytic} format={fmt_name}");
             let mut session = Ariadne::default();
@@ -723,11 +764,11 @@ fn main() {
                 if analytic == "pagerank" {
                     assert!(
                         reduction >= 0.30,
-                        "v2 must shrink the full-capture PageRank store by >= 30%, got {:.1}%",
+                        "{fmt_name} must shrink the full-capture PageRank store by >= 30%, got {:.1}%",
                         reduction * 100.0
                     );
                 }
-                seg_reductions.push((analytic.to_string(), reduction));
+                seg_reductions.push((format!("{analytic}_{fmt_name}"), reduction));
             }
             segment_rows.push(SegmentMeasurement {
                 analytic,
@@ -745,6 +786,107 @@ fn main() {
             }
         }
     }
+
+    // -----------------------------------------------------------------
+    // Spool: the same full SSSP capture spilled to an on-disk spool
+    // under every record format, the v3 spool compacted into an
+    // indexed generation file, then the backward-lineage replay at
+    // threads 1/2/3/7 under both read backends. Every cell is pinned
+    // bit-for-bit to the v1/buffered/t=1 reference, and the compacted
+    // v3 spool must serve the replay with strictly fewer bytes read
+    // than the v2 spool.
+    // -----------------------------------------------------------------
+    use ariadne::{CompactReport, ReadBackend, StoreConfig};
+    let spool_root =
+        std::env::temp_dir().join(format!("ariadne-perf-spool-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool_root);
+    let spool_graph = &layered_weighted;
+    let spool_alpha = spool_graph.max_out_degree_vertex().unwrap();
+    let mut spool_rows: Vec<SpoolMeasurement> = Vec::new();
+    let mut spool_ref: Option<LayeredRun> = None;
+    let mut spool_lineage_bytes: Vec<(&'static str, usize)> = Vec::new();
+    let mut v3_compaction: Option<CompactReport> = None;
+    for format in [SegmentFormat::V1, SegmentFormat::V2, SegmentFormat::V3] {
+        let fmt_name = match format {
+            SegmentFormat::V1 => "v1",
+            SegmentFormat::V2 => "v2",
+            SegmentFormat::V3 => "v3",
+        };
+        eprintln!("perf: spool format={fmt_name}");
+        let dir = spool_root.join(fmt_name);
+        let session = Ariadne {
+            store: StoreConfig::spilling(0, dir.clone()).with_format(format),
+            ..Ariadne::default()
+        };
+        let mut capture = session
+            .capture(&Sssp::new(VertexId(0)), spool_graph, &CaptureSpec::full())
+            .expect("spool capture");
+        if format == SegmentFormat::V3 {
+            let report = capture.store.compact().expect("compact the v3 spool");
+            assert!(report.generation >= 1, "compaction must publish a generation");
+            assert!(report.tuples > 0, "compaction must carry the captured tuples");
+            v3_compaction = Some(report);
+        }
+        let spool_bytes: u64 = std::fs::read_dir(&dir)
+            .expect("spool dir")
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum();
+        let store = &mut capture.store;
+        let sigma = store.max_superstep().unwrap_or(0);
+        let query = queries::backward_lineage(spool_alpha, sigma).expect("lineage query");
+        for backend in [ReadBackend::Buffered, ReadBackend::Mmap] {
+            let backend_name = match backend {
+                ReadBackend::Buffered => "buffered",
+                ReadBackend::Mmap => "mmap",
+            };
+            store.set_read_backend(backend);
+            let mut t1: Option<LayeredMeasurement> = None;
+            for &threads in &seg_threads {
+                let config = LayeredConfig::parallel(threads);
+                let (m, run) =
+                    measure_layered(&session, spool_graph, store, &query, &config, cli.reps);
+                match &spool_ref {
+                    None => spool_ref = Some(run),
+                    Some(r) => assert_layered_identical(
+                        &format!("spool {fmt_name} {backend_name} t={threads}"),
+                        &query,
+                        &run,
+                        r,
+                    ),
+                }
+                if t1.is_none() {
+                    t1 = Some(m);
+                }
+            }
+            let m1 = t1.expect("t=1 measured");
+            if backend == ReadBackend::Buffered {
+                spool_lineage_bytes.push((fmt_name, m1.bytes_read));
+            }
+            spool_rows.push(SpoolMeasurement {
+                format: fmt_name,
+                backend: backend_name,
+                compacted: format == SegmentFormat::V3,
+                spool_bytes,
+                replay_bytes_read: m1.bytes_read,
+                replay_secs: m1.secs,
+            });
+        }
+    }
+    let lineage_bytes = |fmt: &str| {
+        spool_lineage_bytes
+            .iter()
+            .find(|(f, _)| *f == fmt)
+            .map(|(_, b)| *b)
+            .expect("measured format")
+    };
+    let (spool_v1_bytes, spool_v2_bytes, spool_v3_bytes) =
+        (lineage_bytes("v1"), lineage_bytes("v2"), lineage_bytes("v3"));
+    assert!(
+        spool_v3_bytes < spool_v2_bytes,
+        "the compacted v3 spool must serve the lineage replay with strictly fewer bytes read \
+         (v3 {spool_v3_bytes} vs v2 {spool_v2_bytes})"
+    );
+    let _ = std::fs::remove_dir_all(&spool_root);
 
     // Summary: flat-over-naive supersteps/sec speedup per (analytic, threads)
     // in baseline mode, plus the SSSP combiner-path allocation comparison.
@@ -778,11 +920,13 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr5/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr7/v1\",");
     let _ = writeln!(
         json,
         "  \"command\": \"cargo run --release -p ariadne-bench --bin perf\","
     );
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let _ = writeln!(json, "  \"host\": {{\"cores\": {host_cores}}},");
     let _ = writeln!(
         json,
         "  \"graph\": {{\"generator\": \"rmat\", \"scale\": {}, \"edge_factor\": {}, \"vertices\": {}, \"edges\": {}}},",
@@ -830,17 +974,32 @@ fn main() {
         let _ = writeln!(json, "      {}{}", segment_json(m), sep);
     }
     json.push_str("    ],\n    \"summary\": {");
-    for (i, (analytic, reduction)) in seg_reductions.iter().enumerate() {
+    for (i, (case, reduction)) in seg_reductions.iter().enumerate() {
         if i > 0 {
             json.push(',');
         }
         let _ = write!(
             json,
-            "\"{analytic}_store_bytes_reduction\": {}",
+            "\"{case}_store_bytes_reduction\": {}",
             json_f64(*reduction)
         );
     }
     json.push_str("}\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"spool\": {{\n    \"graph\": {{\"generator\": \"rmat\", \"scale\": {}, \"edge_factor\": {}}},\n    \"analytic\": \"sssp\",\n    \"query\": \"backward_lineage(max_out_degree_vertex, max_superstep)\",\n    \"capture\": \"full\",\n    \"replay_threads\": [1,2,3,7],\n    \"compaction\": {},\n    \"cases\": [",
+        layered_scale,
+        cli.edge_factor,
+        v3_compaction.as_ref().map_or_else(|| "null".to_string(), |r| r.to_json()),
+    );
+    for (i, m) in spool_rows.iter().enumerate() {
+        let sep = if i + 1 < spool_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "      {}{}", spool_json(m), sep);
+    }
+    let _ = writeln!(
+        json,
+        "    ],\n    \"summary\": {{\"lineage_read_bytes\": {{\"v1\": {spool_v1_bytes}, \"v2\": {spool_v2_bytes}, \"v3\": {spool_v3_bytes}}}}}\n  }},"
+    );
     let _ = writeln!(json, "  \"summary\": {{");
     {
         let mut speedups = String::from("{");
@@ -959,7 +1118,24 @@ fn main() {
             m.replay_col_bytes_skipped
         );
     }
-    for (analytic, reduction) in &seg_reductions {
-        println!("segments: {analytic} v2 store bytes reduction {:.1}%", reduction * 100.0);
+    for (case, reduction) in &seg_reductions {
+        println!("segments: {case} store bytes reduction over v1 {:.1}%", reduction * 100.0);
     }
+    println!();
+    println!(
+        "{:<6} {:<9} {:>9} {:>12} {:>12} {:>10}",
+        "spool", "backend", "compacted", "spool_bytes", "read_bytes", "secs"
+    );
+    for m in &spool_rows {
+        println!(
+            "{:<6} {:<9} {:>9} {:>12} {:>12} {:>10.4}",
+            m.format, m.backend, m.compacted, m.spool_bytes, m.replay_bytes_read, m.replay_secs
+        );
+    }
+    println!(
+        "spool: lineage read bytes v3 {} < v2 {} ({:.1}% fewer)",
+        spool_v3_bytes,
+        spool_v2_bytes,
+        (1.0 - spool_v3_bytes as f64 / spool_v2_bytes.max(1) as f64) * 100.0
+    );
 }

@@ -912,13 +912,13 @@ mod tests {
     }
 
     /// Column-selective replay skips stored payload columns the query
-    /// never observes, without changing the result set — across both
-    /// segment formats.
+    /// never observes, without changing the result set — across every
+    /// segment format.
     #[test]
     fn projection_skips_unobserved_columns() {
         use ariadne_provenance::SegmentFormat;
         let g = path(6);
-        for format in [SegmentFormat::V1, SegmentFormat::V2] {
+        for format in [SegmentFormat::V1, SegmentFormat::V2, SegmentFormat::V3] {
             let mut store = ProvStore::new(StoreConfig::in_memory().with_format(format));
             for s in 0..3u32 {
                 for v in 0..5u64 {

@@ -70,7 +70,7 @@ pub use session::{Ariadne, AriadneError};
 // deterministic fault-injection harness, re-exported so users drive
 // everything through this crate.
 pub use ariadne_provenance::{
-    scrub_spool, Degradation, Durability, OnSpillError, ReadPolicy, ScrubReport, StoreConfig,
-    StoreError,
+    compact_spool, scrub_spool, CompactReport, Degradation, Durability, OnSpillError, ReadBackend,
+    ReadPolicy, ScrubAction, ScrubReport, StoreConfig, StoreError,
 };
 pub use ariadne_vc::{CheckpointConfig, EngineConfig, EngineError, FaultPlan, Snapshot};

@@ -91,6 +91,8 @@ pub struct StoreReport {
     /// [`ariadne_provenance::OnSpillError::DropCapture`] (zero on a
     /// clean run).
     pub dropped_batches: usize,
+    /// Compaction passes published (each bumped the spool generation).
+    pub compactions: usize,
 }
 
 impl StoreReport {
@@ -105,6 +107,7 @@ impl StoreReport {
             salvaged_records: store.salvaged_records(),
             quarantined_segments: store.quarantined_segments(),
             dropped_batches: store.dropped_batches(),
+            compactions: store.compactions(),
         }
     }
 }
@@ -229,6 +232,7 @@ impl RunReport {
                     st.quarantined_segments
                 ));
                 s.push_str(&format!(",\"dropped_batches\":{}", st.dropped_batches));
+                s.push_str(&format!(",\"compactions\":{}", st.compactions));
                 s.push('}');
             }
             None => s.push_str(",\"store\":null"),

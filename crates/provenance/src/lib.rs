@@ -19,6 +19,11 @@
 //!   [`columnar::Encoding`]s (delta+varint, dictionary, raw floats)
 //!   chosen by a stats pass at pack time, with skippable column blocks
 //!   for column-selective replay reads.
+//! * [`v3`] — the v3 on-disk structures: LZ-compressed record frames,
+//!   indexed generation-file footers, and the spool manifest published
+//!   by [`store::ProvStore::compact`].
+//! * [`reader`] — pluggable segment read backends (buffered default,
+//!   zero-copy mmap opt-in).
 
 #![warn(missing_docs)]
 
@@ -26,15 +31,18 @@ pub mod codec;
 pub mod columnar;
 pub mod edb;
 pub mod encode;
+pub mod reader;
 pub mod store;
 pub mod unfold;
+pub mod v3;
 
 pub use columnar::{ColumnStat, Encoding};
 pub use edb::{static_graph_edbs, EdbTracker, VertexStepRecord};
 pub use encode::ProvEncode;
+pub use reader::{ReadBackend, SegmentSlice};
 pub use store::{
-    scrub_spool, Degradation, Durability, LayerFilter, LayerRead, OnSpillError, ProvStore,
-    ReadPolicy, ScrubAction, ScrubReport, SegmentDamage, SegmentFormat, SegmentInfo, StoreConfig,
-    StoreError, StoreSender, StoreWriter,
+    compact_spool, scrub_spool, CompactReport, Degradation, Durability, LayerFilter, LayerRead,
+    OnSpillError, ProvStore, ReadPolicy, ScrubAction, ScrubReport, SegmentDamage, SegmentFormat,
+    SegmentInfo, StoreConfig, StoreError, StoreSender, StoreWriter,
 };
 pub use unfold::{Layers, UnfoldedGraph};

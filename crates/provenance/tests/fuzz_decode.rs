@@ -104,7 +104,7 @@ fn columnar_decoder_survives_mutations() {
     }
 }
 
-/// Whole-spool fuzzing: mutate spilled segment files (v1 and v2), then
+/// Whole-spool fuzzing: mutate spilled segment files (v1, v2 and v3), then
 /// resume, scrub, and degraded-read the spool. Every path must return
 /// `Ok` or a typed error — no panics — and a degraded read never yields
 /// more tuples than the clean run held.
@@ -112,7 +112,7 @@ fn columnar_decoder_survives_mutations() {
 fn mutated_spools_never_panic() {
     use ariadne_provenance::SegmentFormat;
     let mut rng = StdRng::seed_from_u64(0xD15C0);
-    for format in [SegmentFormat::V1, SegmentFormat::V2] {
+    for format in [SegmentFormat::V1, SegmentFormat::V2, SegmentFormat::V3] {
         let dir = temp_dir(&format!("spool-{format:?}"));
         std::fs::remove_dir_all(&dir).ok();
         let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()).with_format(format));

@@ -54,6 +54,9 @@ pub struct FaultPlan {
     /// Remaining budget of spill IO attempts that fail with a
     /// *transient* (retryable) error before succeeding.
     transient_budget: AtomicU64,
+    /// Compaction protocol steps at which the process dies (see the
+    /// store's `compact` for the numbered step points).
+    compact_kills: Mutex<BTreeSet<u32>>,
 }
 
 impl FaultPlan {
@@ -136,6 +139,17 @@ impl FaultPlan {
         self
     }
 
+    /// Kill the run at compaction protocol step `step` (zero-based; the
+    /// store documents its numbered step points: before the generation
+    /// file write, between write and rename, before the manifest write,
+    /// between manifest write and rename, and before old-file deletion).
+    /// Crash-recovery tests iterate every step and assert the spool
+    /// reopens to either the old or the new generation.
+    pub fn kill_at_compact_step(&self, step: u32) -> &Self {
+        self.compact_kills.lock().unwrap().insert(step);
+        self
+    }
+
     // -- hooks (consume on fire) --------------------------------------
 
     /// Engine hook: should the run die at superstep `s`? Consumes the
@@ -211,6 +225,12 @@ impl FaultPlan {
             .map(std::time::Duration::from_millis)
     }
 
+    /// Store hook: should compaction die at protocol step `step`?
+    /// Consumes the fault when it fires.
+    pub fn take_compact_kill(&self, step: u32) -> bool {
+        self.compact_kills.lock().unwrap().remove(&step)
+    }
+
     // -- introspection ------------------------------------------------
 
     /// Faults scripted but not yet fired (useful for asserting a test
@@ -225,6 +245,7 @@ impl FaultPlan {
             + self.bit_flips.lock().unwrap().len()
             + usize::from(self.enospc_after.lock().unwrap().is_some())
             + self.transient_budget.load(Ordering::SeqCst) as usize
+            + self.compact_kills.lock().unwrap().len()
     }
 
     /// Spill-write attempts observed so far.

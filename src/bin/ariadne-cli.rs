@@ -8,15 +8,25 @@
 //! ariadne-cli --generate rmat:10:8 --analytic pagerank --builtin pagerank_check
 //!
 //! ariadne-cli scrub --spool DIR [--repair] [--json]
+//! ariadne-cli compact --spool DIR [--json]
 //! ```
 //!
 //! Analytic values are printed for the first vertices; every query IDB
 //! relation is printed (truncated).
 //!
 //! The `scrub` subcommand re-verifies every record of every segment in
-//! a provenance spool directory (see
-//! [`ariadne_provenance::scrub_spool`]), exiting 0 when the spool is
-//! clean (or was just repaired) and 1 when damage remains.
+//! a provenance spool directory — including v3 generation-file footers
+//! and the spool manifest (see [`ariadne_provenance::scrub_spool`]).
+//! Its exit code distinguishes the outcomes: 0 = clean; 1 = operational
+//! failure (unreadable/bad directory); 2 = usage error; 3 = damage was
+//! found and every instance was repaired losslessly (torn tails
+//! salvaged); 4 = irrecoverable damage (data quarantined, or damage
+//! found without `--repair`).
+//!
+//! The `compact` subcommand rewrites the spool into a single indexed
+//! generation file (see [`ariadne_provenance::compact_spool`]): small
+//! records merge, v1 records upgrade to columnar/compressed frames, and
+//! replay reads seek extents instead of scanning files.
 
 use ariadne::queries;
 use ariadne::session::Ariadne;
@@ -55,15 +65,24 @@ fn usage() -> ! {
          params:   numbers parse as floats/ints; 'vN' parses as vertex id\n\
          \n\
          or:    ariadne-cli scrub --spool DIR [--repair] [--json]\n\
-         \x20      re-verify every stored record; --repair salvages torn\n\
-         \x20      tails and quarantines corrupt segments"
+         \x20      re-verify every stored record, generation footer and\n\
+         \x20      the spool manifest; --repair salvages torn tails and\n\
+         \x20      quarantines corrupt files\n\
+         \x20      exit: 0 clean / 1 failure / 2 usage / 3 repaired\n\
+         \x20      losslessly / 4 irrecoverable damage\n\
+         or:    ariadne-cli compact --spool DIR [--json]\n\
+         \x20      rewrite the spool into one indexed generation file\n\
+         \x20      (merge small records, upgrade v1, compress, index)"
     );
     exit(2)
 }
 
 /// `ariadne-cli scrub --spool DIR [--repair] [--json]`: verify (and
-/// optionally repair) a provenance spool offline. Exit 0 when the spool
-/// is clean or every damage was repaired; exit 1 when damage remains.
+/// optionally repair) a provenance spool offline.
+///
+/// Exit codes: 0 = clean; 1 = operational failure; 2 = usage; 3 =
+/// damage found, every instance repaired losslessly (salvaged); 4 =
+/// irrecoverable damage (quarantined, or not repaired at all).
 fn run_scrub(args: &[String]) -> ! {
     let mut spool: Option<String> = None;
     let mut repair = false;
@@ -121,9 +140,73 @@ fn run_scrub(args: &[String]) -> ! {
             println!("spool is clean");
         }
     }
-    // Damage found without --repair (or damage that detection-only
-    // reported) leaves the spool unhealthy: nonzero exit.
-    exit(if report.is_clean() || repair { 0 } else { 1 })
+    // Exit code by severity: clean → 0; every damage instance repaired
+    // losslessly (torn tails salvaged, manifest rebuilt) → 3; anything
+    // quarantined — data actually lost — or damage left unrepaired → 4.
+    use ariadne::ScrubAction;
+    let code = if report.is_clean() {
+        0
+    } else if report
+        .damage
+        .iter()
+        .all(|d| matches!(d.action, ScrubAction::Salvaged))
+    {
+        3
+    } else {
+        4
+    };
+    exit(code)
+}
+
+/// `ariadne-cli compact --spool DIR [--json]`: rewrite a provenance
+/// spool into a single indexed generation file. Exit 0 on success, 1 on
+/// failure (a corrupt spool refuses to compact — scrub it first).
+fn run_compact(args: &[String]) -> ! {
+    let mut spool: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spool" => {
+                spool = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--spool needs a value");
+                    usage()
+                }))
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown compact argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(dir) = spool else {
+        eprintln!("compact requires --spool DIR");
+        usage()
+    };
+    if !std::path::Path::new(&dir).is_dir() {
+        eprintln!("compact failed: {dir} is not a directory");
+        exit(1)
+    }
+    let report = ariadne::compact_spool(std::path::Path::new(&dir)).unwrap_or_else(|e| {
+        eprintln!("compact failed: {e}");
+        exit(1)
+    });
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "compacted {dir}: generation {}, {} segments / {} tuples, {} bytes in -> {} bytes out, {} files removed",
+            report.generation,
+            report.segments,
+            report.tuples,
+            report.bytes_in,
+            report.bytes_out,
+            report.files_removed
+        );
+    }
+    exit(0)
 }
 
 fn parse_args() -> Options {
@@ -331,6 +414,9 @@ fn main() {
     let argv: Vec<String> = std::env::args().collect();
     if argv.get(1).map(String::as_str) == Some("scrub") {
         run_scrub(&argv[2..]);
+    }
+    if argv.get(1).map(String::as_str) == Some("compact") {
+        run_compact(&argv[2..]);
     }
     let o = parse_args();
     let graph = load_graph(&o);

@@ -196,31 +196,95 @@ fn scrub_detects_damage_then_repairs() {
     bytes[mid] ^= 0x01;
     std::fs::write(&seg, &bytes).unwrap();
 
-    // Detection: exit 1, damage in the JSON report.
+    // Detection without --repair: irrecoverable-damage exit (4),
+    // damage in the JSON report.
     let out = cli()
         .args(["scrub", "--spool", dir.to_str().unwrap(), "--json"])
         .output()
         .expect("cli runs");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(4));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"clean\":false"), "{stdout}");
     assert!(stdout.contains("\"action\":\"none\""), "{stdout}");
 
-    // Repair: exit 0, the corrupt file is quarantined.
+    // Repair: the corrupt file is quarantined — data was lost, so the
+    // exit code still says irrecoverable (4), not lossless-repair (3).
     let out = cli()
         .args(["scrub", "--spool", dir.to_str().unwrap(), "--repair", "--json"])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(out.status.code(), Some(4));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("\"action\":\"quarantined\""), "{stdout}");
     assert!(dir.join("quarantine").exists());
 
-    // A second scrub of the repaired spool is clean.
+    // A second scrub of the repaired spool is clean: exit 0.
     let out = cli()
         .args(["scrub", "--spool", dir.to_str().unwrap()])
         .output()
         .expect("cli runs");
-    assert!(out.status.success());
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scrub_salvage_is_lossless_repair_exit() {
+    let dir = make_spool("scrub-salvage");
+    // Append a truncated (torn) record to an unsealed tail: salvageable.
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "bin"))
+        .expect("a spilled segment");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes.extend_from_slice(b"ARSG\x99\x00\x00"); // partial header
+    std::fs::write(&seg, &bytes).unwrap();
+
+    // Repairing a torn tail is lossless: exit 3.
+    let out = cli()
+        .args(["scrub", "--spool", dir.to_str().unwrap(), "--repair", "--json"])
+        .output()
+        .expect("cli runs");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"action\":\"salvaged\""), "{stdout}");
+
+    // And the spool is clean afterwards.
+    let out = cli()
+        .args(["scrub", "--spool", dir.to_str().unwrap()])
+        .output()
+        .expect("cli runs");
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compact_rewrites_spool_and_scrub_stays_clean() {
+    let dir = make_spool("compact-cli");
+    let out = cli()
+        .args(["compact", "--spool", dir.to_str().unwrap(), "--json"])
+        .output()
+        .expect("cli runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"generation\":1"), "{stdout}");
+    // The old per-segment files are gone; the generation file and the
+    // manifest exist.
+    assert!(dir.join("index.ars").exists());
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(names.iter().any(|n| n.starts_with("gen-1-")), "{names:?}");
+    assert!(!names.iter().any(|n| n.ends_with(".bin")), "{names:?}");
+    // Compacted spools scrub clean (footers, frames, manifest CRC).
+    let out = cli()
+        .args(["scrub", "--spool", dir.to_str().unwrap()])
+        .output()
+        .expect("cli runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    // compact without --spool is a usage error.
+    let out = cli().args(["compact"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
     std::fs::remove_dir_all(&dir).ok();
 }

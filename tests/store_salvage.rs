@@ -8,8 +8,8 @@
 
 use ariadne_pql::Value;
 use ariadne_provenance::{
-    scrub_spool, LayerFilter, ProvStore, ReadPolicy, ScrubAction, SegmentFormat, StoreConfig,
-    StoreError,
+    compact_spool, scrub_spool, LayerFilter, ProvStore, ReadBackend, ReadPolicy, ScrubAction,
+    SegmentFormat, StoreConfig, StoreError,
 };
 use std::path::PathBuf;
 
@@ -88,6 +88,11 @@ fn torn_write_matrix_v2() {
     torn_write_matrix(SegmentFormat::V2, "torn-v2");
 }
 
+#[test]
+fn torn_write_matrix_v3() {
+    torn_write_matrix(SegmentFormat::V3, "torn-v3");
+}
+
 /// Flip every bit of every byte of every spool file, one at a time: a
 /// detection-only scrub must report damage for each flip (CRCs over the
 /// payload, framed magics/footers and length fields leave no byte whose
@@ -144,6 +149,11 @@ fn bit_flip_matrix_v1() {
 #[test]
 fn bit_flip_matrix_v2() {
     bit_flip_matrix(SegmentFormat::V2, "flip-v2");
+}
+
+#[test]
+fn bit_flip_matrix_v3() {
+    bit_flip_matrix(SegmentFormat::V3, "flip-v3");
 }
 
 /// The repair contract end to end: detect -> repair (quarantine) ->
@@ -260,5 +270,245 @@ fn enospc_drop_capture_completes_the_run() {
     let json = report.to_json();
     assert!(json.contains("\"dropped_batches\":"), "{json}");
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Canonical logical content of a store: every relation, sorted. Two
+/// spools hold the same provenance iff their snapshots are equal.
+fn snapshot(store: &ProvStore) -> Vec<(String, Vec<Vec<Value>>)> {
+    let db = store.to_database().unwrap();
+    let names: Vec<String> = db.iter().map(|(n, _)| n.to_string()).collect();
+    names.into_iter().map(|n| (n.clone(), db.sorted(&n))).collect()
+}
+
+fn spool_names(dir: &PathBuf) -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    names
+}
+
+/// Compaction over a spool holding all three record formats at once:
+/// the rewrite is logically bit-identical under `to_database()`, under
+/// both read backends, and a second pass (nothing left to merge) is
+/// idempotent on content while still bumping the generation.
+#[test]
+fn compact_mixed_format_spool_bit_identical_and_idempotent() {
+    let dir = temp_dir("compact-mixed");
+    let _ = std::fs::remove_dir_all(&dir);
+    let formats = [SegmentFormat::V1, SegmentFormat::V2, SegmentFormat::V3];
+    for (s, format) in formats.iter().enumerate() {
+        let config = StoreConfig::spilling(0, dir.clone()).with_format(*format);
+        let mut store = if s == 0 {
+            ProvStore::new(config)
+        } else {
+            ProvStore::resume_from_spool(config).unwrap()
+        };
+        let batch: Vec<Vec<Value>> = (0..32u64)
+            .map(|v| vec![Value::Id(v), Value::Int(s as i64)])
+            .collect();
+        store.ingest(s as u32, "value", batch).unwrap();
+        store
+            .ingest(
+                s as u32,
+                "sent",
+                (0..7u64).map(|v| vec![Value::Id(v), Value::Id(v + 1)]).collect(),
+            )
+            .unwrap();
+        drop(store);
+    }
+
+    let baseline = {
+        let store = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+        snapshot(&store)
+    };
+
+    let r1 = compact_spool(&dir).unwrap();
+    assert_eq!(r1.generation, 1);
+    assert_eq!(r1.segments, 6, "3 layers x 2 predicates");
+    assert_eq!(r1.tuples, 3 * (32 + 7));
+    assert_eq!(r1.files_removed, 6);
+
+    let names = spool_names(&dir);
+    assert!(!names.iter().any(|n| n.ends_with(".bin")), "{names:?}");
+    assert!(names.iter().any(|n| n == "index.ars"), "{names:?}");
+    assert!(names.iter().any(|n| n.starts_with("gen-1-")), "{names:?}");
+
+    for backend in [ReadBackend::Buffered, ReadBackend::Mmap] {
+        let store = ProvStore::resume_from_spool(
+            StoreConfig::spilling(0, dir.clone()).with_read_backend(backend),
+        )
+        .unwrap();
+        assert_eq!(snapshot(&store), baseline, "{backend:?}");
+        assert_eq!(store.max_superstep(), Some(2), "{backend:?}");
+    }
+
+    let r2 = compact_spool(&dir).unwrap();
+    assert_eq!(r2.generation, 2);
+    assert_eq!(r2.tuples, r1.tuples, "re-compaction carries every tuple");
+    let store = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+    assert_eq!(snapshot(&store), baseline, "second pass changed the content");
+    assert!(scrub_spool(&dir, false).unwrap().is_clean());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill compaction at every step of its publish protocol (before the
+/// generation tmp write, between tmp write and rename, between rename
+/// and manifest write, between manifest tmp write and swap, and after
+/// the swap but before the superseded files are deleted). Whichever
+/// step the crash lands on, the spool must resume to exactly the
+/// pre-compaction content, leave no `.tmp` litter, scrub clean, and
+/// accept a fresh compaction.
+#[test]
+fn compaction_kill_matrix_always_recoverable() {
+    use ariadne::FaultPlan;
+    for step in 0..=4u32 {
+        let dir = temp_dir(&format!("compact-kill-{step}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+        for s in 0..3u32 {
+            store
+                .ingest(
+                    s,
+                    "value",
+                    (0..16u64).map(|v| vec![Value::Id(v), Value::Int(s as i64)]).collect(),
+                )
+                .unwrap();
+        }
+        drop(store);
+        let baseline = snapshot(
+            &ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap(),
+        );
+
+        let plan = FaultPlan::new();
+        plan.kill_at_compact_step(step);
+        let mut store = ProvStore::resume_from_spool(
+            StoreConfig::spilling(0, dir.clone()).with_fault(plan),
+        )
+        .unwrap();
+        let err = store.compact().unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }), "step {step}: {err:?}");
+        drop(store); // the crash: in-memory state dies with the process
+
+        let resumed = ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+        assert_eq!(snapshot(&resumed), baseline, "step {step}: content changed");
+        drop(resumed);
+        let names = spool_names(&dir);
+        assert!(!names.iter().any(|n| n.ends_with(".tmp")), "step {step}: {names:?}");
+        assert!(scrub_spool(&dir, false).unwrap().is_clean(), "step {step}");
+
+        let report = compact_spool(&dir).unwrap();
+        assert_eq!(report.tuples, 48, "step {step}");
+        let compacted =
+            ProvStore::resume_from_spool(StoreConfig::spilling(0, dir.clone())).unwrap();
+        assert_eq!(snapshot(&compacted), baseline, "step {step}: compaction changed content");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Flip every bit of every byte of a compacted spool — the generation
+/// file (record frames, indexed footer, trailer) and the manifest —
+/// one at a time: a detection-only scrub must catch each flip and
+/// blame the flipped file.
+#[test]
+fn compacted_footer_and_manifest_bit_flips_detected() {
+    let dir = temp_dir("flip-v3-gen");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+    store
+        .ingest(0, "value", (0..3u64).map(|v| vec![Value::Id(v), Value::Int(0)]).collect())
+        .unwrap();
+    store
+        .ingest(1, "value", (0..3u64).map(|v| vec![Value::Id(v), Value::Int(1)]).collect())
+        .unwrap();
+    drop(store);
+    compact_spool(&dir).unwrap();
+
+    let files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.is_file())
+        .collect();
+    assert_eq!(files.len(), 2, "{files:?}"); // gen-1-0.ars3 + index.ars
+
+    for path in &files {
+        let clean = std::fs::read(path).unwrap();
+        for i in 0..clean.len() {
+            for bit in 0..8u8 {
+                let mut bytes = clean.clone();
+                bytes[i] ^= 1 << bit;
+                std::fs::write(path, &bytes).unwrap();
+                let report = scrub_spool(&dir, false).unwrap();
+                assert!(
+                    !report.is_clean(),
+                    "flip of bit {bit} at byte {i} of {} went undetected",
+                    path.display()
+                );
+                assert!(
+                    report.damage.iter().any(|d| d.path == *path),
+                    "flip at byte {i} of {}: damage blamed elsewhere",
+                    path.display()
+                );
+            }
+        }
+        std::fs::write(path, &clean).unwrap();
+    }
+    assert!(scrub_spool(&dir, false).unwrap().is_clean());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: the cached `max_superstep` must be recomputed when a
+/// repair drains the highest layer. Salvage that keeps zero records
+/// drops the layer entirely (the cache must shrink); quarantine keeps
+/// the layer visible (the data existed — degraded reads report it).
+#[test]
+fn repair_recomputes_max_superstep_when_highest_layer_drains() {
+    // Salvage-to-empty: the whole highest-layer file is one torn
+    // record; repair truncates it to zero records and the max drops.
+    let dir = temp_dir("maxstep-salvage");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+    for s in 0..3u32 {
+        store
+            .ingest(s, "value", (0..8u64).map(|v| vec![Value::Id(v), Value::Int(s as i64)]).collect())
+            .unwrap();
+    }
+    assert_eq!(store.max_superstep(), Some(2));
+    let seg = dir.join("seg-2-value.bin");
+    let bytes = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &bytes[..7]).unwrap(); // mid-header tear at byte 0
+    let report = store.scrub(true).unwrap();
+    assert!(report.damage.iter().any(|d| d.action == ScrubAction::Salvaged));
+    assert_eq!(
+        store.max_superstep(),
+        Some(1),
+        "drained highest layer must drop out of the cached max"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Quarantine: the layer's data existed and was lost, so the layer
+    // itself remains addressable (strict reads fail typed, degraded
+    // reads disclose the loss) and the max stays put.
+    let dir = temp_dir("maxstep-quarantine");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = ProvStore::new(StoreConfig::spilling(0, dir.clone()));
+    for s in 0..3u32 {
+        store
+            .ingest(s, "value", (0..8u64).map(|v| vec![Value::Id(v), Value::Int(s as i64)]).collect())
+            .unwrap();
+    }
+    let seg = dir.join("seg-2-value.bin");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes[20] ^= 0x01; // payload corruption inside a complete frame
+    std::fs::write(&seg, &bytes).unwrap();
+    let report = store.scrub(true).unwrap();
+    assert!(report.damage.iter().any(|d| d.action == ScrubAction::Quarantined));
+    assert_eq!(store.max_superstep(), Some(2), "quarantined layers stay visible");
+    assert!(matches!(
+        store.layer_read(2, &LayerFilter::all()).unwrap_err(),
+        StoreError::Quarantined { .. }
+    ));
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,258 @@
+//! A minimal LZ77 block compressor with a byte-oriented token stream,
+//! in the spirit of LZ4's block format. Vendored because this workspace
+//! builds fully offline; implements exactly the subset the provenance
+//! store's v3 segment format needs: one-shot block [`compress`] and a
+//! bounded, allocation-checked [`decompress`].
+//!
+//! # Token format
+//!
+//! The compressed stream is a sequence of tokens:
+//!
+//! * **Literal run** — a control byte with the high bit clear: the low
+//!   7 bits hold `run_len - 1` (1..=128 literal bytes follow).
+//! * **Match** — a control byte with the high bit set: the low 7 bits
+//!   hold `match_len - MIN_MATCH` (4..=131 bytes), followed by a
+//!   little-endian `u16` backward distance (1..=65535). Distances may
+//!   reach into bytes produced by the current match (overlapping
+//!   copies), which encodes runs.
+//!
+//! The format is self-terminating only by input exhaustion; callers
+//! frame compressed blocks with explicit lengths (the store's record
+//! framing already does).
+
+#![warn(missing_docs)]
+
+/// Shortest match worth encoding (a match token costs 3 bytes).
+const MIN_MATCH: usize = 4;
+/// Longest match one token can encode.
+const MAX_MATCH: usize = MIN_MATCH + 127;
+/// Longest literal run one token can encode.
+const MAX_LITERAL_RUN: usize = 128;
+/// Furthest back a match distance can reach (u16 range).
+const MAX_DISTANCE: usize = 65535;
+/// Hash table size (power of two) for the 4-byte rolling hash.
+const HASH_BITS: u32 = 14;
+
+/// Decompression failure: the stream is malformed or would exceed the
+/// caller's output bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LzError {
+    /// A token or its operands ran past the end of the input.
+    Truncated,
+    /// A match distance points before the start of the output.
+    BadDistance {
+        /// The offending backward distance.
+        distance: usize,
+        /// Output bytes produced when the distance was seen.
+        produced: usize,
+    },
+    /// Decompressed output would exceed the caller's `max_out` bound.
+    TooLarge {
+        /// The caller's output bound.
+        max_out: usize,
+    },
+}
+
+impl std::fmt::Display for LzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzError::Truncated => write!(f, "compressed stream truncated mid-token"),
+            LzError::BadDistance { distance, produced } => write!(
+                f,
+                "match distance {distance} exceeds {produced} produced bytes"
+            ),
+            LzError::TooLarge { max_out } => {
+                write!(f, "decompressed output exceeds the {max_out}-byte bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzError {}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&data[i..i + 4]);
+    let word = u32::from_le_bytes(word);
+    (word.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` into a fresh token stream. Deterministic: the same
+/// input always yields the same output (greedy parse, fixed hash).
+/// Incompressible input grows by at most one control byte per 128
+/// literals (~0.8%); callers should keep the raw form when that loses.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut start = from;
+        while start < to {
+            let run = (to - start).min(MAX_LITERAL_RUN);
+            out.push((run - 1) as u8);
+            out.extend_from_slice(&input[start..start + run]);
+            start += run;
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(input, i);
+        let candidate = table[h];
+        table[h] = i;
+        let found = candidate != usize::MAX
+            && i - candidate <= MAX_DISTANCE
+            && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH];
+        if !found {
+            i += 1;
+            continue;
+        }
+        // Extend the match as far as the token can encode.
+        let mut len = MIN_MATCH;
+        let limit = (input.len() - i).min(MAX_MATCH);
+        while len < limit && input[candidate + len] == input[i + len] {
+            len += 1;
+        }
+        flush_literals(&mut out, literal_start, i);
+        out.push(0x80 | (len - MIN_MATCH) as u8);
+        out.extend_from_slice(&((i - candidate) as u16).to_le_bytes());
+        // Seed the table through the matched region so later matches
+        // can reference it (sparse stride keeps compression O(n)).
+        let mut j = i + 1;
+        let seed_end = (i + len).min(input.len().saturating_sub(MIN_MATCH));
+        while j < seed_end {
+            table[hash4(input, j)] = j;
+            j += 2;
+        }
+        i += len;
+        literal_start = i;
+    }
+    flush_literals(&mut out, literal_start, input.len());
+    out
+}
+
+/// Decompress a token stream produced by [`compress`], refusing to
+/// produce more than `max_out` bytes (corrupt length fields must never
+/// balloon allocation).
+pub fn decompress(input: &[u8], max_out: usize) -> Result<Vec<u8>, LzError> {
+    let mut out: Vec<u8> = Vec::with_capacity(input.len().min(max_out));
+    let mut i = 0usize;
+    while i < input.len() {
+        let control = input[i];
+        i += 1;
+        if control & 0x80 == 0 {
+            let run = control as usize + 1;
+            if i + run > input.len() {
+                return Err(LzError::Truncated);
+            }
+            if out.len() + run > max_out {
+                return Err(LzError::TooLarge { max_out });
+            }
+            out.extend_from_slice(&input[i..i + run]);
+            i += run;
+        } else {
+            let len = (control & 0x7F) as usize + MIN_MATCH;
+            if i + 2 > input.len() {
+                return Err(LzError::Truncated);
+            }
+            let distance = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+            i += 2;
+            if distance == 0 || distance > out.len() {
+                return Err(LzError::BadDistance {
+                    distance,
+                    produced: out.len(),
+                });
+            }
+            if out.len() + len > max_out {
+                return Err(LzError::TooLarge { max_out });
+            }
+            // Byte-at-a-time copy: overlapping matches (distance < len)
+            // are the intended run encoding.
+            let start = out.len() - distance;
+            for src in start..start + len {
+                let b = out[src];
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        let unpacked = decompress(&packed, data.len()).unwrap();
+        assert_eq!(unpacked, data);
+    }
+
+    #[test]
+    fn roundtrips_assorted_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcd");
+        roundtrip(b"abcdabcdabcdabcd");
+        roundtrip(&vec![0u8; 10_000]);
+        roundtrip("the quick brown fox jumps over the lazy dog. ".repeat(64).as_bytes());
+        let mixed: Vec<u8> = (0..5000u32).flat_map(|x| x.to_le_bytes()).collect();
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn roundtrips_pseudorandom_bytes() {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let data = b"superstep-superstep-superstep-".repeat(100);
+        let packed = compress(&data);
+        assert!(packed.len() * 4 < data.len(), "{} vs {}", packed.len(), data.len());
+    }
+
+    #[test]
+    fn decompress_bounds_output() {
+        let data = vec![7u8; 4096];
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed, 4095), Err(LzError::TooLarge { max_out: 4095 }));
+        assert!(decompress(&packed, 4096).is_ok());
+    }
+
+    #[test]
+    fn malformed_streams_fail_typed() {
+        // Literal run past end of input.
+        assert_eq!(decompress(&[0x05, b'a'], 100), Err(LzError::Truncated));
+        // Match token with no distance bytes.
+        assert_eq!(decompress(&[0x80], 100), Err(LzError::Truncated));
+        // Distance into nothing.
+        assert!(matches!(
+            decompress(&[0x00, b'x', 0x80, 0x05, 0x00], 100),
+            Err(LzError::BadDistance { .. })
+        ));
+        // Zero distance is never valid.
+        assert!(matches!(
+            decompress(&[0x00, b'x', 0x80, 0x00, 0x00], 100),
+            Err(LzError::BadDistance { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_match_encodes_runs() {
+        // "aaaaaaaa...": one literal, then overlapping matches.
+        let data = vec![b'a'; 300];
+        let packed = compress(&data);
+        assert!(packed.len() < 16, "run encoding expected, got {} bytes", packed.len());
+        assert_eq!(decompress(&packed, 300).unwrap(), data);
+    }
+}
