@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare the deterministic byte/count columns
+of two committed BENCH files and fail on unexplained drift.
+
+    python3 ci/bench_gate.py CURRENT.json BASELINE.json [--threshold 0.05]
+
+Only columns flagged deterministic in docs/OBSERVABILITY.md are gated:
+they are functions of the graph, analytic, and query alone, so with
+matching configs any drift is a real behavior change, not noise.
+Wall-clock columns and latency quantiles are never gated.
+
+Column polarity:
+  - higher-is-worse (bytes stored / bytes read): only an increase
+    beyond the threshold fails;
+  - lower-is-worse (skip counters — pruning effectiveness): only a
+    decrease beyond the threshold fails;
+  - exact workload descriptors (tuple/segment/message counts): drift in
+    either direction beyond the threshold fails.
+
+If the two files were generated with different graph configs the
+comparison is meaningless; the gate says so and exits 0 (an explained
+difference). A baseline with an older schema is compared on whatever
+sections both files share.
+"""
+
+import argparse
+import json
+import sys
+
+# Deterministic columns, per section, by polarity.
+HIGHER_IS_WORSE = {
+    "runs": ["message_bytes"],
+    "layered": ["bytes_read"],
+    "segments": ["store_bytes", "replay_bytes_read"],
+    "spool": ["spool_bytes", "replay_bytes_read"],
+}
+LOWER_IS_WORSE = {
+    "runs": [],
+    "layered": ["segments_skipped", "bytes_skipped"],
+    "segments": ["replay_cols_skipped", "replay_col_bytes_skipped"],
+    "spool": [],
+}
+EXACT = {
+    "runs": ["supersteps", "messages", "messages_delivered"],
+    "layered": [
+        "layers",
+        "flush_rounds",
+        "shipped_tuples",
+        "injected_tuples",
+        "evaluated_vertices",
+        "segments_read",
+    ],
+    "segments": ["store_tuples", "segments"],
+    "spool": [],
+}
+
+# What identifies a comparable cell within each section.
+CELL_KEY = {
+    "runs": ("analytic", "plane", "mode", "threads"),
+    "layered": ("threads", "prune"),
+    "segments": ("analytic", "format"),
+    "spool": ("format", "backend"),
+}
+
+
+def cells(doc, section):
+    """The section's rows keyed by CELL_KEY, or {} if absent."""
+    if section == "runs":
+        rows = doc.get("runs", [])
+    elif section == "layered":
+        rows = doc.get("layered", {}).get("runs", [])
+    else:
+        rows = doc.get(section, {}).get("cases", [])
+    return {tuple(r[k] for k in CELL_KEY[section]): r for r in rows}
+
+
+def graph_config(doc):
+    g = doc.get("graph", {})
+    return tuple(g.get(k) for k in ("generator", "scale", "edge_factor", "vertices", "edges"))
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--threshold", type=float, default=0.05)
+    args = ap.parse_args()
+
+    cur = json.load(open(args.current))
+    base = json.load(open(args.baseline))
+
+    if graph_config(cur) != graph_config(base):
+        print(
+            f"bench-gate: graph configs differ "
+            f"({graph_config(cur)} vs {graph_config(base)}); "
+            f"files are not comparable — skipping the gate"
+        )
+        return 0
+
+    failures = []
+    compared = 0
+    for section in CELL_KEY:
+        cur_cells = cells(cur, section)
+        base_cells = cells(base, section)
+        for key in sorted(set(cur_cells) & set(base_cells), key=str):
+            c, b = cur_cells[key], base_cells[key]
+            checks = (
+                [(col, "higher") for col in HIGHER_IS_WORSE[section]]
+                + [(col, "lower") for col in LOWER_IS_WORSE[section]]
+                + [(col, "exact") for col in EXACT[section]]
+            )
+            for col, polarity in checks:
+                if col not in c or col not in b:
+                    continue
+                compared += 1
+                old, new = b[col], c[col]
+                if old == new:
+                    continue
+                rel = (new - old) / old if old else float("inf")
+                bad = (
+                    (polarity == "higher" and rel > args.threshold)
+                    or (polarity == "lower" and rel < -args.threshold)
+                    or (polarity == "exact" and abs(rel) > args.threshold)
+                )
+                if bad:
+                    failures.append(
+                        f"  {section}{list(key)}.{col}: {old} -> {new} "
+                        f"({rel:+.1%}, {polarity}-gated)"
+                    )
+
+    if compared == 0:
+        print("bench-gate: no overlapping deterministic columns; nothing gated")
+        return 0
+    if failures:
+        print(
+            f"bench-gate: {len(failures)} deterministic column(s) regressed "
+            f"beyond {args.threshold:.0%} vs {args.baseline}:"
+        )
+        print("\n".join(failures))
+        print(
+            "If the change is intentional, explain it in the PR and "
+            "regenerate the committed BENCH file."
+        )
+        return 1
+    print(
+        f"bench-gate: ok — {compared} deterministic column comparisons vs "
+        f"{args.baseline}, none beyond {args.threshold:.0%}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

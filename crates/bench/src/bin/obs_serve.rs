@@ -1,0 +1,141 @@
+//! Live telemetry demo: serve the observability plane over HTTP while
+//! the system does real work.
+//!
+//! Binds [`ariadne_obs::ObsServer`] on `--listen`, runs a capture-mode
+//! PageRank once, publishes its [`ariadne::RunReport`] to `/report`,
+//! and then replays a provenance query in a loop for `--duration`
+//! seconds so an operator can watch counters, latency quantiles and
+//! span trees move:
+//!
+//! ```text
+//! cargo run --release -p ariadne-bench --bin obs-serve -- \
+//!     [--listen 127.0.0.1:9464] [--scale N] [--threads T] [--duration SECS]
+//!
+//! curl http://127.0.0.1:9464/metrics   # Prometheus text exposition
+//! curl http://127.0.0.1:9464/trace    # span/event tree as JSONL
+//! curl http://127.0.0.1:9464/report   # latest RunReport JSON
+//! curl http://127.0.0.1:9464/healthz
+//! ```
+//!
+//! `--duration 0` does a single capture + replay pass and exits (used
+//! by CI to smoke the binary without holding a port open).
+
+use ariadne::capture::CaptureSpec;
+use ariadne::session::Ariadne;
+use ariadne::{compile, StoreConfig};
+use ariadne_analytics::PageRank;
+use ariadne_graph::generators::rmat::{rmat, RmatConfig};
+use ariadne_obs::trace;
+use ariadne_pql::Params;
+use std::time::{Duration, Instant};
+
+struct Cli {
+    listen: String,
+    scale: u32,
+    threads: usize,
+    duration: u64,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        listen: "127.0.0.1:9464".into(),
+        scale: 8,
+        threads: 2,
+        duration: 30,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => cli.listen = value("--listen"),
+            "--scale" => cli.scale = value("--scale").parse().expect("--scale: integer"),
+            "--threads" => cli.threads = value("--threads").parse().expect("--threads: integer"),
+            "--duration" => {
+                cli.duration = value("--duration").parse().expect("--duration: seconds")
+            }
+            other => {
+                panic!("unknown argument {other} (expected --listen/--scale/--threads/--duration)")
+            }
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    if std::env::var("ARIADNE_LOG").is_err() {
+        trace::set_filter("debug");
+    }
+
+    let server = ariadne_obs::ObsServer::bind(cli.listen.as_str()).expect("bind --listen");
+    println!(
+        "obs-serve: http://{} (/metrics /trace /report /healthz), {}s",
+        server.local_addr(),
+        cli.duration
+    );
+
+    let graph = rmat(RmatConfig {
+        scale: cli.scale,
+        edge_factor: 8,
+        seed: 0xBE2C4,
+        ..RmatConfig::default()
+    });
+    let analytic = PageRank {
+        supersteps: 6,
+        ..PageRank::default()
+    };
+    let capture_query = compile(
+        "seen(x, v, i) :- value(x, v, i), superstep(x, i).",
+        Params::new(),
+    )
+    .expect("capture query compiles");
+    let spec = CaptureSpec::raw(["superstep", "value"]).with_query(capture_query);
+
+    let spool = std::env::temp_dir().join(format!("ariadne-obs-serve-{}", std::process::id()));
+    let mut ariadne = Ariadne::with_threads(cli.threads);
+    ariadne.store = StoreConfig::spilling(64 * 1024, spool.clone());
+
+    let run = ariadne
+        .capture(&analytic, &graph, &spec)
+        .expect("capture run succeeds");
+    ariadne_obs::publish_report(run.report().to_json());
+    println!(
+        "obs-serve: captured {} tuples; replaying until the clock runs out",
+        run.store.tuple_count()
+    );
+
+    // Replay loop: every iteration exercises compile -> layered replay
+    // -> store reads, so /metrics quantiles and /trace span trees keep
+    // moving while the operator watches.
+    let replay_query = compile(
+        "hot(x, i) :- value(x, v, i), superstep(x, i).",
+        Params::new(),
+    )
+    .expect("replay query compiles");
+    let deadline = Instant::now() + Duration::from_secs(cli.duration);
+    let mut replays = 0u64;
+    loop {
+        let replay = ariadne
+            .layered(&graph, &run.store, &replay_query)
+            .expect("layered replay succeeds");
+        replays += 1;
+        if replays == 1 {
+            println!(
+                "obs-serve: replay returns {} rows over {} layers",
+                replay.query_results.len("hot"),
+                replay.layers
+            );
+        }
+        if Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+
+    println!("obs-serve: {replays} replays done, shutting down");
+    server.shutdown();
+    std::fs::remove_dir_all(&spool).ok();
+}

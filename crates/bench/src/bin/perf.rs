@@ -35,12 +35,20 @@
 //! harness asserts the compacted v3 spool serves the replay with
 //! strictly fewer bytes read than the v2 spool.
 //!
+//! **Latency section.** Replays the apt query repeatedly at threads
+//! 1/2/3/7 and reports the per-query end-to-end latency distribution —
+//! p50/p90/p99/max interpolated from the obs crate's power-of-two
+//! histogram buckets ([`HistogramSnapshot::quantile`]) — with every
+//! sample's results pinned bit-for-bit to the t=1 reference first.
+//!
 //! ```text
 //! cargo run --release -p ariadne-bench --bin perf -- \
-//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr7.json] [--quick]
+//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr8.json] [--quick]
 //! ```
 //!
-//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr7.json").
+//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr8.json").
+//!
+//! [`HistogramSnapshot::quantile`]: ariadne_obs::metrics::HistogramSnapshot::quantile
 
 use ariadne::session::Ariadne;
 use ariadne::{queries, CaptureSpec, CompiledQuery, LayeredConfig, LayeredRun};
@@ -285,6 +293,30 @@ fn measure_layered(
     (m, run)
 }
 
+/// One thread count's per-query replay latency distribution, measured
+/// over repeated end-to-end replays into a private obs histogram and
+/// summarized by interpolated quantiles.
+struct LatencyRow {
+    threads: usize,
+    samples: u64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    mean_ns: u64,
+}
+
+fn latency_json(r: &LatencyRow) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"threads\":{},\"samples\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\
+         \"max_ns\":{},\"mean_ns\":{}}}",
+        r.threads, r.samples, r.p50_ns, r.p90_ns, r.p99_ns, r.max_ns, r.mean_ns,
+    );
+    s
+}
+
 /// Assert two layered runs agree on everything pruning is allowed to
 /// leave unchanged: sorted result sets per IDB predicate and the round
 /// structure. (Injection/evaluation volume legitimately shrinks when
@@ -488,7 +520,7 @@ fn parse_cli() -> Cli {
         edge_factor: 16,
         threads: vec![1, 2, 4, 8],
         reps: 3,
-        out: "BENCH_pr7.json".to_string(),
+        out: "BENCH_pr8.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -888,6 +920,59 @@ fn main() {
     );
     let _ = std::fs::remove_dir_all(&spool_root);
 
+    // -----------------------------------------------------------------
+    // Latency: per-query end-to-end apt-replay latency at threads
+    // 1/2/3/7, each sample recorded into a private obs histogram and
+    // summarized by interpolated p50/p90/p99/max. Every sample's
+    // results are pinned bit-for-bit to the t=1 reference before the
+    // distribution is written out, so the quantiles describe runs that
+    // provably computed the same answer.
+    // -----------------------------------------------------------------
+    let latency_registry = ariadne_obs::metrics::Registry::new();
+    let latency_cases: [(usize, &'static str); 4] = [
+        (1, "perf_replay_latency_t1_ns"),
+        (2, "perf_replay_latency_t2_ns"),
+        (3, "perf_replay_latency_t3_ns"),
+        (7, "perf_replay_latency_t7_ns"),
+    ];
+    let latency_samples = (cli.reps * 5).clamp(5, 20);
+    let mut latency_rows: Vec<LatencyRow> = Vec::new();
+    for (threads, hist_name) in latency_cases {
+        eprintln!("perf: latency threads={threads} samples={latency_samples}");
+        let hist = latency_registry.histogram(
+            hist_name,
+            "end-to-end apt replay latency per query",
+            false,
+        );
+        let config = LayeredConfig {
+            prune: true,
+            ..LayeredConfig::parallel(threads)
+        };
+        for _ in 0..latency_samples {
+            let start = Instant::now();
+            let run = ariadne
+                .layered_with(&layered_weighted, &capture.store, &apt, &config)
+                .expect("latency replay");
+            hist.record(start.elapsed().as_nanos() as u64);
+            assert_layered_identical(
+                &format!("latency t={threads}"),
+                &apt,
+                &run,
+                reference.as_ref().unwrap(),
+            );
+        }
+        let snap = hist.snapshot();
+        latency_rows.push(LatencyRow {
+            threads,
+            samples: snap.count,
+            p50_ns: snap.quantile(0.5).unwrap_or(0),
+            p90_ns: snap.quantile(0.9).unwrap_or(0),
+            p99_ns: snap.quantile(0.99).unwrap_or(0),
+            max_ns: snap.max_bound().unwrap_or(0),
+            mean_ns: snap.sum / snap.count.max(1),
+        });
+    }
+
     // Summary: flat-over-naive supersteps/sec speedup per (analytic, threads)
     // in baseline mode, plus the SSSP combiner-path allocation comparison.
     let lookup = |analytic: &str, plane: MessagePlane, mode: &str, threads: usize| {
@@ -920,7 +1005,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr7/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr8/v1\",");
     let _ = writeln!(
         json,
         "  \"command\": \"cargo run --release -p ariadne-bench --bin perf\","
@@ -1000,6 +1085,15 @@ fn main() {
         json,
         "    ],\n    \"summary\": {{\"lineage_read_bytes\": {{\"v1\": {spool_v1_bytes}, \"v2\": {spool_v2_bytes}, \"v3\": {spool_v3_bytes}}}}}\n  }},"
     );
+    let _ = writeln!(
+        json,
+        "  \"latency\": {{\n    \"analytic\": \"sssp\",\n    \"query\": \"apt(udf_diff, 0.1)\",\n    \"samples_per_cell\": {latency_samples},\n    \"quantile_source\": \"power-of-two bucket interpolation\",\n    \"cells\": ["
+    );
+    for (i, r) in latency_rows.iter().enumerate() {
+        let sep = if i + 1 < latency_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "      {}{}", latency_json(r), sep);
+    }
+    json.push_str("    ]\n  },\n");
     let _ = writeln!(json, "  \"summary\": {{");
     {
         let mut speedups = String::from("{");
@@ -1138,4 +1232,15 @@ fn main() {
         spool_v2_bytes,
         (1.0 - spool_v3_bytes as f64 / spool_v2_bytes.max(1) as f64) * 100.0
     );
+    println!();
+    println!(
+        "{:<8} {:>3} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "latency", "thr", "samples", "p50_ns", "p90_ns", "p99_ns", "max_ns"
+    );
+    for r in &latency_rows {
+        println!(
+            "{:<8} {:>3} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "apt", r.threads, r.samples, r.p50_ns, r.p90_ns, r.p99_ns, r.max_ns
+        );
+    }
 }

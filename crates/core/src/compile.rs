@@ -1,5 +1,6 @@
 //! Compiling PQL source into an executable query.
 
+use ariadne_obs::trace::{self, Level};
 use ariadne_pql::{analyze, parse, Catalog, Evaluator, Params, PqlError, UdfRegistry};
 use std::sync::Arc;
 
@@ -46,8 +47,18 @@ pub fn compile_with(
     catalog: &Catalog,
     udfs: UdfRegistry,
 ) -> Result<CompiledQuery, PqlError> {
+    let _compile_span = trace::span(
+        Level::Debug,
+        "pql",
+        "compile",
+        &[("source_bytes", source.len().into())],
+    );
+    let parse_span = trace::span(Level::Trace, "pql", "parse", &[]);
     let program = parse(source)?;
+    drop(parse_span);
+    let plan_span = trace::span(Level::Trace, "pql", "plan", &[]);
     let analyzed = analyze(&program, catalog, &params)?;
+    drop(plan_span);
     Ok(CompiledQuery {
         evaluator: Arc::new(Evaluator::new(analyzed, udfs)),
         source: source.to_string(),

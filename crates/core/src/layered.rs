@@ -65,7 +65,7 @@ use std::time::Instant;
 /// so they are flagged deterministic; phase timings are wall-clock and
 /// are not.
 mod obs_handles {
-    use ariadne_obs::metrics::Counter;
+    use ariadne_obs::metrics::{Counter, Histogram};
     use std::sync::OnceLock;
 
     macro_rules! layered_counter {
@@ -76,6 +76,36 @@ mod obs_handles {
             }
         };
     }
+
+    macro_rules! layered_histogram {
+        ($fn_name:ident, $name:literal, $help:literal) => {
+            pub fn $fn_name() -> &'static Histogram {
+                static H: OnceLock<Histogram> = OnceLock::new();
+                H.get_or_init(|| ariadne_obs::registry().histogram($name, $help, false))
+            }
+        };
+    }
+
+    layered_histogram!(
+        query_latency,
+        "layered_query_latency_ns",
+        "end-to-end wall-clock nanoseconds per layered query replay"
+    );
+    layered_histogram!(
+        inject_latency,
+        "layered_inject_latency_ns",
+        "per-query wall-clock nanoseconds reading and injecting layers"
+    );
+    layered_histogram!(
+        eval_latency,
+        "layered_eval_latency_ns",
+        "per-query wall-clock nanoseconds in evaluation rounds"
+    );
+    layered_histogram!(
+        merge_latency,
+        "layered_merge_latency_ns",
+        "per-query wall-clock nanoseconds merging outboxes and results"
+    );
 
     layered_counter!(
         rounds,
@@ -291,6 +321,7 @@ pub fn run_layered_with(
     query: &CompiledQuery,
     config: &LayeredConfig,
 ) -> Result<LayeredRun, AriadneError> {
+    let run_started = Instant::now();
     let direction = query.direction();
     if !direction.supports_layered() {
         return Err(AriadneError::UnsupportedMode {
@@ -382,6 +413,12 @@ pub fn run_layered_with(
     for layer in order {
         driver.run.layers += 1;
         obs_handles::rounds().inc();
+        let _layer_span = trace::span(
+            Level::Trace,
+            "layered",
+            "layer",
+            &[("layer", u64::from(layer).into())],
+        );
         // 1. Inject this layer's tuples into their owners.
         let t0 = Instant::now();
         let mut touched = std::mem::take(&mut driver.pending);
@@ -424,6 +461,7 @@ pub fn run_layered_with(
     }
 
     // Merge IDB results in ascending vertex order.
+    let _merge_span = trace::span(Level::Trace, "layered", "merge_results", &[]);
     let t0 = Instant::now();
     let mut merged = Database::new();
     let mut owners: Vec<&usize> = driver.states.keys().collect();
@@ -439,6 +477,7 @@ pub fn run_layered_with(
         }
     }
     driver.run.phase_merge_ns += t0.elapsed().as_nanos() as u64;
+    drop(_merge_span);
 
     let mut run = driver.run;
     run.query_results = merged;
@@ -448,6 +487,10 @@ pub fn run_layered_with(
     obs_handles::phase_inject_ns().add(run.phase_inject_ns);
     obs_handles::phase_eval_ns().add(run.phase_eval_ns);
     obs_handles::phase_merge_ns().add(run.phase_merge_ns);
+    obs_handles::inject_latency().record(run.phase_inject_ns);
+    obs_handles::eval_latency().record(run.phase_eval_ns);
+    obs_handles::merge_latency().record(run.phase_merge_ns);
+    obs_handles::query_latency().record(run_started.elapsed().as_nanos() as u64);
     drop(span);
     trace::event(
         Level::Debug,
@@ -613,21 +656,34 @@ impl Driver<'_> {
         // `Sync`.
         let (graph, evaluator) = (self.graph, self.evaluator);
         let (needed_statics, shipped_preds) = (self.needed_statics, &self.shipped_preds);
+        // Workers carry the caller's span context across the thread
+        // boundary, so per-chunk spans hang off the enclosing layer
+        // span in the drained trace tree.
+        let ctx = trace::current_context();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= inputs.len() {
-                        break;
+                scope.spawn(|| {
+                    let _ctx = ctx.enter();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= inputs.len() {
+                            break;
+                        }
+                        let group = inputs[idx]
+                            .lock()
+                            .expect("input lock")
+                            .take()
+                            .expect("group claimed once");
+                        let _chunk_span = trace::span(
+                            Level::Trace,
+                            "layered",
+                            "chunk",
+                            &[("chunk", idx.into()), ("vertices", group.len().into())],
+                        );
+                        let result =
+                            process_group(graph, evaluator, needed_statics, shipped_preds, group);
+                        *outputs[idx].lock().expect("output lock") = Some(result);
                     }
-                    let group = inputs[idx]
-                        .lock()
-                        .expect("input lock")
-                        .take()
-                        .expect("group claimed once");
-                    let result =
-                        process_group(graph, evaluator, needed_statics, shipped_preds, group);
-                    *outputs[idx].lock().expect("output lock") = Some(result);
                 });
             }
         });

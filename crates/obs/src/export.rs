@@ -19,7 +19,10 @@ use std::fmt::Write as _;
 /// `# ARIADNE deterministic <name> <true|false>` comment line so
 /// downstream tooling can select the thread-invariant subset without a
 /// side table. Histograms emit cumulative `_bucket{le="..."}` series
-/// plus `_sum` and `_count`, with `le="+Inf"` last.
+/// plus `_sum` and `_count`, with `le="+Inf"` last, followed by
+/// interpolated `{quantile="..."}` series (p50/p90/p99, summary-style)
+/// computed server-side from the power-of-two buckets — scrape
+/// consumers get latency percentiles without PromQL.
 pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for s in &snapshot.samples {
@@ -44,6 +47,12 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
                 }
                 let _ = writeln!(out, "{}_sum {}", s.name, h.sum);
                 let _ = writeln!(out, "{}_count {}", s.name, h.count);
+                for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                    if let Some(v) = h.quantile(q) {
+                        let _ =
+                            writeln!(out, "{}{{quantile=\"{}\"}} {}", s.name, label, v);
+                    }
+                }
             }
         }
     }
@@ -51,20 +60,25 @@ pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
 }
 
 /// Render captured events as JSON Lines: one object per event, keys in
-/// fixed order (`seq`, `ts_ns`, `level`, `target`, `name`, `fields`),
-/// `fields` an object preserving field order. Floats use Rust's default
+/// fixed order (`seq`, `ts_ns`, `level`, `target`, `name`, `trace_id`,
+/// `span_id`, `parent_id`, `fields`), `fields` an object preserving
+/// field order. The three id keys encode the span tree (zero means
+/// "none"; see [`crate::trace::SpanContext`]). Floats use Rust's default
 /// `{}` formatting; non-finite floats are emitted as `null`.
 pub fn trace_jsonl(events: &[Event]) -> String {
     let mut out = String::new();
     for ev in events {
         let _ = write!(
             out,
-            "{{\"seq\":{},\"ts_ns\":{},\"level\":\"{}\",\"target\":\"{}\",\"name\":\"{}\",\"fields\":{{",
+            "{{\"seq\":{},\"ts_ns\":{},\"level\":\"{}\",\"target\":\"{}\",\"name\":\"{}\",\"trace_id\":{},\"span_id\":{},\"parent_id\":{},\"fields\":{{",
             ev.seq,
             ev.ts_ns,
             ev.level.as_str(),
             escape(ev.target),
             escape(ev.name),
+            ev.trace_id,
+            ev.span_id,
+            ev.parent_id,
         );
         for (i, (k, v)) in ev.fields.iter().enumerate() {
             if i > 0 {
@@ -155,6 +169,19 @@ mod tests {
         assert!(text.contains("e_lat_ns_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("e_lat_ns_sum 101\n"));
         assert!(text.contains("e_lat_ns_count 2\n"));
+        // Interpolated quantile series follow _count.
+        assert!(text.contains("e_lat_ns{quantile=\"0.5\"} 1\n"));
+        assert!(text.contains("e_lat_ns{quantile=\"0.9\"}"));
+        assert!(text.contains("e_lat_ns{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn prometheus_empty_histogram_has_no_quantiles() {
+        let reg = Registry::new();
+        let _ = reg.histogram("e_idle_ns", "latency", false);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("e_idle_ns_count 0\n"));
+        assert!(!text.contains("quantile="));
     }
 
     #[test]
@@ -165,6 +192,9 @@ mod tests {
             level: Level::Warn,
             target: "store",
             name: "spill",
+            trace_id: 7,
+            span_id: 0,
+            parent_id: 7,
             fields: vec![
                 ("bytes", Value::U64(1024)),
                 ("path", Value::Str("a\"b\\c\n".into())),
@@ -177,7 +207,7 @@ mod tests {
         let line = trace_jsonl(&[ev]);
         assert_eq!(
             line,
-            "{\"seq\":3,\"ts_ns\":99,\"level\":\"warn\",\"target\":\"store\",\"name\":\"spill\",\"fields\":{\"bytes\":1024,\"path\":\"a\\\"b\\\\c\\n\",\"ok\":true,\"delta\":-2,\"ratio\":0.5,\"nan\":null}}\n"
+            "{\"seq\":3,\"ts_ns\":99,\"level\":\"warn\",\"target\":\"store\",\"name\":\"spill\",\"trace_id\":7,\"span_id\":0,\"parent_id\":7,\"fields\":{\"bytes\":1024,\"path\":\"a\\\"b\\\\c\\n\",\"ok\":true,\"delta\":-2,\"ratio\":0.5,\"nan\":null}}\n"
         );
     }
 }

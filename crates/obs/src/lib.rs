@@ -54,11 +54,13 @@
 
 pub mod export;
 pub mod metrics;
+pub mod server;
 pub mod trace;
 
 pub use export::{prometheus_text, trace_jsonl};
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry};
-pub use trace::{Event, Level, SpanGuard, Value};
+pub use server::{publish_report, ObsServer};
+pub use trace::{Event, Level, SpanContext, SpanGuard, Value};
 
 /// The process-wide metric registry.
 ///
@@ -67,4 +69,17 @@ pub use trace::{Event, Level, SpanGuard, Value};
 /// once per site per process.
 pub fn registry() -> &'static Registry {
     Registry::global()
+}
+
+/// Serialize tests that mutate the process-global trace state (filter,
+/// rings); shared across this crate's test modules.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn trace_lock() -> MutexGuard<'static, ()> {
+        TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }

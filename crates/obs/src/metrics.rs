@@ -150,8 +150,11 @@ impl Gauge {
 }
 
 /// Number of exponential histogram buckets: bucket `i` counts samples
-/// with `value < 2^i`, the final bucket is `+Inf`.
-pub const HISTOGRAM_BUCKETS: usize = 32;
+/// with `value < 2^i`, the final bucket is `+Inf`. 64 buckets put the
+/// largest finite bound at `2^62 - 1`, so nanosecond latencies of
+/// multi-second queries still get interpolated quantiles instead of
+/// collapsing into the `+Inf` bucket.
+pub const HISTOGRAM_BUCKETS: usize = 64;
 
 struct HistogramInner {
     /// Per-shard bucket banks; `buckets[b]` is a shard bank for bucket b.
@@ -221,6 +224,62 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Number of recorded samples.
     pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the power-of-two bucket holding the target rank.
+    ///
+    /// The estimate assumes samples are uniformly spread across each
+    /// bucket's `(lower, upper]` range, so it is exact for degenerate
+    /// buckets (bound 0) and at worst off by one bucket width otherwise —
+    /// the usual trade of exponential-bucket histograms. Returns `None`
+    /// when the histogram is empty or `q` is not a finite value in
+    /// `[0, 1]`. `quantile(1.0)` returns the upper bound of the highest
+    /// occupied bucket (the observable max).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !q.is_finite() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the target sample, 1-based, clamped into [1, count].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut prev_cumulative = 0u64;
+        let mut prev_bound = 0u64;
+        for &(bound, cumulative) in &self.buckets {
+            if cumulative >= rank {
+                let in_bucket = cumulative - prev_cumulative;
+                let into = rank - prev_cumulative; // 1-based within bucket
+                // Bucket range is (prev_bound, bound]; the first bucket
+                // is the single value 0. +Inf interpolates to its lower
+                // edge (there is no finite upper bound to lerp toward).
+                if bound == prev_bound || in_bucket == 0 {
+                    return Some(bound);
+                }
+                if bound == u64::MAX {
+                    return Some(prev_bound.saturating_add(1));
+                }
+                let lo = prev_bound as f64;
+                let width = (bound - prev_bound) as f64;
+                let est = lo + width * (into as f64 / in_bucket as f64);
+                return Some(est.round() as u64);
+            }
+            prev_cumulative = cumulative;
+            prev_bound = bound;
+        }
+        None
+    }
+
+    /// The upper bound of the highest occupied bucket (`None` when
+    /// empty): a safe over-estimate of the maximum recorded sample.
+    pub fn max_bound(&self) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        self.buckets
+            .iter()
+            .find(|&&(_, cumulative)| cumulative >= self.count)
+            .map(|&(bound, _)| bound)
+    }
 }
 
 enum Cell {
@@ -468,6 +527,69 @@ mod tests {
         assert_eq!(snap.buckets[3], (7, 3));
         let last = *snap.buckets.last().unwrap();
         assert_eq!(last, (u64::MAX, 4));
+    }
+
+    #[test]
+    fn quantile_empty_and_bad_inputs() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_q_empty", "test", false);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.max_bound(), None);
+        h.record(1);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(-0.1), None);
+        assert_eq!(snap.quantile(1.5), None);
+        assert_eq!(snap.quantile(f64::NAN), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket_is_exact() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_q_zero", "test", false);
+        for _ in 0..10 {
+            h.record(0);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), Some(0));
+        assert_eq!(snap.quantile(0.5), Some(0));
+        assert_eq!(snap.quantile(1.0), Some(0));
+        assert_eq!(snap.max_bound(), Some(0));
+    }
+
+    #[test]
+    fn quantile_interpolates_and_orders() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_q_lat", "test", false);
+        // 90 fast samples (bucket bound 127), 10 slow (bucket bound 8191).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(8000);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5).unwrap();
+        let p90 = snap.quantile(0.9).unwrap();
+        let p99 = snap.quantile(0.99).unwrap();
+        // p50/p90 land in the fast bucket (64, 127], p99 in the slow one.
+        assert!((64..=127).contains(&p50), "p50 = {p50}");
+        assert!((64..=127).contains(&p90), "p90 = {p90}");
+        assert!((4096..=8191).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotone");
+        assert_eq!(snap.max_bound(), Some(8191));
+    }
+
+    #[test]
+    fn quantile_top_bucket_does_not_explode() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_q_inf", "test", false);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        // +Inf bucket: report its finite lower edge, not u64::MAX.
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!(p50 < u64::MAX);
+        assert_eq!(snap.max_bound(), Some(u64::MAX));
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! A minimal, dependency-free HTTP/1.1 exposition server: the live
+//! telemetry plane.
+//!
+//! Everything else in this crate dumps artifacts *after* a run; this
+//! module makes the same signals scrapeable *while* the analytic and its
+//! provenance queries are executing — the whole point of online
+//! provenance. It is deliberately tiny: `TcpListener`, a fixed worker
+//! pool, `GET`-only routing, `Connection: close` on every response. It
+//! is an operational surface for scrapers and `curl`, not a general web
+//! server.
+//!
+//! Endpoints:
+//!
+//! | Path       | Body                                                        |
+//! |------------|-------------------------------------------------------------|
+//! | `/metrics` | global registry, Prometheus text ([`crate::prometheus_text`]) |
+//! | `/trace`   | drains the trace rings as JSONL ([`crate::trace_jsonl`]);   |
+//! |            | `X-Ariadne-Dropped-Events` reports ring overflow loss       |
+//! | `/report`  | latest [`publish_report`]ed run report (404 until one lands) |
+//! | `/healthz` | `ok` — liveness                                             |
+//!
+//! Anything malformed gets `400`, unknown paths `404`, non-GET methods
+//! `405`; none of these wedge the listener. `/trace` is destructive by
+//! design (it drains the rings, like [`crate::trace::drain`]) — point
+//! exactly one consumer at it.
+//!
+//! The server is bounded everywhere: `WORKERS` handler threads, a
+//! `QUEUE_DEPTH`-deep accept queue (excess connections wait in the OS
+//! backlog), `MAX_REQUEST_BYTES` per request head, and read/write
+//! timeouts so a stalled peer cannot pin a worker. [`ObsServer::shutdown`]
+//! stops accepting, drains in-flight requests, and joins every thread.
+
+use crate::metrics::Counter;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handler threads serving accepted connections.
+pub const WORKERS: usize = 4;
+/// Accepted-but-unserved connections held between accept and a worker.
+pub const QUEUE_DEPTH: usize = 32;
+/// Upper bound on the request head (request line + headers) we read.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Per-connection socket read/write timeout.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Cached handles for the server's own metrics (it eats its own food).
+mod obs_handles {
+    use super::*;
+
+    macro_rules! http_counter {
+        ($fn_name:ident, $name:literal, $help:literal) => {
+            pub fn $fn_name() -> &'static Counter {
+                static H: OnceLock<Counter> = OnceLock::new();
+                H.get_or_init(|| crate::registry().counter($name, $help, false))
+            }
+        };
+    }
+
+    http_counter!(
+        requests,
+        "obs_http_requests_total",
+        "HTTP requests accepted by the exposition server"
+    );
+    http_counter!(
+        bad_requests,
+        "obs_http_bad_requests_total",
+        "HTTP requests rejected as malformed (400) or unsupported (404/405)"
+    );
+}
+
+/// The latest published run report, served verbatim on `/report`.
+fn latest_report() -> &'static Mutex<Option<String>> {
+    static R: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(None))
+}
+
+/// Publish a run's report JSON for `GET /report`. Call it after each
+/// run (or superstep); the newest value wins. Publishing is independent
+/// of any server's lifetime, so drivers can publish unconditionally.
+pub fn publish_report(json: String) {
+    *latest_report().lock().unwrap() = Some(json);
+}
+
+/// The currently published report, if any (what `/report` would serve).
+pub fn published_report() -> Option<String> {
+    latest_report().lock().unwrap().clone()
+}
+
+/// A running exposition server. Dropping without [`ObsServer::shutdown`]
+/// performs the same graceful shutdown.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9464`, or port `0` for an ephemeral
+    /// port) and start serving in background threads.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(QUEUE_DEPTH);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(WORKERS);
+        for i in 0..WORKERS {
+            let rx = Arc::clone(&rx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("obs-http-{i}"))
+                    .spawn(move || loop {
+                        // Take the next connection; exit when the accept
+                        // thread has gone and the queue is drained.
+                        let stream = match rx.lock().unwrap().recv() {
+                            Ok(s) => s,
+                            Err(_) => break,
+                        };
+                        handle_connection(stream);
+                    })?,
+            );
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("obs-http-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break; // the wake-up connection lands here too
+                    }
+                    match conn {
+                        // A full queue blocks here, bounding in-flight
+                        // work; further peers wait in the OS backlog.
+                        Ok(stream) => {
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // tx drops here: workers drain the queue and exit.
+            })?;
+
+        Ok(ObsServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, finish queued requests, join
+    /// every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept thread out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Read the request head (through the blank line), bounded by
+/// [`MAX_REQUEST_BYTES`]. Returns `None` on timeout/oversize/EOF-mid-head.
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n")
+                    || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    String::from_utf8(buf).ok()
+}
+
+/// Parse `GET /path HTTP/1.x` out of the head; `Err` distinguishes a
+/// malformed request (400) from a well-formed non-GET method (405).
+fn parse_request(head: &str) -> Result<String, u16> {
+    let line = head.lines().next().ok_or(400u16)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(400u16)?;
+    let path = parts.next().ok_or(400u16)?;
+    let version = parts.next().ok_or(400u16)?;
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+        return Err(400);
+    }
+    if !path.starts_with('/') {
+        return Err(400);
+    }
+    if method != "GET" {
+        return Err(405);
+    }
+    // Strip any query string; routing is path-only.
+    let path = path.split('?').next().unwrap_or(path);
+    Ok(path.to_string())
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    extra_header: Option<String>,
+    body: String,
+}
+
+impl Response {
+    fn plain(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_header: None,
+            body: body.into(),
+        }
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Route one parsed GET to its response.
+fn route(path: &str) -> Response {
+    match path {
+        "/metrics" => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            extra_header: None,
+            body: crate::prometheus_text(&crate::registry().snapshot()),
+        },
+        "/trace" => {
+            let (events, dropped) = crate::trace::drain_stats();
+            Response {
+                status: 200,
+                content_type: "application/jsonl; charset=utf-8",
+                extra_header: Some(format!("X-Ariadne-Dropped-Events: {dropped}")),
+                body: crate::trace_jsonl(&events),
+            }
+        }
+        "/report" => match published_report() {
+            Some(json) => Response {
+                status: 200,
+                content_type: "application/json; charset=utf-8",
+                extra_header: None,
+                body: json + "\n",
+            },
+            None => Response::plain(404, "no report published yet\n"),
+        },
+        "/healthz" => Response::plain(200, "ok\n"),
+        _ => Response::plain(404, "not found\n"),
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    obs_handles::requests().inc();
+
+    let response = match read_request_head(&mut stream) {
+        None => Response::plain(400, "bad request\n"),
+        Some(head) => match parse_request(&head) {
+            Ok(path) => route(&path),
+            Err(status) => Response::plain(status, format!("{}\n", status_reason(status))),
+        },
+    };
+    if response.status >= 400 {
+        obs_handles::bad_requests().inc();
+    }
+
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        status_reason(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    if let Some(h) = &response.extra_header {
+        out.push_str(h);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(&response.body);
+    let _ = stream.write_all(out.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    /// One round-trip against a running server; returns (status, headers,
+    /// body). `raw` is written verbatim so tests can send malformed junk.
+    fn roundtrip(addr: SocketAddr, raw: &str) -> (u16, Vec<String>, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        s.flush().unwrap();
+        let mut reader = std::io::BufReader::new(s);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).unwrap();
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end().to_string();
+            if line.is_empty() {
+                break;
+            }
+            headers.push(line);
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body).unwrap();
+        (status, headers, body)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, Vec<String>, String) {
+        roundtrip(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    #[test]
+    fn serves_healthz_metrics_and_404() {
+        let server = ObsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        crate::registry()
+            .counter("obs_server_test_total", "server test marker", true)
+            .add(3);
+        let (status, headers, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(headers.iter().any(|h| h.contains("text/plain")));
+        assert!(body.contains("obs_server_test_total 3"));
+        assert!(body.contains("# ARIADNE deterministic obs_server_test_total true"));
+
+        let (status, _, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_and_non_get_do_not_wedge() {
+        let server = ObsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let (status, _, _) = roundtrip(addr, "???\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _, _) = roundtrip(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+        let (status, _, _) = roundtrip(addr, "GET /metrics TELNET/9\r\n\r\n");
+        assert_eq!(status, 400);
+
+        // The listener is still alive and serving.
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn report_is_404_until_published() {
+        let server = ObsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        // NB: the published report is process-global; earlier tests in
+        // this binary may already have published. Publish a sentinel and
+        // assert it wins (newest-wins semantics).
+        publish_report("{\"supersteps\":42}".to_string());
+        let (status, _, body) = get(addr, "/report");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"supersteps\":42}\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_endpoint_drains_and_reports_drops() {
+        let _g = crate::test_support::trace_lock();
+        let server = ObsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        crate::trace::set_filter("info");
+        crate::trace::event(
+            crate::trace::Level::Info,
+            "obs_server_test",
+            "ping",
+            &[("n", 1u64.into())],
+        );
+        let (status, headers, body) = get(addr, "/trace");
+        crate::trace::set_filter("off");
+        assert_eq!(status, 200);
+        assert!(headers
+            .iter()
+            .any(|h| h.starts_with("X-Ariadne-Dropped-Events:")));
+        assert!(body.lines().any(|l| l.contains("\"name\":\"ping\"")));
+        server.shutdown();
+    }
+}

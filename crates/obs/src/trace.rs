@@ -21,6 +21,7 @@
 //! `engine::checkpoint`. Levels: `off`, `error`, `warn`, `info`,
 //! `debug`, `trace`.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -148,8 +149,79 @@ pub struct Event {
     pub target: &'static str,
     /// Event name, e.g. `superstep`, `spill`, `fault_injected`.
     pub name: &'static str,
+    /// Trace the event belongs to (the root span's id); 0 when the
+    /// event happened outside any span.
+    pub trace_id: u64,
+    /// For a span-close event, the span's own id; 0 for point events.
+    pub span_id: u64,
+    /// The enclosing span: for a span-close event its parent span, for a
+    /// point event the span it occurred inside. 0 at the root / outside.
+    pub parent_id: u64,
     /// Typed key/value payload.
     pub fields: Vec<(&'static str, Value)>,
+}
+
+/// A span's identity, propagatable across threads.
+///
+/// [`current_context`] captures the calling thread's innermost active
+/// span; handing the value to a worker thread and calling
+/// [`SpanContext::enter`] there makes spans and events recorded by the
+/// worker children of the originating span, so one logical operation
+/// (e.g. a provenance query fanning out over replay chunks) forms a
+/// single navigable tree in the drained event stream.
+///
+/// Span-close events carry `(trace_id, span_id, parent_id)`; a span's
+/// start time is `ts_ns - dur_ns` of its close event. Point events carry
+/// the enclosing span in `parent_id` with `span_id = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanContext {
+    /// The trace (root span) id; 0 when no span is active.
+    pub trace_id: u64,
+    /// The innermost active span id; 0 when no span is active.
+    pub span_id: u64,
+}
+
+impl SpanContext {
+    /// Is this a real context (captured inside an active span)?
+    pub fn is_active(self) -> bool {
+        self.span_id != 0
+    }
+
+    /// Make this context the calling thread's innermost span until the
+    /// returned guard drops. Inert for an inactive context.
+    pub fn enter(self) -> ContextGuard {
+        if !self.is_active() {
+            return ContextGuard { entered: false };
+        }
+        CONTEXT.with(|c| c.borrow_mut().push(self));
+        ContextGuard { entered: true }
+    }
+}
+
+/// RAII guard from [`SpanContext::enter`]; pops the context on drop.
+pub struct ContextGuard {
+    entered: bool,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.entered {
+            CONTEXT.with(|c| {
+                c.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+thread_local! {
+    /// Stack of active span contexts on this thread, innermost last.
+    static CONTEXT: RefCell<Vec<SpanContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The calling thread's innermost active span context (all-zero when no
+/// span is active). Cheap: one thread-local read.
+pub fn current_context() -> SpanContext {
+    CONTEXT.with(|c| c.borrow().last().copied().unwrap_or_default())
 }
 
 /// Parsed `ARIADNE_LOG` filter.
@@ -238,6 +310,8 @@ struct TraceState {
     max_level: AtomicU8,
     filter: Mutex<Filter>,
     seq: AtomicU64,
+    /// Span-id allocator; ids start at 1 so 0 always means "none".
+    span_ids: AtomicU64,
     epoch: Instant,
     rings: Mutex<Vec<Arc<Ring>>>,
 }
@@ -252,6 +326,7 @@ fn state() -> &'static TraceState {
             max_level: AtomicU8::new(filter.max_level() as u8),
             filter: Mutex::new(filter),
             seq: AtomicU64::new(0),
+            span_ids: AtomicU64::new(1),
             epoch: Instant::now(),
             rings: Mutex::new(Vec::new()),
         }
@@ -290,11 +365,13 @@ pub fn enabled(level: Level, target: &str) -> bool {
 }
 
 /// Record an event if the filter allows it. `fields` is only cloned
-/// when the event is actually captured.
+/// when the event is actually captured. The event is attributed to the
+/// calling thread's innermost active span (see [`SpanContext`]).
 pub fn event(level: Level, target: &'static str, name: &'static str, fields: &[(&'static str, Value)]) {
     if !enabled(level, target) {
         return;
     }
+    let ctx = current_context();
     let st = state();
     let ev = Event {
         seq: st.seq.fetch_add(1, Ordering::Relaxed),
@@ -302,6 +379,9 @@ pub fn event(level: Level, target: &'static str, name: &'static str, fields: &[(
         level,
         target,
         name,
+        trace_id: ctx.trace_id,
+        span_id: 0,
+        parent_id: ctx.span_id,
         fields: fields.to_vec(),
     };
     THREAD_RING.with(|r| r.push(ev));
@@ -318,6 +398,9 @@ struct SpanData {
     level: Level,
     target: &'static str,
     name: &'static str,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
     fields: Vec<(&'static str, Value)>,
 }
 
@@ -326,34 +409,55 @@ impl SpanGuard {
     pub fn disabled() -> Self {
         SpanGuard { start: None }
     }
+
+    /// This span's propagatable context, for handing to worker threads
+    /// (see [`SpanContext::enter`]). Inactive for a disabled guard.
+    pub fn context(&self) -> SpanContext {
+        match &self.start {
+            Some(d) => SpanContext {
+                trace_id: d.trace_id,
+                span_id: d.span_id,
+            },
+            None => SpanContext::default(),
+        }
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(mut data) = self.start.take() {
+            // Pop this span off the thread's context stack (spans are
+            // strictly LIFO per thread by RAII construction).
+            CONTEXT.with(|c| {
+                c.borrow_mut().pop();
+            });
             data.fields
                 .push(("dur_ns", Value::U64(data.started.elapsed().as_nanos() as u64)));
-            event_owned(data.level, data.target, data.name, data.fields);
+            let st = state();
+            let ev = Event {
+                seq: st.seq.fetch_add(1, Ordering::Relaxed),
+                ts_ns: st.epoch.elapsed().as_nanos() as u64,
+                level: data.level,
+                target: data.target,
+                name: data.name,
+                trace_id: data.trace_id,
+                span_id: data.span_id,
+                parent_id: data.parent_id,
+                fields: data.fields,
+            };
+            THREAD_RING.with(|r| r.push(ev));
         }
     }
-}
-
-fn event_owned(level: Level, target: &'static str, name: &'static str, fields: Vec<(&'static str, Value)>) {
-    let st = state();
-    let ev = Event {
-        seq: st.seq.fetch_add(1, Ordering::Relaxed),
-        ts_ns: st.epoch.elapsed().as_nanos() as u64,
-        level,
-        target,
-        name,
-        fields,
-    };
-    THREAD_RING.with(|r| r.push(ev));
 }
 
 /// Open a timed span. The returned guard emits `name` with a `dur_ns`
 /// field (appended after `fields`) when it goes out of scope. If the
 /// filter rejects the span at creation time the guard is inert.
+///
+/// The span becomes the thread's innermost context until the guard
+/// drops: nested spans get `parent_id` pointing here, point events are
+/// attributed to it, and a root span (no enclosing span on this thread)
+/// starts a new trace with `trace_id` equal to its own span id.
 pub fn span(
     level: Level,
     target: &'static str,
@@ -363,21 +467,47 @@ pub fn span(
     if !enabled(level, target) {
         return SpanGuard::disabled();
     }
+    let parent = current_context();
+    let span_id = state().span_ids.fetch_add(1, Ordering::Relaxed);
+    let trace_id = if parent.trace_id != 0 {
+        parent.trace_id
+    } else {
+        span_id
+    };
+    CONTEXT.with(|c| c.borrow_mut().push(SpanContext { trace_id, span_id }));
     SpanGuard {
         start: Some(SpanData {
             started: Instant::now(),
             level,
             target,
             name,
+            trace_id,
+            span_id,
+            parent_id: parent.span_id,
             fields: fields.to_vec(),
         }),
     }
 }
 
+/// Cached handle for the ring-overflow counter. Every drain folds the
+/// rings' dropped totals in here, so lossiness is visible in `/metrics`
+/// even when callers use [`drain`] and never look at the count.
+fn dropped_counter() -> &'static crate::metrics::Counter {
+    static H: OnceLock<crate::metrics::Counter> = OnceLock::new();
+    H.get_or_init(|| {
+        crate::metrics::Registry::global().counter(
+            "trace_events_dropped_total",
+            "trace events lost to ring-buffer overwrite before a drain",
+            false,
+        )
+    })
+}
+
 /// Drain every thread's ring buffer, returning all captured events
 /// merged into global sequence order, plus nothing else: rings are left
-/// empty. The second element of the pair reported by [`drain_stats`]
-/// counts events lost to ring overflow since the last drain.
+/// empty. Events lost to ring overflow are folded into the
+/// `trace_events_dropped_total` registry counter (and also returned by
+/// [`drain_stats`]), so lossiness is never silently discarded.
 pub fn drain() -> Vec<Event> {
     drain_stats().0
 }
@@ -396,6 +526,7 @@ pub fn drain_stats() -> (Vec<Event>, u64) {
         inner.dropped = 0;
     }
     out.sort_by_key(|e| e.seq);
+    dropped_counter().add(dropped);
     (out, dropped)
 }
 
@@ -404,11 +535,9 @@ mod tests {
     use super::*;
 
     // Trace state is process-global, so the tests below run serially
-    // through one mutex to avoid cross-test interference.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
-
+    // through one crate-wide mutex to avoid cross-test interference.
     fn locked() -> std::sync::MutexGuard<'static, ()> {
-        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        crate::test_support::trace_lock()
     }
 
     #[test]
@@ -457,6 +586,117 @@ mod tests {
         assert_eq!(evs.len(), 1);
         let last = evs[0].fields.last().unwrap();
         assert_eq!(last.0, "dur_ns");
+    }
+
+    #[test]
+    fn span_tree_ids_nest_and_attribute_events() {
+        let _g = locked();
+        set_filter("trace");
+        let _ = drain();
+        {
+            let root = span(Level::Info, "pql", "query", &[]);
+            let root_ctx = root.context();
+            assert!(root_ctx.is_active());
+            {
+                let child = span(Level::Debug, "layered", "replay", &[]);
+                let child_ctx = child.context();
+                assert_eq!(child_ctx.trace_id, root_ctx.trace_id);
+                assert_ne!(child_ctx.span_id, root_ctx.span_id);
+                event(Level::Trace, "store", "read", &[]);
+            }
+            event(Level::Info, "pql", "merged", &[]);
+        }
+        let evs = drain();
+        set_filter("off");
+        // Close order: store read (point), child close, merged (point), root close.
+        assert_eq!(evs.len(), 4);
+        let read = &evs[0];
+        let child = &evs[1];
+        let merged = &evs[2];
+        let root = &evs[3];
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(root.trace_id, root.span_id, "root span starts its trace");
+        assert_eq!(child.parent_id, root.span_id);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_ne!(child.span_id, 0);
+        // Point events: span_id 0, parent is the enclosing span.
+        assert_eq!(read.span_id, 0);
+        assert_eq!(read.parent_id, child.span_id);
+        assert_eq!(read.trace_id, root.trace_id);
+        assert_eq!(merged.parent_id, root.span_id);
+    }
+
+    #[test]
+    fn span_context_propagates_across_threads() {
+        let _g = locked();
+        set_filter("debug");
+        let _ = drain();
+        let root_ids;
+        {
+            let root = span(Level::Info, "layered", "run", &[]);
+            let ctx = root.context();
+            root_ids = (ctx.trace_id, ctx.span_id);
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(move || {
+                        let _enter = ctx.enter();
+                        let _chunk = span(Level::Debug, "layered", "chunk", &[]);
+                    });
+                }
+            });
+        }
+        let evs = drain();
+        set_filter("off");
+        let chunks: Vec<_> = evs.iter().filter(|e| e.name == "chunk").collect();
+        assert_eq!(chunks.len(), 2);
+        for c in &chunks {
+            assert_eq!(c.trace_id, root_ids.0);
+            assert_eq!(c.parent_id, root_ids.1);
+        }
+        // Worker threads' stacks drained: entering again is a no-op root.
+        assert_eq!(current_context(), SpanContext::default());
+    }
+
+    #[test]
+    fn inactive_context_enter_is_inert() {
+        let _g = locked();
+        let ctx = SpanContext::default();
+        {
+            let _e = ctx.enter();
+            assert_eq!(current_context(), SpanContext::default());
+        }
+    }
+
+    #[test]
+    fn overflow_from_many_threads_is_counted_and_exported() {
+        let _g = locked();
+        set_filter("debug");
+        let _ = drain(); // reset rings and fold stale drops away
+        let before = dropped_counter().value();
+        // Each thread's private ring overflows well past RING_CAPACITY.
+        let threads = 4;
+        let per_thread = RING_CAPACITY + 100;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        event(Level::Debug, "overflow", "spin", &[("i", i.into())]);
+                    }
+                });
+            }
+        });
+        let (events, dropped) = drain_stats();
+        set_filter("off");
+        let ours = events.iter().filter(|e| e.target == "overflow").count();
+        // Every event was either retained or counted dropped.
+        assert_eq!(
+            ours as u64 + dropped,
+            (threads * per_thread) as u64,
+            "retained + dropped must equal recorded"
+        );
+        assert!(dropped >= (threads * 100) as u64, "each ring overflowed");
+        // And the loss is visible as a registry counter for /metrics.
+        assert_eq!(dropped_counter().value(), before + dropped);
     }
 
     #[test]

@@ -217,6 +217,12 @@ impl Evaluator {
         loc: Option<&Value>,
         stats: &mut EvalStats,
     ) -> Result<(), PqlError> {
+        let _eval_span = ariadne_obs::trace::span(
+            ariadne_obs::trace::Level::Trace,
+            "pql",
+            "eval_step",
+            &[("strata", self.query.strata.len().into())],
+        );
         for stratum_idx in 0..self.query.strata.len() {
             self.step_stratum_stats(db, state, loc, stratum_idx, stats)?;
         }

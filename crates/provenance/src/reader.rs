@@ -25,6 +25,42 @@ use std::io::{Read, Seek, SeekFrom};
 use std::ops::Deref;
 use std::path::Path;
 
+/// Cached global-registry handles for read-backend accounting. Which
+/// backend serves an extent depends on configuration and file state
+/// (only atomic files ever map), and how many extents are pulled depends
+/// on replay chunking — so all three are flagged non-deterministic. The
+/// *decoded* record/tuple counters over in `store.rs` stay deterministic
+/// regardless of backend; `tests/backend_invariance.rs` pins that.
+mod obs_handles {
+    use ariadne_obs::metrics::Counter;
+    use std::sync::OnceLock;
+
+    macro_rules! read_counter {
+        ($fn_name:ident, $name:literal, $help:literal) => {
+            pub fn $fn_name() -> &'static Counter {
+                static H: OnceLock<Counter> = OnceLock::new();
+                H.get_or_init(|| ariadne_obs::registry().counter($name, $help, false))
+            }
+        };
+    }
+
+    read_counter!(
+        extent_reads,
+        "store_extent_reads_total",
+        "segment extent reads served by any backend"
+    );
+    read_counter!(
+        mmap_bytes,
+        "store_mmap_bytes_total",
+        "extent bytes served borrowed from read-only file mappings"
+    );
+    read_counter!(
+        buffered_bytes,
+        "store_buffered_bytes_total",
+        "extent bytes served by seek+read into owned buffers"
+    );
+}
+
 /// Which implementation [`crate::ProvStore`] layer reads use to pull
 /// extent bytes from spool files.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -98,6 +134,7 @@ pub fn read_extent(
     len: usize,
     atomic: bool,
 ) -> std::io::Result<SegmentSlice> {
+    obs_handles::extent_reads().inc();
     #[cfg(unix)]
     if backend == ReadBackend::Mmap && atomic && len > 0 {
         let map = mapped::Mmap::of_file(path)?;
@@ -111,6 +148,13 @@ pub fn read_extent(
                 ),
             ));
         }
+        obs_handles::mmap_bytes().add(len as u64);
+        ariadne_obs::trace::event(
+            ariadne_obs::trace::Level::Trace,
+            "store::read",
+            "extent_mmap",
+            &[("offset", offset.into()), ("len", len.into())],
+        );
         return Ok(SegmentSlice {
             inner: SliceInner::Mapped {
                 map,
@@ -126,6 +170,13 @@ pub fn read_extent(
     }
     let mut buf = vec![0u8; len];
     file.read_exact(&mut buf)?;
+    obs_handles::buffered_bytes().add(len as u64);
+    ariadne_obs::trace::event(
+        ariadne_obs::trace::Level::Trace,
+        "store::read",
+        "extent_buffered",
+        &[("offset", offset.into()), ("len", len.into())],
+    );
     Ok(SegmentSlice::owned(buf))
 }
 

@@ -134,7 +134,7 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Magic bytes opening every v1 (row-major) record. The fourth byte is
 /// the format version byte the reader dispatches on.
@@ -332,6 +332,86 @@ mod obs_handles {
         lz_saved_bytes,
         "store_lz_saved_bytes",
         "payload bytes saved by v3 LZ compression over the plain frame",
+        true
+    );
+    // Compaction protocol step timers (PR 7 landed the protocol with no
+    // obs): one wall-clock counter per kill-point-delimited step, so a
+    // slow compaction shows *which* step ate the time. Timings are
+    // schedule-dependent, hence non-deterministic.
+    store_counter!(
+        compact_encode_ns,
+        "store_compact_encode_ns",
+        "wall nanoseconds decoding + re-encoding segments into the generation buffer",
+        false
+    );
+    store_counter!(
+        compact_gen_write_ns,
+        "store_compact_gen_write_ns",
+        "wall nanoseconds writing + fsyncing the generation temp file",
+        false
+    );
+    store_counter!(
+        compact_gen_publish_ns,
+        "store_compact_gen_publish_ns",
+        "wall nanoseconds renaming the generation file into place",
+        false
+    );
+    store_counter!(
+        compact_manifest_write_ns,
+        "store_compact_manifest_write_ns",
+        "wall nanoseconds writing + fsyncing the manifest temp file",
+        false
+    );
+    store_counter!(
+        compact_manifest_publish_ns,
+        "store_compact_manifest_publish_ns",
+        "wall nanoseconds renaming the manifest into place (the commit point)",
+        false
+    );
+    store_counter!(
+        compact_gc_ns,
+        "store_compact_gc_ns",
+        "wall nanoseconds deleting superseded files after the manifest swap",
+        false
+    );
+    // v3 metadata reads: how often footers and manifests are parsed.
+    // Both depend on open/replay patterns, not logical work.
+    store_counter!(
+        footer_reads,
+        "store_footer_reads_total",
+        "v3 generation-file footers parsed",
+        false
+    );
+    store_counter!(
+        manifest_reads,
+        "store_manifest_reads_total",
+        "spool manifests read and parsed",
+        false
+    );
+    // Scrub progress: a scrub walks every file exactly once in sorted
+    // order, so these are functions of the spool content alone.
+    store_counter!(
+        scrub_files,
+        "store_scrub_files_total",
+        "spool files verified by scrub passes",
+        true
+    );
+    store_counter!(
+        scrub_records,
+        "store_scrub_records_total",
+        "records whose CRC and payload decode were re-verified by scrub",
+        true
+    );
+    store_counter!(
+        scrub_tuples,
+        "store_scrub_tuples_total",
+        "tuples decoded during scrub verification",
+        true
+    );
+    store_counter!(
+        scrub_damage,
+        "store_scrub_damage_total",
+        "damaged files (torn or corrupt) found by scrub passes",
         true
     );
 
@@ -1524,6 +1604,7 @@ fn read_gen_footer(path: &Path) -> Result<(Vec<FooterEntry>, usize, usize), Stor
             path: path.to_path_buf(),
             source: e,
         })?;
+    obs_handles::footer_reads().inc();
     let (entries, region_end) = v3::parse_footer(&data).map_err(|e| StoreError::Corrupt {
         path: path.to_path_buf(),
         detail: format!("generation footer: {e}"),
@@ -1544,6 +1625,7 @@ fn verify_gen_file(path: &Path) -> Result<Result<(usize, usize), String>, StoreE
             path: path.to_path_buf(),
             source: e,
         })?;
+    obs_handles::footer_reads().inc();
     let (entries, region_end) = match v3::parse_footer(&data) {
         Ok(v) => v,
         Err(e) => return Ok(Err(format!("generation footer: {e}"))),
@@ -1800,6 +1882,7 @@ pub fn scrub_spool(dir: &Path, repair: bool) -> Result<ScrubReport, StoreError> 
             path: mpath.clone(),
             source: e,
         })?;
+        obs_handles::manifest_reads().inc();
         match v3::parse_manifest(&bytes) {
             Ok(m) => manifest = Some(m),
             Err(e) => {
@@ -1907,6 +1990,10 @@ pub fn scrub_spool(dir: &Path, repair: bool) -> Result<ScrubReport, StoreError> 
             }
         }
     }
+    obs_handles::scrub_files().add(report.files_checked as u64);
+    obs_handles::scrub_records().add(report.records_verified as u64);
+    obs_handles::scrub_tuples().add(report.tuples_verified as u64);
+    obs_handles::scrub_damage().add(report.damage.len() as u64);
     trace::event(
         Level::Info,
         "store",
@@ -2121,6 +2208,7 @@ impl ProvStore {
                     path: mpath.clone(),
                     source: e,
                 })?;
+            obs_handles::manifest_reads().inc();
             let manifest = v3::parse_manifest(&bytes).map_err(|e| StoreError::Corrupt {
                 path: mpath.clone(),
                 detail: format!("spool manifest: {e}"),
@@ -2449,6 +2537,7 @@ impl ProvStore {
                 Ok(bytes) => {
                     manifest_present = true;
                     report.files_checked += 1;
+                    obs_handles::manifest_reads().inc();
                     match v3::parse_manifest(&bytes) {
                         Ok(m) => lost = m.lost,
                         Err(e) => {
@@ -2594,6 +2683,10 @@ impl ProvStore {
                 .chain(self.quarantined.keys().map(|(step, _)| *step))
                 .max();
         }
+        obs_handles::scrub_files().add(report.files_checked as u64);
+        obs_handles::scrub_records().add(report.records_verified as u64);
+        obs_handles::scrub_tuples().add(report.tuples_verified as u64);
+        obs_handles::scrub_damage().add(report.damage.len() as u64);
         trace::event(
             Level::Info,
             "store",
@@ -3137,6 +3230,12 @@ impl ProvStore {
         filter: &LayerFilter,
         policy: ReadPolicy,
     ) -> Result<LayerRead, StoreError> {
+        let _read_span = trace::span(
+            Level::Trace,
+            "store",
+            "layer_read",
+            &[("superstep", u64::from(superstep).into())],
+        );
         let mut out = LayerRead::default();
         if let Some(poison) = &self.poison {
             match policy {
@@ -3358,6 +3457,12 @@ impl ProvStore {
                 source: Some(Arc::clone(poison)),
             });
         }
+        let _compact_span = trace::span(
+            Level::Debug,
+            "store",
+            "compact_pass",
+            &[("generation", (self.generation + 1).into())],
+        );
         self.pack_all();
         let fault = self.config.fault.clone();
         let kill = |step: u32| -> Result<(), StoreError> {
@@ -3384,6 +3489,7 @@ impl ProvStore {
         // Decode and re-encode. Strict policy: compaction refuses to
         // run over damage (scrub first), so it can never bake loss into
         // a new generation silently.
+        let encode_started = Instant::now();
         let mut report = CompactReport::default();
         let gen = self.generation + 1;
         let gen_name = v3::gen_file_name(gen, 0);
@@ -3463,7 +3569,9 @@ impl ProvStore {
                 source: e,
             }
         };
+        obs_handles::compact_encode_ns().add(encode_started.elapsed().as_nanos() as u64);
         kill(0)?;
+        let step_started = Instant::now();
         let gtmp = {
             let mut name = gpath.as_os_str().to_os_string();
             name.push(".tmp");
@@ -3474,10 +3582,14 @@ impl ProvStore {
             file.write_all(&buf).map_err(io(&gpath))?;
             timed_sync(&file).map_err(io(&gpath))?;
         }
+        obs_handles::compact_gen_write_ns().add(step_started.elapsed().as_nanos() as u64);
         kill(1)?;
+        let step_started = Instant::now();
         std::fs::rename(&gtmp, &gpath).map_err(io(&gpath))?;
         let _ = timed_sync_dir(&dir);
+        obs_handles::compact_gen_publish_ns().add(step_started.elapsed().as_nanos() as u64);
         kill(2)?;
+        let step_started = Instant::now();
         let superseded: Vec<String> = old_paths
             .iter()
             .filter(|p| **p != gpath)
@@ -3517,15 +3629,20 @@ impl ProvStore {
             file.write_all(&mbytes).map_err(io(&mpath))?;
             timed_sync(&file).map_err(io(&mpath))?;
         }
+        obs_handles::compact_manifest_write_ns().add(step_started.elapsed().as_nanos() as u64);
         kill(3)?;
+        let step_started = Instant::now();
         std::fs::rename(&mtmp, &mpath).map_err(io(&mpath))?;
         let _ = timed_sync_dir(&dir);
+        obs_handles::compact_manifest_publish_ns().add(step_started.elapsed().as_nanos() as u64);
         kill(4)?;
+        let step_started = Instant::now();
         for path in &old_paths {
             if *path != gpath && std::fs::remove_file(path).is_ok() {
                 report.files_removed += 1;
             }
         }
+        obs_handles::compact_gc_ns().add(step_started.elapsed().as_nanos() as u64);
 
         // Point the in-memory segments at their new extents and refresh
         // the store-wide byte accounting.

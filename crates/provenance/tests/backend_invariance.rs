@@ -1,0 +1,163 @@
+//! The read-backend taxonomy test: decoded layer contents and every
+//! *deterministic* read counter must be identical whether extents are
+//! served by buffered seek+read or by mmap, while the per-backend byte
+//! counters (flagged non-deterministic) attribute the traffic to
+//! whichever backend actually served it.
+//!
+//! Lives in its own integration-test binary on purpose: the obs
+//! registry is process-global, and unit tests of the store crate run in
+//! the same process and would race these counter-delta assertions.
+
+use ariadne_pql::{Tuple, Value};
+use ariadne_provenance::{LayerFilter, ProvStore, ReadBackend, SegmentFormat, StoreConfig};
+
+/// Current value of a global-registry counter (0 if never registered).
+fn counter(name: &str) -> u64 {
+    ariadne_obs::registry()
+        .snapshot()
+        .counter(name)
+        .unwrap_or(0)
+}
+
+/// The deterministic read-path counters whose deltas must not depend on
+/// the backend.
+const DETERMINISTIC: [&str; 3] = [
+    "store_segments_read_total",
+    "store_segments_skipped_total",
+    "store_col_bytes_skipped_total",
+];
+
+fn deterministic_snapshot() -> Vec<u64> {
+    DETERMINISTIC.iter().map(|n| counter(n)).collect()
+}
+
+/// Read every layer of `store` through the currently configured
+/// backend, predicate-filtered to `superstep` + `value` so the skip
+/// counters move too.
+fn read_all_layers(store: &ProvStore) -> Vec<(String, Vec<Tuple>)> {
+    let filter = LayerFilter::for_preds(
+        ["superstep".to_string(), "value".to_string()]
+            .into_iter()
+            .collect(),
+    );
+    let mut out = Vec::new();
+    for layer in 0..=store.max_superstep().expect("non-empty store") {
+        let read = store.layer_read(layer, &filter).expect("layer read");
+        out.extend(read.tuples);
+    }
+    out
+}
+
+#[test]
+fn deterministic_counters_and_contents_are_backend_invariant() {
+    let dir = std::env::temp_dir().join(format!(
+        "ariadne-backend-invariance-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Spool-backed v3 store, compacted so reads go through atomic
+    // generation-file extents — the only files the mmap backend maps.
+    let mut store =
+        ProvStore::new(StoreConfig::spilling(0, dir.clone()).with_format(SegmentFormat::V3));
+    for superstep in 0..4u32 {
+        for v in 0..64u64 {
+            store
+                .ingest(
+                    superstep,
+                    "superstep",
+                    vec![vec![Value::Id(v), Value::Int(i64::from(superstep))]],
+                )
+                .expect("ingest superstep");
+            store
+                .ingest(
+                    superstep,
+                    "value",
+                    vec![vec![
+                        Value::Id(v),
+                        Value::Float(v as f64),
+                        Value::Int(i64::from(superstep)),
+                    ]],
+                )
+                .expect("ingest value");
+            store
+                .ingest(
+                    superstep,
+                    "send_message",
+                    vec![vec![
+                        Value::Id(v),
+                        Value::Id((v + 1) % 64),
+                        Value::Float(0.5),
+                        Value::Int(i64::from(superstep)),
+                    ]],
+                )
+                .expect("ingest send_message");
+        }
+    }
+    store.compact().expect("compact the spool");
+
+    store.set_read_backend(ReadBackend::Buffered);
+    let det_before = deterministic_snapshot();
+    let buffered_bytes_before = counter("store_buffered_bytes_total");
+    let extent_reads_before = counter("store_extent_reads_total");
+    let buffered_contents = read_all_layers(&store);
+    let det_mid = deterministic_snapshot();
+    let buffered_bytes_mid = counter("store_buffered_bytes_total");
+    let mmap_bytes_mid = counter("store_mmap_bytes_total");
+    let extent_reads_mid = counter("store_extent_reads_total");
+
+    store.set_read_backend(ReadBackend::Mmap);
+    let mmap_contents = read_all_layers(&store);
+    let det_after = deterministic_snapshot();
+    let mmap_bytes_after = counter("store_mmap_bytes_total");
+    let extent_reads_after = counter("store_extent_reads_total");
+
+    // The decoded layers are bit-identical regardless of backend.
+    assert_eq!(
+        buffered_contents, mmap_contents,
+        "decoded layer contents must not depend on the read backend"
+    );
+
+    // Deterministic counters moved by the same delta under each backend.
+    let buffered_delta: Vec<u64> = det_mid
+        .iter()
+        .zip(&det_before)
+        .map(|(after, before)| after - before)
+        .collect();
+    let mmap_delta: Vec<u64> = det_after
+        .iter()
+        .zip(&det_mid)
+        .map(|(after, before)| after - before)
+        .collect();
+    assert_eq!(
+        buffered_delta, mmap_delta,
+        "deterministic read counters {DETERMINISTIC:?} must be backend-invariant"
+    );
+    assert!(
+        buffered_delta[0] > 0,
+        "the pass must actually decode segments"
+    );
+    assert!(
+        buffered_delta[1] > 0,
+        "the predicate filter must actually skip segments"
+    );
+
+    // The non-deterministic byte counters attribute traffic to the
+    // backend that served it.
+    assert!(
+        buffered_bytes_mid > buffered_bytes_before,
+        "buffered pass must account its extent bytes"
+    );
+    assert!(
+        extent_reads_mid > extent_reads_before && extent_reads_after > extent_reads_mid,
+        "both passes must count extent reads"
+    );
+    if cfg!(unix) {
+        assert!(
+            mmap_bytes_after > mmap_bytes_mid,
+            "mmap pass must account its extent bytes through the mmap counter"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -51,6 +51,7 @@ struct Options {
     threads: usize,
     supersteps: u32,
     explain: bool,
+    obs_listen: Option<String>,
 }
 
 fn usage() -> ! {
@@ -58,7 +59,12 @@ fn usage() -> ! {
         "usage: ariadne-cli (--graph FILE | --generate rmat:SCALE:DEG) [--explain] \\\n\
          \x20       --analytic (pagerank|sssp|wcc) [--source ID] [--supersteps N] \\\n\
          \x20       (--query FILE | --builtin NAME) [--param k=v]... \\\n\
-         \x20       [--mode online|layered|naive] [--threads N]\n\
+         \x20       [--mode online|layered|naive] [--threads N] [--obs-listen ADDR]\n\
+         \n\
+         --obs-listen ADDR  serve live telemetry over HTTP while the run\n\
+         \x20                  executes: GET /metrics (Prometheus text),\n\
+         \x20                  /trace (JSONL span/event dump), /report\n\
+         \x20                  (RunReport JSON), /healthz\n\
          \n\
          builtins: pagerank_check, sssp_wcc_value_check,\n\
          \x20         sssp_wcc_no_message_no_change, apt\n\
@@ -222,6 +228,7 @@ fn parse_args() -> Options {
         threads: 1,
         supersteps: 20,
         explain: false,
+        obs_listen: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -242,6 +249,7 @@ fn parse_args() -> Options {
             "--supersteps" => {
                 o.supersteps = next("--supersteps").parse().unwrap_or_else(|_| usage())
             }
+            "--obs-listen" => o.obs_listen = Some(next("--obs-listen")),
             "--param" => {
                 let kv = next("--param");
                 match kv.split_once('=') {
@@ -355,6 +363,7 @@ where
                 run.metrics.num_supersteps(),
                 run.metrics.elapsed
             );
+            ariadne_obs::publish_report(run.report().to_json());
             print_values(&run.values);
             (run.query_results, "online")
         }
@@ -367,6 +376,7 @@ where
                 capture.store.tuple_count(),
                 capture.store.byte_size()
             );
+            ariadne_obs::publish_report(capture.report().to_json());
             print_values(&capture.values);
             if o.mode == "layered" {
                 let run = ariadne
@@ -419,6 +429,20 @@ fn main() {
         run_compact(&argv[2..]);
     }
     let o = parse_args();
+    // Bind the telemetry endpoint before any work happens, so /metrics
+    // and /trace are curl-able for the whole run. Shut down gracefully
+    // (drain in-flight responses) after the results print.
+    let obs_server = o.obs_listen.as_deref().map(|addr| {
+        let server = ariadne_obs::ObsServer::bind(addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind --obs-listen {addr}: {e}");
+            exit(1)
+        });
+        println!(
+            "obs: serving /metrics /trace /report /healthz on http://{}",
+            server.local_addr()
+        );
+        server
+    });
     let graph = load_graph(&o);
     println!(
         "graph: {} vertices, {} edges",
@@ -451,5 +475,8 @@ fn main() {
             eprintln!("unknown analytic {other:?}");
             usage()
         }
+    }
+    if let Some(server) = obs_server {
+        server.shutdown();
     }
 }

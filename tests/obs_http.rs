@@ -1,0 +1,297 @@
+//! End-to-end test of the live telemetry plane: run a real capture +
+//! layered replay, serve the obs endpoints on an ephemeral port, and
+//! validate every endpoint over actual TCP — including the Prometheus
+//! exposition schema (mirroring CI's python validator in-process), the
+//! JSONL trace key order, and that a malformed request cannot wedge the
+//! listener.
+//!
+//! One test function on purpose: the metric registry and trace rings
+//! are process-global, and parallel test threads would race the drain.
+
+use ariadne::session::Ariadne;
+use ariadne::{compile, CaptureSpec};
+use ariadne_analytics::PageRank;
+use ariadne_graph::generators::rmat::{rmat, RmatConfig};
+use ariadne_obs::trace;
+use ariadne_pql::Params;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response: status code, raw header block, body.
+struct Response {
+    status: u16,
+    headers: String,
+    body: String,
+}
+
+fn send_raw(addr: SocketAddr, request: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request).expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {raw:?}"));
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {head:?}"));
+    Response {
+        status,
+        headers: head.to_string(),
+        body: body.to_string(),
+    }
+}
+
+fn get(addr: SocketAddr, path: &str) -> Response {
+    send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+/// In-process mirror of CI's Prometheus-text validator: every metric
+/// has matching HELP / TYPE / deterministic annotation lines, every
+/// sample line is `name[{labels}] value`, and the layers this run
+/// exercised are all present with the right determinism tags.
+fn validate_prometheus(text: &str) {
+    use std::collections::BTreeMap;
+    let mut helps = Vec::new();
+    let mut types = Vec::new();
+    let mut det: BTreeMap<&str, &str> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helps.push(rest.split_whitespace().next().unwrap());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap();
+            let kind = parts.next().unwrap_or("");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad TYPE line: {line:?}"
+            );
+            types.push(name);
+        } else if let Some(rest) = line.strip_prefix("# ARIADNE deterministic ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap();
+            let flag = parts.next().unwrap_or("");
+            assert!(
+                flag == "true" || flag == "false",
+                "bad deterministic line: {line:?}"
+            );
+            det.insert(name, flag);
+        } else {
+            // Sample line: name, optionally {labels}, then one value.
+            let (name_part, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("bad sample line: {line:?}"));
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            assert!(
+                value == "NaN" || value.parse::<f64>().is_ok(),
+                "bad sample value in {line:?}"
+            );
+        }
+    }
+    let help_set: std::collections::BTreeSet<_> = helps.iter().copied().collect();
+    let type_set: std::collections::BTreeSet<_> = types.iter().copied().collect();
+    let det_set: std::collections::BTreeSet<_> = det.keys().copied().collect();
+    assert_eq!(
+        help_set, type_set,
+        "HELP and TYPE must cover the same metrics"
+    );
+    assert_eq!(
+        help_set, det_set,
+        "deterministic annotations must cover the same metrics"
+    );
+    // Every instrumented layer this test exercised must be present.
+    for required in [
+        "engine_supersteps_total",
+        "store_ingest_tuples_total",
+        "pql_rule_firings_total",
+        "layered_rounds_total",
+        "layered_query_latency_ns",
+        "obs_http_requests_total",
+    ] {
+        assert!(det.contains_key(required), "missing metric {required}");
+    }
+    // Determinism taxonomy spot checks.
+    assert_eq!(det["engine_messages_sent_total"], "true");
+    assert_eq!(det["layered_query_latency_ns"], "false");
+    // The latency histogram must expose interpolated quantile series.
+    assert!(
+        text.contains("layered_query_latency_ns{quantile=\"0.5\"}")
+            && text.contains("layered_query_latency_ns{quantile=\"0.99\"}"),
+        "histogram quantile series missing from exposition"
+    );
+}
+
+#[test]
+fn obs_http_plane_end_to_end() {
+    // Trace-level filter so the full span tree (run -> layer -> chunk
+    // -> eval, store reads, merge) lands in the rings.
+    trace::set_filter("trace");
+
+    // Real work first, so the endpoints have something to expose.
+    let graph = rmat(RmatConfig {
+        scale: 6,
+        edge_factor: 8,
+        seed: 0xBE2C4,
+        ..RmatConfig::default()
+    });
+    let ariadne = Ariadne::default();
+    let query = compile(
+        "seen(x, v, i) :- value(x, v, i), superstep(x, i).",
+        Params::new(),
+    )
+    .expect("capture query");
+    let spec = CaptureSpec::raw(["superstep", "value"]).with_query(query);
+    let capture = ariadne
+        .capture(
+            &PageRank {
+                supersteps: 4,
+                ..PageRank::default()
+            },
+            &graph,
+            &spec,
+        )
+        .expect("capture run");
+    let replay_query = compile(
+        "hot(x, i) :- value(x, v, i), superstep(x, i).",
+        Params::new(),
+    )
+    .expect("replay query");
+    let replay = ariadne
+        .layered(&graph, &capture.store, &replay_query)
+        .expect("layered replay");
+    assert!(replay.query_results.len("hot") > 0, "replay found nothing");
+
+    let server = ariadne_obs::ObsServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // /healthz
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, "ok\n");
+
+    // /metrics parses under the CI validator's rules.
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics.headers.contains("text/plain"),
+        "wrong content type: {}",
+        metrics.headers
+    );
+    validate_prometheus(&metrics.body);
+
+    // /report is 404 until a report is published, then serves it.
+    let missing = get(addr, "/report");
+    assert_eq!(missing.status, 404);
+    ariadne_obs::publish_report(capture.report().to_json());
+    let report = get(addr, "/report");
+    assert_eq!(report.status, 200);
+    assert!(
+        report.body.starts_with('{') && report.body.contains("\"supersteps\""),
+        "report body is not the RunReport JSON: {}",
+        report.body
+    );
+
+    // /trace drains JSONL in the documented key order and reports the
+    // drop count in a header.
+    let trace_resp = get(addr, "/trace");
+    assert_eq!(trace_resp.status, 200);
+    assert!(
+        trace_resp.headers.contains("X-Ariadne-Dropped-Events:"),
+        "missing drop-accounting header: {}",
+        trace_resp.headers
+    );
+    let lines: Vec<&str> = trace_resp.body.lines().filter(|l| !l.is_empty()).collect();
+    assert!(!lines.is_empty(), "trace drained no events");
+    let key_order = [
+        "\"seq\":",
+        "\"ts_ns\":",
+        "\"level\":",
+        "\"target\":",
+        "\"name\":",
+        "\"trace_id\":",
+        "\"span_id\":",
+        "\"parent_id\":",
+        "\"fields\":",
+    ];
+    let mut last_seq: Option<u64> = None;
+    for line in &lines {
+        let mut from = 0usize;
+        for key in key_order {
+            let at = line[from..]
+                .find(key)
+                .unwrap_or_else(|| panic!("{key} out of order in {line}"));
+            from += at + key.len();
+        }
+        let seq: u64 = line
+            .split("\"seq\":")
+            .nth(1)
+            .and_then(|r| r.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable seq in {line}"));
+        assert!(
+            last_seq.is_none_or(|prev| seq > prev),
+            "trace not in sequence order"
+        );
+        last_seq = Some(seq);
+    }
+    // The replay produced a navigable span tree: the layered run span
+    // is a trace root (trace_id == its own span_id), and the per-layer
+    // spans link to it as children.
+    let field = |line: &str, key: &str| -> u64 {
+        line.split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|r| r.split([',', '}']).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no {key} in {line}"))
+    };
+    let run_line = lines
+        .iter()
+        .find(|l| l.contains("\"target\":\"layered\",\"name\":\"run\""))
+        .expect("no layered run span in the trace");
+    let run_span = field(run_line, "span_id");
+    assert_ne!(run_span, 0, "run span has no span_id");
+    assert_eq!(
+        field(run_line, "trace_id"),
+        run_span,
+        "run span must be its trace's root"
+    );
+    let layer_line = lines
+        .iter()
+        .find(|l| l.contains("\"target\":\"layered\",\"name\":\"layer\""))
+        .expect("no per-layer span in the trace");
+    assert_eq!(
+        field(layer_line, "parent_id"),
+        run_span,
+        "layer span must be a child of the run span"
+    );
+    assert_eq!(field(layer_line, "trace_id"), run_span);
+
+    // A malformed request gets a 400 and must not wedge the listener.
+    let bad = send_raw(addr, b"???\r\n\r\n");
+    assert_eq!(bad.status, 400);
+    let not_get = send_raw(addr, b"POST /metrics HTTP/1.1\r\n\r\n");
+    assert_eq!(not_get.status, 405);
+    let still_up = get(addr, "/healthz");
+    assert_eq!(still_up.status, 200, "listener wedged after bad request");
+
+    server.shutdown();
+}
