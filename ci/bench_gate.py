@@ -33,12 +33,14 @@ HIGHER_IS_WORSE = {
     "layered": ["bytes_read"],
     "segments": ["store_bytes", "replay_bytes_read"],
     "spool": ["spool_bytes", "replay_bytes_read"],
+    "serve": ["replay_bytes_read"],
 }
 LOWER_IS_WORSE = {
     "runs": [],
     "layered": ["segments_skipped", "bytes_skipped"],
     "segments": ["replay_cols_skipped", "replay_col_bytes_skipped"],
     "spool": [],
+    "serve": ["cache_hits"],
 }
 EXACT = {
     "runs": ["supersteps", "messages", "messages_delivered"],
@@ -52,6 +54,7 @@ EXACT = {
     ],
     "segments": ["store_tuples", "segments"],
     "spool": [],
+    "serve": ["queries", "rows"],
 }
 
 # What identifies a comparable cell within each section.
@@ -60,6 +63,7 @@ CELL_KEY = {
     "layered": ("threads", "prune"),
     "segments": ("analytic", "format"),
     "spool": ("format", "backend"),
+    "serve": ("phase",),
 }
 
 

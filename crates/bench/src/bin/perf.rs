@@ -41,12 +41,25 @@
 //! histogram buckets ([`HistogramSnapshot::quantile`]) — with every
 //! sample's results pinned bit-for-bit to the t=1 reference first.
 //!
+//! **Serve section.** Stands up an in-process [`QueryService`] (the
+//! `ariadne-serve` daemon core) over the same full SSSP capture and
+//! issues a sweep of backward-lineage queries with distinct `$alpha`
+//! roots — distinct fingerprints, so the cold pass replays the store
+//! per query — then re-issues the identical sweep warm against the
+//! layer-replay cache. Before anything is written the harness asserts
+//! every warm response was a cache hit that read zero store bytes
+//! (counter-verified via `serve_replay_bytes_total`), and that walking
+//! a paginated cursor chain reproduces the un-paged row sequence
+//! bit-for-bit.
+//!
 //! ```text
 //! cargo run --release -p ariadne-bench --bin perf -- \
-//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr8.json] [--quick]
+//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr9.json] [--quick]
 //! ```
 //!
-//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr8.json").
+//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr9.json").
+//!
+//! [`QueryService`]: ariadne_serve::QueryService
 //!
 //! [`HistogramSnapshot::quantile`]: ariadne_obs::metrics::HistogramSnapshot::quantile
 
@@ -317,6 +330,43 @@ fn latency_json(r: &LatencyRow) -> String {
     s
 }
 
+/// One serve-phase cell: a sweep of distinct queries through the
+/// [`ariadne_serve::QueryService`], cold (every query replays) or warm
+/// (every query must hit the layer-replay cache).
+struct ServeRow {
+    phase: &'static str,
+    queries: usize,
+    rows: usize,
+    replay_bytes_read: u64,
+    cache_hits: u64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    mean_ns: u64,
+}
+
+fn serve_json(r: &ServeRow) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"phase\":\"{}\",\"queries\":{},\"rows\":{},\"replay_bytes_read\":{},\
+         \"cache_hits\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
+         \"mean_ns\":{}}}",
+        r.phase,
+        r.queries,
+        r.rows,
+        r.replay_bytes_read,
+        r.cache_hits,
+        r.p50_ns,
+        r.p90_ns,
+        r.p99_ns,
+        r.max_ns,
+        r.mean_ns,
+    );
+    s
+}
+
 /// Assert two layered runs agree on everything pruning is allowed to
 /// leave unchanged: sorted result sets per IDB predicate and the round
 /// structure. (Injection/evaluation volume legitimately shrinks when
@@ -520,7 +570,7 @@ fn parse_cli() -> Cli {
         edge_factor: 16,
         threads: vec![1, 2, 4, 8],
         reps: 3,
-        out: "BENCH_pr8.json".to_string(),
+        out: "BENCH_pr9.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -973,6 +1023,160 @@ fn main() {
         });
     }
 
+    // -----------------------------------------------------------------
+    // Serve: the long-lived query service over the same SSSP capture.
+    // A sweep of backward-lineage queries with distinct $alpha roots
+    // (distinct fingerprints) runs cold — each replays the store — then
+    // the identical sweep runs warm against the layer-replay cache.
+    // The warm pass is counter-verified to read zero store bytes, and a
+    // cursor walk is asserted bit-identical to the un-paged sequence,
+    // before anything is written out.
+    // -----------------------------------------------------------------
+    use ariadne_serve::{AdmissionConfig, QueryRequest, QueryService, ServeConfig};
+    const SERVE_LINEAGE_PQL: &str = "back_trace(x, i) :- superstep(x, i), i = $sigma, x = $alpha.
+back_trace(x, i) :- send_message(x, y, m, i), back_trace(y, j), j = i + 1.
+back_lineage(x, d) :- back_trace(x, i), value(x, d, i), i = 0.";
+    const SERVE_SCAN_PQL: &str = "active(x, i) :- superstep(x, i).";
+    let serve_threads = max_threads;
+    let serve_page_size = 64usize;
+    let service = QueryService::new(
+        layered_weighted.clone(),
+        capture.store,
+        ServeConfig {
+            threads: serve_threads,
+            // The scan query returns every evaluation; lift the page
+            // ceiling so "un-paged" really is a single page.
+            default_limit: 1 << 20,
+            max_limit: 1 << 20,
+            // Admission is benchmarked nowhere here: quotas off,
+            // capacity at the worker count.
+            admission: AdmissionConfig {
+                max_in_flight: serve_threads.max(1),
+                quota_burst: 1e9,
+                quota_per_sec: 0.0,
+            },
+            ..ServeConfig::default()
+        },
+    );
+    let serve_counter = |name: &str| {
+        ariadne_obs::registry()
+            .snapshot()
+            .counter(name)
+            .unwrap_or(0)
+    };
+    // Lineage roots that actually exist: stride-sample (vertex, layer)
+    // evaluation pairs from a full scan through the service itself, so
+    // every sweep query is guaranteed non-empty and roots span the
+    // whole layer range. The scan also doubles as the pagination
+    // reference below.
+    let scan = service
+        .execute(&QueryRequest {
+            pql: Some(SERVE_SCAN_PQL),
+            limit: Some(1 << 20),
+            ..QueryRequest::default()
+        })
+        .expect("un-paged scan");
+    let mut serve_roots: Vec<(String, String)> = Vec::new();
+    for j in 0..latency_samples {
+        let (_, tuple) = &scan.rows()[j * scan.total_rows / latency_samples];
+        if let (Some(Value::Id(x)), Some(Value::Int(i))) = (tuple.first(), tuple.get(1)) {
+            let pair = (format!("v{x}"), i.to_string());
+            if !serve_roots.contains(&pair) {
+                serve_roots.push(pair);
+            }
+        }
+    }
+    assert!(!serve_roots.is_empty(), "scan produced no evaluation pairs");
+    let serve_queries = serve_roots.len();
+    eprintln!("perf: serve threads={serve_threads} queries={serve_queries}");
+    let mut serve_rows_out: Vec<ServeRow> = Vec::new();
+    for (phase, hist_name) in [("cold", "perf_serve_cold_ns"), ("warm", "perf_serve_warm_ns")] {
+        let hist = latency_registry.histogram(
+            hist_name,
+            "end-to-end /query service latency per request",
+            false,
+        );
+        let bytes_before = serve_counter("serve_replay_bytes_total");
+        let hits_before = serve_counter("serve_cache_hits_total");
+        let mut rows_total = 0usize;
+        for (alpha, sigma) in &serve_roots {
+            let params = [("alpha", alpha.as_str()), ("sigma", sigma.as_str())];
+            let request = QueryRequest {
+                pql: Some(SERVE_LINEAGE_PQL),
+                params: &params,
+                limit: Some(1 << 20),
+                ..QueryRequest::default()
+            };
+            let start = Instant::now();
+            let page = service.execute(&request).expect("serve query");
+            hist.record(start.elapsed().as_nanos() as u64);
+            assert!(page.next_cursor.is_none(), "limit must cover the result");
+            assert_eq!(
+                page.cache_hit,
+                phase == "warm",
+                "serve {phase} pass: wrong cache disposition for {alpha}@{sigma}"
+            );
+            assert!(page.total_rows > 0, "lineage from {alpha}@{sigma} must be non-empty");
+            rows_total += page.total_rows;
+        }
+        let bytes_delta = serve_counter("serve_replay_bytes_total") - bytes_before;
+        let hits_delta = serve_counter("serve_cache_hits_total") - hits_before;
+        if phase == "warm" {
+            assert_eq!(bytes_delta, 0, "a warm pass must read zero store bytes");
+            assert_eq!(hits_delta, serve_queries as u64, "every warm query must hit");
+        } else {
+            assert!(bytes_delta > 0, "a cold pass must replay the store");
+        }
+        let snap = hist.snapshot();
+        serve_rows_out.push(ServeRow {
+            phase,
+            queries: serve_queries,
+            rows: rows_total,
+            replay_bytes_read: bytes_delta,
+            cache_hits: hits_delta,
+            p50_ns: snap.quantile(0.5).unwrap_or(0),
+            p90_ns: snap.quantile(0.9).unwrap_or(0),
+            p99_ns: snap.quantile(0.99).unwrap_or(0),
+            max_ns: snap.max_bound().unwrap_or(0),
+            mean_ns: snap.sum / snap.count.max(1),
+        });
+    }
+    // Pagination identity: the full-scan query (thousands of rows,
+    // already materialized above) walked through the cursor chain at a
+    // small page size. The concatenation must reproduce the un-paged
+    // page bit-for-bit.
+    let serve_paginated_rows = {
+        let whole = &scan;
+        assert!(
+            whole.total_rows > serve_page_size,
+            "scan must span multiple pages ({} rows)",
+            whole.total_rows
+        );
+        let mut paged: Vec<(String, ariadne_pql::Tuple)> = Vec::new();
+        let mut cursor: Option<String> = None;
+        loop {
+            let page = service
+                .execute(&QueryRequest {
+                    pql: Some(SERVE_SCAN_PQL),
+                    cursor: cursor.as_deref(),
+                    limit: Some(serve_page_size),
+                    ..QueryRequest::default()
+                })
+                .expect("paged scan");
+            paged.extend(page.rows().iter().cloned());
+            match page.next_cursor {
+                Some(next) => cursor = Some(next),
+                None => break,
+            }
+        }
+        assert_eq!(paged.len(), whole.total_rows, "cursor walk must cover every row");
+        assert!(
+            paged.iter().eq(whole.rows().iter()),
+            "paginated rows must be bit-identical to the un-paged sequence"
+        );
+        paged.len()
+    };
+
     // Summary: flat-over-naive supersteps/sec speedup per (analytic, threads)
     // in baseline mode, plus the SSSP combiner-path allocation comparison.
     let lookup = |analytic: &str, plane: MessagePlane, mode: &str, threads: usize| {
@@ -1005,7 +1209,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr8/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr9/v1\",");
     let _ = writeln!(
         json,
         "  \"command\": \"cargo run --release -p ariadne-bench --bin perf\","
@@ -1092,6 +1296,15 @@ fn main() {
     for (i, r) in latency_rows.iter().enumerate() {
         let sep = if i + 1 < latency_rows.len() { "," } else { "" };
         let _ = writeln!(json, "      {}{}", latency_json(r), sep);
+    }
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"serve\": {{\n    \"analytic\": \"sssp\",\n    \"query\": \"backward_lineage($alpha sweep, max_superstep)\",\n    \"threads\": {serve_threads},\n    \"queries_per_phase\": {serve_queries},\n    \"page_size\": {serve_page_size},\n    \"paginated_rows\": {serve_paginated_rows},\n    \"cases\": ["
+    );
+    for (i, r) in serve_rows_out.iter().enumerate() {
+        let sep = if i + 1 < serve_rows_out.len() { "," } else { "" };
+        let _ = writeln!(json, "      {}{}", serve_json(r), sep);
     }
     json.push_str("    ]\n  },\n");
     let _ = writeln!(json, "  \"summary\": {{");
@@ -1243,4 +1456,26 @@ fn main() {
             "apt", r.threads, r.samples, r.p50_ns, r.p90_ns, r.p99_ns, r.max_ns
         );
     }
+    println!();
+    println!(
+        "{:<6} {:>7} {:>8} {:>14} {:>6} {:>12} {:>12} {:>12}",
+        "serve", "queries", "rows", "replay_bytes", "hits", "p50_ns", "p99_ns", "max_ns"
+    );
+    for r in &serve_rows_out {
+        println!(
+            "{:<6} {:>7} {:>8} {:>14} {:>6} {:>12} {:>12} {:>12}",
+            r.phase,
+            r.queries,
+            r.rows,
+            r.replay_bytes_read,
+            r.cache_hits,
+            r.p50_ns,
+            r.p99_ns,
+            r.max_ns
+        );
+    }
+    println!(
+        "serve: cursor walk reproduced {} rows bit-for-bit at page size {}",
+        serve_paginated_rows, serve_page_size
+    );
 }

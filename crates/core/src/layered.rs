@@ -257,6 +257,12 @@ pub struct LayeredRun {
     /// across every layer read. Always clean under
     /// [`ReadPolicy::Strict`] (damage errors out instead).
     pub degradation: Degradation,
+    /// The inclusive layer range this run actually replayed, after
+    /// clamping any requested range to the store's layers. `(0, 0)` with
+    /// `layers == 0` means nothing was replayed. Cache keys built over
+    /// partial replays should use this, not the requested range, so
+    /// `0..=u32::MAX` and the store's true extent share one key.
+    pub layer_range: (u32, u32),
 }
 
 impl LayeredRun {
@@ -280,6 +286,7 @@ impl LayeredRun {
             phase_eval_ns: 0,
             phase_merge_ns: 0,
             degradation: Degradation::default(),
+            layer_range: (0, 0),
         }
     }
 }
@@ -321,6 +328,33 @@ pub fn run_layered_with(
     query: &CompiledQuery,
     config: &LayeredConfig,
 ) -> Result<LayeredRun, AriadneError> {
+    run_layered_range(graph, store, query, config, None)
+}
+
+/// Re-entrant layered evaluation over an inclusive layer sub-range.
+///
+/// `layers = Some((lo, hi))` restricts the replay to stored layers in
+/// `lo..=hi` (clamped to the store's extent; an empty intersection
+/// returns an empty run). `None` replays every layer —
+/// [`run_layered_with`] is exactly that. This is the serving plane's
+/// entry point: a long-lived daemon can resume a query from a layer
+/// offset, and a replay cache can key results on the *effective* range
+/// ([`LayeredRun::layer_range`]) rather than on whatever the client
+/// asked for.
+///
+/// Within the range the round protocol is unchanged, so results remain
+/// bit-identical at every thread count. A sub-range replay answers the
+/// query *over that slice of the capture*: for backward queries the
+/// layer-0 structural pre-injection only happens when layer 0 is inside
+/// the range, so compact-representation captures should include layer 0
+/// when they need their static relations.
+pub fn run_layered_range(
+    graph: &Csr,
+    store: &ProvStore,
+    query: &CompiledQuery,
+    config: &LayeredConfig,
+    layers: Option<(u32, u32)>,
+) -> Result<LayeredRun, AriadneError> {
     let run_started = Instant::now();
     let direction = query.direction();
     if !direction.supports_layered() {
@@ -333,6 +367,13 @@ pub fn run_layered_with(
     let Some(max_step) = store.max_superstep() else {
         return Ok(LayeredRun::empty(threads));
     };
+    let (layer_lo, layer_hi) = match layers {
+        Some((lo, hi)) => (lo, hi.min(max_step)),
+        None => (0, max_step),
+    };
+    if layer_lo > layer_hi {
+        return Ok(LayeredRun::empty(threads));
+    }
 
     let ascending = direction != Direction::Backward;
     let analyzed = query.query();
@@ -369,12 +410,15 @@ pub fn run_layered_with(
         run: LayeredRun::empty(threads),
     };
 
+    driver.run.layer_range = (layer_lo, layer_hi);
     let span = trace::span(
         Level::Debug,
         "layered",
         "run",
         &[
             ("max_step", u64::from(max_step).into()),
+            ("layer_lo", u64::from(layer_lo).into()),
+            ("layer_hi", u64::from(layer_hi).into()),
             ("threads", threads.into()),
             ("ascending", ascending.into()),
         ],
@@ -387,7 +431,7 @@ pub fn run_layered_with(
     // sound because derivations are monotone and directed backward
     // queries are negation-free over layer data.
     let mut layer0_owners: BTreeSet<usize> = BTreeSet::new();
-    if !ascending {
+    if !ascending && layer_lo == 0 {
         let t0 = Instant::now();
         let read = store
             .layer_read_with(0, &filter, config.read_policy)
@@ -406,9 +450,9 @@ pub fn run_layered_with(
     }
 
     let order: Box<dyn Iterator<Item = u32>> = if ascending {
-        Box::new(0..=max_step)
+        Box::new(layer_lo..=layer_hi)
     } else {
-        Box::new((0..=max_step).rev())
+        Box::new((layer_lo..=layer_hi).rev())
     };
     for layer in order {
         driver.run.layers += 1;
@@ -816,6 +860,44 @@ mod tests {
         let q = compile("active(x, i) :- superstep(x, i).", Params::new()).unwrap();
         let run = run_layered(&g, &store, &q).unwrap();
         assert_eq!(run.query_results.len("active"), 0);
+    }
+
+    /// The re-entrant range entry point replays exactly the requested
+    /// layer slice: a full-range call equals `run_layered_with`, a
+    /// sub-range only sees that slice's tuples, an out-of-extent range
+    /// clamps, and a disjoint range is an empty run.
+    #[test]
+    fn layer_range_replay_is_reentrant() {
+        let g = path(3);
+        let mut store = ProvStore::new(StoreConfig::in_memory());
+        for s in 0..4u32 {
+            store
+                .ingest(s, "superstep", vec![vec![Value::Id(1), Value::Int(s as i64)]])
+                .unwrap();
+        }
+        let q = compile("active(x, i) :- superstep(x, i).", Params::new()).unwrap();
+
+        let full = run_layered(&g, &store, &q).unwrap();
+        assert_eq!(full.layer_range, (0, 3));
+
+        let also_full =
+            run_layered_range(&g, &store, &q, &LayeredConfig::default(), Some((0, 99))).unwrap();
+        assert_eq!(also_full.layer_range, (0, 3), "range clamps to the extent");
+        assert_eq!(
+            also_full.query_results.sorted("active"),
+            full.query_results.sorted("active")
+        );
+
+        let slice =
+            run_layered_range(&g, &store, &q, &LayeredConfig::default(), Some((1, 2))).unwrap();
+        assert_eq!(slice.layer_range, (1, 2));
+        assert_eq!(slice.layers, 2);
+        assert_eq!(slice.query_results.len("active"), 2, "layers 1 and 2 only");
+
+        let empty =
+            run_layered_range(&g, &store, &q, &LayeredConfig::default(), Some((7, 9))).unwrap();
+        assert_eq!(empty.layers, 0);
+        assert!(empty.query_results.is_empty());
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub use capture::CaptureSpec;
 pub use columns::column_masks;
 pub use compile::{compile, compile_with, CompiledQuery};
 pub use custom::CustomProv;
-pub use layered::{run_layered, run_layered_with, LayeredConfig, LayeredRun};
+pub use layered::{run_layered, run_layered_range, run_layered_with, LayeredConfig, LayeredRun};
 pub use online::{OnlineProgram, OnlineRun, QueryFailure};
 pub use report::{RunReport, StoreReport};
 pub use session::{Ariadne, AriadneError};

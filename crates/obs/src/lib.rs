@@ -59,7 +59,10 @@ pub mod trace;
 
 pub use export::{prometheus_text, trace_jsonl};
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry};
-pub use server::{publish_report, ObsServer};
+pub use server::{
+    obs_route, percent_decode, publish_report, status_reason, Handler, HttpServer, ObsServer,
+    Request, Response,
+};
 pub use trace::{Event, Level, SpanContext, SpanGuard, Value};
 
 /// The process-wide metric registry.

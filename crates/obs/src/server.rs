@@ -1,5 +1,5 @@
-//! A minimal, dependency-free HTTP/1.1 exposition server: the live
-//! telemetry plane.
+//! A minimal, dependency-free HTTP/1.1 server core plus the telemetry
+//! plane built on it.
 //!
 //! Everything else in this crate dumps artifacts *after* a run; this
 //! module makes the same signals scrapeable *while* the analytic and its
@@ -9,7 +9,15 @@
 //! is an operational surface for scrapers and `curl`, not a general web
 //! server.
 //!
-//! Endpoints:
+//! The transport machinery ([`HttpServer`]) is decoupled from the obs
+//! routes so other planes can mount on it: a handler is any
+//! `Fn(&Request) -> Response + Send + Sync`, the parsed [`Request`]
+//! carries the query string and headers, and [`obs_route`] is the
+//! default handler other planes can fall back to — one listener can
+//! serve `/metrics` *and* an application API (`ariadne-serve` does
+//! exactly this).
+//!
+//! Obs endpoints:
 //!
 //! | Path       | Body                                                        |
 //! |------------|-------------------------------------------------------------|
@@ -27,11 +35,14 @@
 //! The server is bounded everywhere: `WORKERS` handler threads, a
 //! `QUEUE_DEPTH`-deep accept queue (excess connections wait in the OS
 //! backlog), `MAX_REQUEST_BYTES` per request head, and read/write
-//! timeouts so a stalled peer cannot pin a worker. [`ObsServer::shutdown`]
-//! stops accepting, drains in-flight requests, and joins every thread.
+//! timeouts so a stalled peer cannot pin a worker. A request head split
+//! across TCP segments is reassembled by looping the read until the
+//! blank line, the byte cap, or the timeout — a flushed half-request is
+//! not a malformed request. [`HttpServer::shutdown`] stops accepting,
+//! drains in-flight requests, and joins every thread.
 
 use crate::metrics::Counter;
-use std::io::{self, Read, Write};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -91,19 +102,157 @@ pub fn published_report() -> Option<String> {
     latest_report().lock().unwrap().clone()
 }
 
-/// A running exposition server. Dropping without [`ObsServer::shutdown`]
-/// performs the same graceful shutdown.
-pub struct ObsServer {
+/// One parsed request head: method, path, raw query string, headers.
+///
+/// Routing is path-only; handlers read parameters through
+/// [`Request::param`] (percent-decoded) and headers through
+/// [`Request::header`] (case-insensitive).
+#[derive(Debug)]
+pub struct Request {
+    /// The request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path with any query string stripped.
+    pub path: String,
+    /// The raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Header `(name, value)` pairs; names lowercased at parse time.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The percent-decoded value of query parameter `name`, if present.
+    /// `+` decodes to a space, `%XX` to the byte it encodes.
+    pub fn param(&self, name: &str) -> Option<String> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == name).then(|| percent_decode(v))
+        })
+    }
+
+    /// The value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == want)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Decode `%XX` escapes and `+`-for-space in a query-string component.
+/// Malformed escapes pass through verbatim rather than erroring: the
+/// parameter grammar is the application's concern, transport just
+/// unwraps the encoding it can prove.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match (
+                    bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                    bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+                ) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// One response: status, content type, extra headers, body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Additional `(name, value)` header pairs emitted verbatim.
+    pub extra_headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn plain(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Attach an extra header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+}
+
+/// The reason phrase for the status codes this plane emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        410 => "Gone",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// A request handler mounted on an [`HttpServer`]. Called concurrently
+/// from the worker pool.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// The transport core: listener, bounded accept queue, fixed worker
+/// pool, request-head reassembly, response framing. Route logic is the
+/// mounted [`Handler`]'s; [`ObsServer`] mounts [`obs_route`].
+///
+/// Dropping without [`HttpServer::shutdown`] performs the same graceful
+/// shutdown.
+pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
-impl ObsServer {
+impl HttpServer {
     /// Bind `addr` (e.g. `127.0.0.1:9464`, or port `0` for an ephemeral
-    /// port) and start serving in background threads.
-    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<ObsServer> {
+    /// port) and serve `handler` in background threads.
+    pub fn bind_with<A: ToSocketAddrs>(addr: A, handler: Handler) -> io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -113,6 +262,7 @@ impl ObsServer {
         let mut workers = Vec::with_capacity(WORKERS);
         for i in 0..WORKERS {
             let rx = Arc::clone(&rx);
+            let handler = Arc::clone(&handler);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("obs-http-{i}"))
@@ -123,7 +273,7 @@ impl ObsServer {
                             Ok(s) => s,
                             Err(_) => break,
                         };
-                        handle_connection(stream);
+                        handle_connection(stream, &handler);
                     })?,
             );
         }
@@ -150,7 +300,7 @@ impl ObsServer {
                 // tx drops here: workers drain the queue and exit.
             })?;
 
-        Ok(ObsServer {
+        Ok(HttpServer {
             addr,
             stop,
             accept: Some(accept),
@@ -184,14 +334,42 @@ impl ObsServer {
     }
 }
 
-impl Drop for ObsServer {
+impl Drop for HttpServer {
     fn drop(&mut self) {
         self.stop_and_join();
     }
 }
 
+/// A running telemetry server: the obs routes mounted on the shared
+/// [`HttpServer`] core.
+pub struct ObsServer {
+    inner: HttpServer,
+}
+
+impl ObsServer {
+    /// Bind `addr` and serve the obs endpoints in background threads.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<ObsServer> {
+        Ok(ObsServer {
+            inner: HttpServer::bind_with(addr, Arc::new(obs_route))?,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr()
+    }
+
+    /// Graceful shutdown: stop accepting, finish queued requests, join
+    /// every thread.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+}
+
 /// Read the request head (through the blank line), bounded by
-/// [`MAX_REQUEST_BYTES`]. Returns `None` on timeout/oversize/EOF-mid-head.
+/// [`MAX_REQUEST_BYTES`]. Loops across short reads — a head split over
+/// multiple TCP segments is reassembled, not rejected. Returns `None`
+/// on timeout/oversize/EOF-mid-head.
 fn read_request_head(stream: &mut TcpStream) -> Option<String> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
@@ -209,69 +387,65 @@ fn read_request_head(stream: &mut TcpStream) -> Option<String> {
                     return None;
                 }
             }
+            // A signal landing mid-read is not a protocol error; only
+            // real failures (including the IO_TIMEOUT deadline) abort.
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
             Err(_) => return None,
         }
     }
     String::from_utf8(buf).ok()
 }
 
-/// Parse `GET /path HTTP/1.x` out of the head; `Err` distinguishes a
-/// malformed request (400) from a well-formed non-GET method (405).
-fn parse_request(head: &str) -> Result<String, u16> {
-    let line = head.lines().next().ok_or(400u16)?;
+/// Parse the request head into a [`Request`]; `Err(400)` on anything
+/// that is not a well-formed HTTP/1.x request line. Method filtering
+/// (405) is the router's decision, not the parser's.
+fn parse_request(head: &str) -> Result<Request, u16> {
+    let mut lines = head.lines();
+    let line = lines.next().ok_or(400u16)?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or(400u16)?;
-    let path = parts.next().ok_or(400u16)?;
+    let target = parts.next().ok_or(400u16)?;
     let version = parts.next().ok_or(400u16)?;
     if !version.starts_with("HTTP/1.") || parts.next().is_some() {
         return Err(400);
     }
-    if !path.starts_with('/') {
+    if !target.starts_with('/') || !method.chars().all(|c| c.is_ascii_uppercase()) {
         return Err(400);
     }
-    if method != "GET" {
-        return Err(405);
-    }
-    // Strip any query string; routing is path-only.
-    let path = path.split('?').next().unwrap_or(path);
-    Ok(path.to_string())
-}
-
-struct Response {
-    status: u16,
-    content_type: &'static str,
-    extra_header: Option<String>,
-    body: String,
-}
-
-impl Response {
-    fn plain(status: u16, body: impl Into<String>) -> Response {
-        Response {
-            status,
-            content_type: "text/plain; charset=utf-8",
-            extra_header: None,
-            body: body.into(),
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
     }
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
+        headers,
+    })
 }
 
-fn status_reason(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        _ => "Internal Server Error",
+/// The obs-plane router: serves `/metrics`, `/trace`, `/report` and
+/// `/healthz`, `405` for non-GET methods, `404` otherwise. Public so
+/// other planes mounted on [`HttpServer`] can delegate unknown paths
+/// here and keep the telemetry endpoints alive on their port.
+pub fn obs_route(req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::plain(405, format!("{}\n", status_reason(405)));
     }
-}
-
-/// Route one parsed GET to its response.
-fn route(path: &str) -> Response {
-    match path {
+    match req.path.as_str() {
         "/metrics" => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
-            extra_header: None,
+            extra_headers: Vec::new(),
             body: crate::prometheus_text(&crate::registry().snapshot()),
         },
         "/trace" => {
@@ -279,17 +453,12 @@ fn route(path: &str) -> Response {
             Response {
                 status: 200,
                 content_type: "application/jsonl; charset=utf-8",
-                extra_header: Some(format!("X-Ariadne-Dropped-Events: {dropped}")),
+                extra_headers: vec![("X-Ariadne-Dropped-Events".into(), dropped.to_string())],
                 body: crate::trace_jsonl(&events),
             }
         }
         "/report" => match published_report() {
-            Some(json) => Response {
-                status: 200,
-                content_type: "application/json; charset=utf-8",
-                extra_header: None,
-                body: json + "\n",
-            },
+            Some(json) => Response::json(200, json + "\n"),
             None => Response::plain(404, "no report published yet\n"),
         },
         "/healthz" => Response::plain(200, "ok\n"),
@@ -297,7 +466,7 @@ fn route(path: &str) -> Response {
     }
 }
 
-fn handle_connection(mut stream: TcpStream) {
+fn handle_connection(mut stream: TcpStream, handler: &Handler) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     obs_handles::requests().inc();
@@ -305,7 +474,7 @@ fn handle_connection(mut stream: TcpStream) {
     let response = match read_request_head(&mut stream) {
         None => Response::plain(400, "bad request\n"),
         Some(head) => match parse_request(&head) {
-            Ok(path) => route(&path),
+            Ok(req) => handler(&req),
             Err(status) => Response::plain(status, format!("{}\n", status_reason(status))),
         },
     };
@@ -320,8 +489,10 @@ fn handle_connection(mut stream: TcpStream) {
         response.content_type,
         response.body.len(),
     );
-    if let Some(h) = &response.extra_header {
-        out.push_str(h);
+    for (name, value) in &response.extra_headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
         out.push_str("\r\n");
     }
     out.push_str("\r\n");
@@ -443,6 +614,54 @@ mod tests {
             .iter()
             .any(|h| h.starts_with("X-Ariadne-Dropped-Events:")));
         assert!(body.lines().any(|l| l.contains("\"name\":\"ping\"")));
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_params_and_headers_parse() {
+        let req = parse_request(
+            "GET /query?pql=hot%28x%29+%3A-+v.&limit=7&cursor= HTTP/1.1\r\n\
+             Host: x\r\nX-Ariadne-Tenant: alice\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.param("pql").as_deref(), Some("hot(x) :- v."));
+        assert_eq!(req.param("limit").as_deref(), Some("7"));
+        assert_eq!(req.param("cursor").as_deref(), Some(""));
+        assert_eq!(req.param("absent"), None);
+        assert_eq!(req.header("x-ariadne-tenant"), Some("alice"));
+        assert_eq!(req.header("X-Ariadne-Tenant"), Some("alice"));
+        assert_eq!(req.header("nope"), None);
+    }
+
+    #[test]
+    fn percent_decoding_is_total() {
+        assert_eq!(percent_decode("a+b%20c%3a%2F"), "a b c:/");
+        // Malformed escapes pass through instead of erroring.
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn custom_handler_mounts_on_the_shared_core() {
+        let handler: Handler = Arc::new(|req: &Request| {
+            if req.path == "/echo" {
+                Response::json(200, format!("{{\"q\":\"{}\"}}", req.param("q").unwrap_or_default()))
+                    .with_header("X-Test", "1")
+            } else {
+                obs_route(req)
+            }
+        });
+        let server = HttpServer::bind_with("127.0.0.1:0", handler).unwrap();
+        let addr = server.local_addr();
+        let (status, headers, body) = get(addr, "/echo?q=hi");
+        assert_eq!(status, 200);
+        assert!(headers.iter().any(|h| h == "X-Test: 1"), "{headers:?}");
+        assert_eq!(body, "{\"q\":\"hi\"}");
+        // Unknown paths fall through to the obs routes.
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
         server.shutdown();
     }
 }

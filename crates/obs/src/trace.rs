@@ -514,17 +514,31 @@ pub fn drain() -> Vec<Event> {
 
 /// Like [`drain`], also returning the total number of events dropped by
 /// ring overwrite since the previous drain.
+///
+/// Concurrent drains (two `/trace` clients) must partition the loss
+/// count exactly: each dropped event is counted by exactly one drain,
+/// and the registry counter advances by exactly what this drain
+/// claimed. The fold is therefore a single swap per ring — buffer and
+/// drop count are taken atomically under the ring lock (`take`/`swap`,
+/// no read-then-reset window), and the global counter is bumped once
+/// with the already-claimed total rather than re-read from the rings.
 pub fn drain_stats() -> (Vec<Event>, u64) {
     let st = state();
     let rings = st.rings.lock().unwrap();
     let mut out = Vec::new();
     let mut dropped = 0u64;
     for ring in rings.iter() {
-        let mut inner = ring.events.lock().unwrap();
-        out.extend(inner.buf.drain(..));
-        dropped += inner.dropped;
-        inner.dropped = 0;
+        let (buf, ring_dropped) = {
+            let mut inner = ring.events.lock().unwrap();
+            (
+                std::mem::take(&mut inner.buf),
+                std::mem::replace(&mut inner.dropped, 0),
+            )
+        };
+        out.extend(buf);
+        dropped += ring_dropped;
     }
+    drop(rings);
     out.sort_by_key(|e| e.seq);
     dropped_counter().add(dropped);
     (out, dropped)

@@ -1,0 +1,729 @@
+//! `ariadne-serve`: the long-lived query service.
+//!
+//! The batch CLI pays graph load, spool open, and query compilation on
+//! every invocation — fine for one-shot experiments, wrong for the
+//! interactive debugging loop the paper targets (§7: an investigator
+//! iterates dozens of lineage queries against one captured run). This
+//! crate keeps those expensive artifacts resident in a daemon:
+//!
+//! * a [`QueryService`] owns an opened [`ProvStore`] + [`Csr`] graph,
+//!   a fingerprint-keyed table of compiled PQL programs, a
+//!   byte-budgeted LRU [`ReplayCache`] of
+//!   materialized replay results, and an [`Admission`] gate;
+//! * [`serve`] mounts it on the shared HTTP core from `ariadne-obs`
+//!   (`GET /query`), so the query API and the observability plane
+//!   (`/metrics`, `/trace`, `/report`, `/healthz`) run on one listener;
+//! * results are paginated with opaque [`Cursor`]
+//!   tokens that are bit-stable across requests, workers, and thread
+//!   counts — layered replay is deterministic and the service flattens
+//!   results in a fixed order, so a row offset is a durable address.
+//!
+//! [`QueryService::execute`] is the transport-independent entry point;
+//! the HTTP handler in [`api`] is a thin JSON shim over it, and tests
+//! drive it directly.
+
+pub mod admission;
+pub mod api;
+pub mod cache;
+pub mod cursor;
+
+pub use admission::{Admission, AdmissionConfig, Admit};
+pub use cache::{CacheKey, CachedResult, ReplayCache, ReplaySummary};
+pub use cursor::{fnv1a64, Cursor, CursorError};
+
+use ariadne::{
+    column_masks, compile, run_layered_range, CompiledQuery, LayeredConfig, ReadPolicy,
+};
+use ariadne_graph::Csr;
+use ariadne_pql::{Params, Tuple, Value};
+use ariadne_provenance::ProvStore;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Cached handles for service-level metrics.
+mod obs_handles {
+    use ariadne_obs::metrics::Counter;
+    use std::sync::OnceLock;
+
+    macro_rules! serve_counter {
+        ($fn_name:ident, $name:literal, $help:literal) => {
+            pub fn $fn_name() -> &'static Counter {
+                static H: OnceLock<Counter> = OnceLock::new();
+                H.get_or_init(|| ariadne_obs::registry().counter($name, $help, false))
+            }
+        };
+    }
+
+    serve_counter!(
+        queries,
+        "serve_queries_total",
+        "query pages served (cache hits included)"
+    );
+    serve_counter!(
+        rows,
+        "serve_rows_returned_total",
+        "result rows returned across all pages"
+    );
+    serve_counter!(
+        replay_bytes,
+        "serve_replay_bytes_total",
+        "encoded store bytes decoded by service-initiated replays (cache hits add zero)"
+    );
+}
+
+/// Service knobs; the CLI `serve` subcommand maps flags onto this.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads per layered replay.
+    pub threads: usize,
+    /// Byte budget for the materialized-result LRU cache.
+    pub cache_budget_bytes: usize,
+    /// Page size when the client sends no `limit`.
+    pub default_limit: usize,
+    /// Hard ceiling on any requested `limit`.
+    pub max_limit: usize,
+    /// How replays treat damaged store data. Part of the cache key: a
+    /// degraded replay never satisfies a strict request.
+    pub read_policy: ReadPolicy,
+    /// Admission-control knobs.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 1,
+            cache_budget_bytes: 64 << 20,
+            default_limit: 256,
+            max_limit: 4096,
+            read_policy: ReadPolicy::Strict,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// One query request, transport-independent. The HTTP layer parses a
+/// `GET /query` into this; tests construct it directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryRequest<'a> {
+    /// PQL source. Optional on continuation pages: a cursor alone
+    /// resumes against the daemon's compiled-program table.
+    pub pql: Option<&'a str>,
+    /// `$name` parameter bindings as raw strings: `vN` parses as a
+    /// vertex id, integers as `Int`, floats as `Float`, anything else
+    /// as `Str`. Part of the query's fingerprint: the same source with
+    /// different bindings is a different result sequence.
+    pub params: &'a [(&'a str, &'a str)],
+    /// Opaque continuation token from a previous page.
+    pub cursor: Option<&'a str>,
+    /// Page size; clamped to the service's `max_limit`.
+    pub limit: Option<usize>,
+    /// Requested inclusive layer range; clamped to the store's extent.
+    /// Ignored on continuation pages (the cursor pins the range).
+    pub layers: Option<(u32, u32)>,
+    /// Quota identity (the `X-Ariadne-Tenant` header over HTTP).
+    pub tenant: &'a str,
+}
+
+/// Why a request was refused. [`ServeError::status`] maps each variant
+/// to its HTTP status.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Neither `pql` nor `cursor` was supplied.
+    MissingQuery,
+    /// The cursor token failed to decode.
+    Cursor(CursorError),
+    /// The cursor was minted for a different query than the supplied
+    /// PQL source.
+    ForeignCursor,
+    /// A cursor arrived without PQL and the daemon has no compiled
+    /// program under its fingerprint (e.g. the daemon restarted).
+    /// Re-send the PQL with the cursor to resume.
+    UnknownCursorQuery,
+    /// The PQL source failed to compile.
+    Compile(String),
+    /// The query's direction cannot run layered (forward-only modes).
+    Unsupported(String),
+    /// The replay itself failed (store corruption under strict reads).
+    Replay(String),
+    /// Per-tenant quota exhausted: HTTP 429.
+    Throttled {
+        /// Seconds until a token will be available.
+        retry_after_secs: u64,
+    },
+    /// In-flight capacity exhausted: HTTP 503.
+    Busy {
+        /// Suggested back-off.
+        retry_after_secs: u64,
+    },
+}
+
+impl ServeError {
+    /// The HTTP status this error renders as.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::MissingQuery
+            | ServeError::Cursor(_)
+            | ServeError::ForeignCursor
+            | ServeError::UnknownCursorQuery
+            | ServeError::Compile(_)
+            | ServeError::Unsupported(_) => 400,
+            ServeError::Throttled { .. } => 429,
+            ServeError::Replay(_) => 500,
+            ServeError::Busy { .. } => 503,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::MissingQuery => write!(f, "request needs pql= or cursor="),
+            ServeError::Cursor(e) => write!(f, "{e}"),
+            ServeError::ForeignCursor => {
+                write!(f, "cursor was minted for a different query")
+            }
+            ServeError::UnknownCursorQuery => write!(
+                f,
+                "cursor's query is not resident; re-send pql= alongside the cursor"
+            ),
+            ServeError::Compile(e) => write!(f, "compile error: {e}"),
+            ServeError::Unsupported(e) => write!(f, "{e}"),
+            ServeError::Replay(e) => write!(f, "replay failed: {e}"),
+            ServeError::Throttled { retry_after_secs } => {
+                write!(f, "tenant quota exhausted; retry after {retry_after_secs}s")
+            }
+            ServeError::Busy { retry_after_secs } => {
+                write!(f, "service at capacity; retry after {retry_after_secs}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One page of results. Rows are shared with the cache (no clone);
+/// [`QueryPage::rows`] yields the page's slice.
+#[derive(Clone, Debug)]
+pub struct QueryPage {
+    /// Fingerprint of the compiled source (cursors embed this).
+    pub fingerprint: u64,
+    /// Effective (clamped) inclusive layer range the result covers.
+    pub layer_range: (u32, u32),
+    /// Rows in the whole result sequence.
+    pub total_rows: usize,
+    /// This page's starting row.
+    pub offset: usize,
+    /// Token for the next page, `None` on the last.
+    pub next_cursor: Option<String>,
+    /// Whether the sequence came from the replay cache (this request
+    /// read zero store bytes).
+    pub cache_hit: bool,
+    /// What the replay that materialized the sequence cost.
+    pub replay: ReplaySummary,
+    result: Arc<CachedResult>,
+    page_len: usize,
+}
+
+impl QueryPage {
+    /// The rows on this page: `(predicate, tuple)` in the stable
+    /// pagination order.
+    pub fn rows(&self) -> &[(String, Tuple)] {
+        &self.result.rows[self.offset..self.offset + self.page_len]
+    }
+}
+
+/// The resident query service: one opened store, one graph, shared
+/// compiled programs, replay cache, and admission gate.
+pub struct QueryService {
+    graph: Csr,
+    store: ProvStore,
+    config: ServeConfig,
+    compiled: Mutex<HashMap<u64, Arc<CompiledQuery>>>,
+    cache: Mutex<ReplayCache>,
+    admission: Admission,
+}
+
+impl QueryService {
+    /// A service over an opened store and its graph.
+    pub fn new(graph: Csr, store: ProvStore, config: ServeConfig) -> QueryService {
+        let cache = ReplayCache::new(config.cache_budget_bytes);
+        let admission = Admission::new(config.admission);
+        QueryService {
+            graph,
+            store,
+            config,
+            compiled: Mutex::new(HashMap::new()),
+            cache: Mutex::new(cache),
+            admission,
+        }
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The store being served (for reporting).
+    pub fn store(&self) -> &ProvStore {
+        &self.store
+    }
+
+    /// Execute one request end to end: admission, cursor resolution,
+    /// compile (cached), replay (cached), pagination.
+    pub fn execute(&self, req: &QueryRequest<'_>) -> Result<QueryPage, ServeError> {
+        let _guard = match self.admission.admit(req.tenant) {
+            Admit::Granted(g) => g,
+            Admit::Throttled { retry_after_secs } => {
+                return Err(ServeError::Throttled { retry_after_secs })
+            }
+            Admit::Busy { retry_after_secs } => {
+                return Err(ServeError::Busy { retry_after_secs })
+            }
+        };
+
+        // Resolve the cursor first: it pins fingerprint, range, offset.
+        let cursor = match req.cursor {
+            Some(token) => Some(Cursor::decode(token).map_err(ServeError::Cursor)?),
+            None => None,
+        };
+
+        // Resolve the compiled program. PQL source wins as identity; a
+        // cursor must agree with it when both are present.
+        let (fingerprint, query) = match (req.pql, &cursor) {
+            (Some(src), c) => {
+                let fp = query_fingerprint(src, req.params);
+                if let Some(c) = c {
+                    if c.fingerprint != fp {
+                        return Err(ServeError::ForeignCursor);
+                    }
+                }
+                (fp, self.compiled_for(fp, src, req.params)?)
+            }
+            (None, Some(c)) => {
+                let resident = self.compiled.lock().unwrap().get(&c.fingerprint).cloned();
+                match resident {
+                    Some(q) => (c.fingerprint, q),
+                    None => return Err(ServeError::UnknownCursorQuery),
+                }
+            }
+            (None, None) => return Err(ServeError::MissingQuery),
+        };
+
+        // The effective layer range is part of the result's identity;
+        // clamp before keying the cache so `0..=MAX` and the store's
+        // true extent share an entry.
+        let requested = match &cursor {
+            Some(c) => Some((c.layer_lo, c.layer_hi)),
+            None => req.layers,
+        };
+        let max_step = self.store.max_superstep();
+        let effective = match (requested, max_step) {
+            (_, None) => (0, 0),
+            (None, Some(max)) => (0, max),
+            (Some((lo, hi)), Some(max)) => (lo, hi.min(max)),
+        };
+
+        let layered = LayeredConfig {
+            threads: self.config.threads,
+            read_policy: self.config.read_policy,
+            ..LayeredConfig::default()
+        };
+        let key = CacheKey {
+            fingerprint,
+            layer_range: effective,
+            mask_sig: mask_signature(&query, &layered),
+            read_policy: match self.config.read_policy {
+                ReadPolicy::Strict => 0,
+                ReadPolicy::Degraded => 1,
+            },
+        };
+
+        let cached = self.cache.lock().unwrap().get(&key);
+        let (result, cache_hit) = match cached {
+            Some(r) => (r, true),
+            None => {
+                let run = run_layered_range(
+                    &self.graph,
+                    &self.store,
+                    &query,
+                    &layered,
+                    requested,
+                )
+                .map_err(|e| ServeError::Replay(e.to_string()))?;
+                debug_assert_eq!(
+                    run.layer_range,
+                    if run.layers == 0 { run.layer_range } else { effective },
+                    "service clamp must agree with the replay's"
+                );
+                obs_handles::replay_bytes().add(run.bytes_read as u64);
+                let mut rows = Vec::new();
+                for (pred, _) in run.query_results.iter() {
+                    let pred = pred.to_string();
+                    for tuple in run.query_results.sorted(&pred) {
+                        rows.push((pred.clone(), tuple));
+                    }
+                }
+                let result = Arc::new(CachedResult::new(
+                    rows,
+                    ReplaySummary {
+                        layers: run.layers,
+                        bytes_read: run.bytes_read,
+                        segments_read: run.segments_read,
+                        segments_skipped: run.segments_skipped,
+                    },
+                ));
+                self.cache
+                    .lock()
+                    .unwrap()
+                    .insert(key, Arc::clone(&result));
+                (result, false)
+            }
+        };
+
+        let total = result.rows.len();
+        let offset = (cursor.map_or(0, |c| c.offset) as usize).min(total);
+        let limit = req
+            .limit
+            .unwrap_or(self.config.default_limit)
+            .clamp(1, self.config.max_limit);
+        let page_len = limit.min(total - offset);
+        let next_cursor = if offset + page_len < total {
+            Some(
+                Cursor {
+                    fingerprint,
+                    layer_lo: effective.0,
+                    layer_hi: effective.1,
+                    offset: (offset + page_len) as u64,
+                }
+                .encode(),
+            )
+        } else {
+            None
+        };
+
+        obs_handles::queries().inc();
+        obs_handles::rows().add(page_len as u64);
+        Ok(QueryPage {
+            fingerprint,
+            layer_range: effective,
+            total_rows: total,
+            offset,
+            next_cursor,
+            cache_hit,
+            replay: result.replay,
+            result,
+            page_len,
+        })
+    }
+
+    /// Compile `src` with `params` (or return the resident program for
+    /// `fp`).
+    fn compiled_for(
+        &self,
+        fp: u64,
+        src: &str,
+        params: &[(&str, &str)],
+    ) -> Result<Arc<CompiledQuery>, ServeError> {
+        if let Some(q) = self.compiled.lock().unwrap().get(&fp) {
+            return Ok(Arc::clone(q));
+        }
+        let mut p = Params::new();
+        for (k, v) in params {
+            p = p.with(k, parse_param_value(v));
+        }
+        let q = compile(src, p).map_err(|e| ServeError::Compile(e.to_string()))?;
+        if !q.direction().supports_layered() {
+            return Err(ServeError::Unsupported(format!(
+                "query direction {:?} does not support layered replay",
+                q.direction()
+            )));
+        }
+        let q = Arc::new(q);
+        self.compiled
+            .lock()
+            .unwrap()
+            .insert(fp, Arc::clone(&q));
+        Ok(q)
+    }
+}
+
+/// Mount `service` on the shared HTTP core at `addr`: `GET /query` plus
+/// the whole observability surface (`/metrics`, `/trace`, `/report`,
+/// `/healthz`) on one listener.
+pub fn serve(
+    service: Arc<QueryService>,
+    addr: &str,
+) -> std::io::Result<ariadne_obs::HttpServer> {
+    ariadne_obs::HttpServer::bind_with(addr, api::handler(service))
+}
+
+/// The stable identity of `(source, parameter bindings)`: what cursors
+/// embed and the compiled-program table keys on. Bindings are sorted so
+/// `a=1&b=2` and `b=2&a=1` are the same query.
+pub fn query_fingerprint(src: &str, params: &[(&str, &str)]) -> u64 {
+    let mut canon = String::from(src);
+    let mut sorted: Vec<_> = params.to_vec();
+    sorted.sort();
+    for (k, v) in sorted {
+        canon.push('\0');
+        canon.push_str(k);
+        canon.push('=');
+        canon.push_str(v);
+    }
+    fnv1a64(canon.as_bytes())
+}
+
+/// Parse a raw parameter string with the CLI's conventions: `vN` is a
+/// vertex id, integers are `Int`, floats are `Float`, everything else
+/// is a string.
+fn parse_param_value(s: &str) -> Value {
+    if let Some(id) = s.strip_prefix('v') {
+        if let Ok(n) = id.parse::<u64>() {
+            return Value::Id(n);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Value::Int(n);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Value::Float(f);
+    }
+    Value::str(s)
+}
+
+/// Stable signature of the replay's column masks + prune/project flags:
+/// anything that changes which stored columns are decoded changes the
+/// cached result's intermediate stats, so it distinguishes cache keys.
+fn mask_signature(query: &CompiledQuery, config: &LayeredConfig) -> u64 {
+    let mut canon = format!("prune={};project={};", config.prune, config.project);
+    if config.project {
+        for (pred, mask) in column_masks(query.query()) {
+            canon.push_str(&pred);
+            canon.push(':');
+            for keep in mask {
+                canon.push(if keep { '1' } else { '0' });
+            }
+            canon.push(';');
+        }
+    }
+    fnv1a64(canon.as_bytes())
+}
+
+// The service is shared by HTTP workers: one Arc, many threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryService>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ariadne::StoreConfig;
+    use ariadne_graph::generators::regular::path;
+    use ariadne_pql::Value;
+
+    /// A store with `layers` layers of one `superstep(id, s)` tuple each.
+    fn fixture(layers: u32) -> (Csr, ProvStore) {
+        let g = path(3);
+        let mut store = ProvStore::new(StoreConfig::in_memory());
+        for s in 0..layers {
+            store
+                .ingest(s, "superstep", vec![vec![Value::Id(1), Value::Int(s as i64)]])
+                .unwrap();
+        }
+        (g, store)
+    }
+
+    const PQL: &str = "active(x, i) :- superstep(x, i).";
+
+    fn service(layers: u32, config: ServeConfig) -> QueryService {
+        let (g, store) = fixture(layers);
+        QueryService::new(g, store, config)
+    }
+
+    #[test]
+    fn paginates_to_the_unpaged_sequence() {
+        let svc = service(6, ServeConfig::default());
+        let full = svc
+            .execute(&QueryRequest { pql: Some(PQL), ..Default::default() })
+            .unwrap();
+        assert_eq!(full.total_rows, 6);
+        assert!(full.next_cursor.is_none());
+
+        let mut paged = Vec::new();
+        let mut cursor: Option<String> = None;
+        loop {
+            let page = svc
+                .execute(&QueryRequest {
+                    pql: Some(PQL),
+                    cursor: cursor.as_deref(),
+                    limit: Some(2),
+                    ..Default::default()
+                })
+                .unwrap();
+            assert!(page.rows().len() <= 2);
+            paged.extend_from_slice(page.rows());
+            match page.next_cursor {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        assert_eq!(paged, full.rows(), "paged concat equals the un-paged run");
+    }
+
+    #[test]
+    fn second_query_hits_the_cache_and_reads_nothing() {
+        let svc = service(4, ServeConfig::default());
+        let req = QueryRequest { pql: Some(PQL), ..Default::default() };
+        let cold = svc.execute(&req).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(cold.replay.bytes_read > 0);
+
+        let warm = svc.execute(&req).unwrap();
+        assert!(warm.cache_hit);
+        // The summary reports the original replay's cost; the *hit*
+        // itself decoded nothing — rows are the same Arc.
+        assert_eq!(warm.replay.bytes_read, cold.replay.bytes_read);
+        assert_eq!(warm.rows(), cold.rows());
+    }
+
+    #[test]
+    fn cursor_continues_without_resending_pql() {
+        let svc = service(5, ServeConfig::default());
+        let first = svc
+            .execute(&QueryRequest {
+                pql: Some(PQL),
+                limit: Some(3),
+                ..Default::default()
+            })
+            .unwrap();
+        let token = first.next_cursor.expect("more pages");
+        let second = svc
+            .execute(&QueryRequest {
+                cursor: Some(&token),
+                limit: Some(3),
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(second.cache_hit, "continuation rides the cache");
+        assert_eq!(second.offset, 3);
+        assert_eq!(second.rows().len(), 2);
+        assert!(second.next_cursor.is_none());
+    }
+
+    #[test]
+    fn cursor_errors_are_typed() {
+        let svc = service(3, ServeConfig::default());
+        let err = svc
+            .execute(&QueryRequest { cursor: Some("zz"), ..Default::default() })
+            .unwrap_err();
+        assert_eq!(err, ServeError::Cursor(CursorError::Malformed));
+        assert_eq!(err.status(), 400);
+
+        // A valid token minted for a different query is foreign.
+        let other = Cursor {
+            fingerprint: fnv1a64(b"other(x) :- superstep(x, _)."),
+            layer_lo: 0,
+            layer_hi: 2,
+            offset: 1,
+        }
+        .encode();
+        let err = svc
+            .execute(&QueryRequest {
+                pql: Some(PQL),
+                cursor: Some(&other),
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert_eq!(err, ServeError::ForeignCursor);
+
+        // Alone against a fresh daemon it is unknown (restart story).
+        let err = svc
+            .execute(&QueryRequest { cursor: Some(&other), ..Default::default() })
+            .unwrap_err();
+        assert_eq!(err, ServeError::UnknownCursorQuery);
+
+        assert_eq!(
+            svc.execute(&QueryRequest::default()).unwrap_err(),
+            ServeError::MissingQuery
+        );
+    }
+
+    #[test]
+    fn layer_ranges_are_distinct_results() {
+        let svc = service(6, ServeConfig::default());
+        let full = svc
+            .execute(&QueryRequest { pql: Some(PQL), ..Default::default() })
+            .unwrap();
+        let slice = svc
+            .execute(&QueryRequest {
+                pql: Some(PQL),
+                layers: Some((1, 3)),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(full.total_rows, 6);
+        assert_eq!(slice.total_rows, 3);
+        assert_eq!(slice.layer_range, (1, 3));
+        assert!(!slice.cache_hit, "different range, different entry");
+        // Clamped overshoot shares the full-range entry.
+        let clamped = svc
+            .execute(&QueryRequest {
+                pql: Some(PQL),
+                layers: Some((0, 999)),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(clamped.layer_range, (0, 5));
+        assert!(clamped.cache_hit, "0..=999 clamps onto the full entry");
+    }
+
+    #[test]
+    fn quota_and_capacity_map_to_429_and_503() {
+        let svc = service(
+            3,
+            ServeConfig {
+                admission: AdmissionConfig {
+                    max_in_flight: 4,
+                    quota_burst: 1.0,
+                    quota_per_sec: 0.0,
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let req = QueryRequest { pql: Some(PQL), tenant: "t1", ..Default::default() };
+        svc.execute(&req).unwrap();
+        let err = svc.execute(&req).unwrap_err();
+        assert!(matches!(err, ServeError::Throttled { .. }));
+        assert_eq!(err.status(), 429);
+
+        let closed = service(
+            3,
+            ServeConfig {
+                admission: AdmissionConfig {
+                    max_in_flight: 0,
+                    quota_burst: 8.0,
+                    quota_per_sec: 0.0,
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let err = closed
+            .execute(&QueryRequest { pql: Some(PQL), ..Default::default() })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Busy { .. }));
+        assert_eq!(err.status(), 503);
+    }
+
+    #[test]
+    fn compile_errors_are_400() {
+        let svc = service(2, ServeConfig::default());
+        let err = svc
+            .execute(&QueryRequest { pql: Some("not pql at all"), ..Default::default() })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Compile(_)));
+        assert_eq!(err.status(), 400);
+    }
+}

@@ -124,6 +124,17 @@ pub enum EngineError {
         /// Vertices in the graph handed to resume.
         graph_vertices: usize,
     },
+    /// A snapshot is internally inconsistent: its inbox table does not
+    /// cover the same vertices as its value table / the graph. A
+    /// CRC-valid file can still carry this (the checksum covers bytes,
+    /// not cross-field invariants), so resume validates it explicitly
+    /// instead of panicking when the partition table walks off the end.
+    InboxMismatch {
+        /// Per-vertex inboxes recorded in the snapshot.
+        snapshot_inboxes: usize,
+        /// Vertices the graph (and value table) expect.
+        graph_vertices: usize,
+    },
     /// A [`crate::fault::FaultPlan`] killed the run at this superstep
     /// (simulated crash; resume from the latest snapshot).
     InjectedCrash {
@@ -153,6 +164,14 @@ impl fmt::Display for EngineError {
             } => write!(
                 f,
                 "snapshot covers {snapshot_vertices} vertices but graph has {graph_vertices}"
+            ),
+            EngineError::InboxMismatch {
+                snapshot_inboxes,
+                graph_vertices,
+            } => write!(
+                f,
+                "snapshot inbox covers {snapshot_inboxes} vertices but graph has \
+                 {graph_vertices}: inconsistent snapshot"
             ),
             EngineError::InjectedCrash { superstep } => {
                 write!(f, "injected crash at superstep {superstep}")

@@ -403,6 +403,17 @@ impl Engine {
                 graph_vertices: graph.num_vertices(),
             });
         }
+        // The value table can match the graph while the inbox table does
+        // not (a hand-built or bit-rotted checkpoint: the CRC covers
+        // bytes, not cross-field invariants). Left unchecked, the flat
+        // plane's partition-table walk runs off the short inbox and
+        // panics mid-superstep — validate it here, typed.
+        if checkpoint.inbox.len() != graph.num_vertices() {
+            return Err(EngineError::InboxMismatch {
+                snapshot_inboxes: checkpoint.inbox.len(),
+                graph_vertices: graph.num_vertices(),
+            });
+        }
         obs_handles::resumes().inc();
         trace::event(
             Level::Info,
@@ -1128,6 +1139,11 @@ impl<M> InboxRepr<M> {
 
     /// Convert to the flat layout for `table`'s chunking, preserving
     /// per-vertex message order exactly.
+    ///
+    /// Resume validates inbox length against the graph before any state
+    /// reaches here ([`EngineError::InboxMismatch`]), so a short inbox
+    /// is an internal-invariant breach, not a reachable input state; it
+    /// still degrades to empty inboxes rather than panicking a worker.
     fn into_flat(self, table: &ChunkTable) -> Vec<ChunkInbox<M>> {
         let per_vertex = self.into_per_vertex();
         debug_assert_eq!(per_vertex.len(), table.num_vertices());
@@ -1137,7 +1153,7 @@ impl<M> InboxRepr<M> {
             let bounds = table.bounds(c);
             let mut inbox = ChunkInbox::empty(bounds);
             for i in 0..(bounds.1 - bounds.0) {
-                let msgs = iter.next().expect("inbox shorter than partition table");
+                let msgs = iter.next().unwrap_or_default();
                 inbox.data.extend(msgs);
                 inbox.starts[i + 1] = inbox.data.len();
             }
@@ -2384,6 +2400,39 @@ mod tests {
             engine.resume(&MinFlood, &g),
             Err(EngineError::NotConfigured)
         ));
+    }
+
+    /// Regression: a snapshot whose value table matches the graph but
+    /// whose inbox table is short (CRC-valid bytes, inconsistent
+    /// cross-field state — hand-built or bit-rotted) used to panic with
+    /// "inbox shorter than partition table" inside the flat plane's
+    /// partition walk. Resume must reject it with a typed error on both
+    /// planes instead.
+    #[test]
+    fn resume_from_inconsistent_inbox_is_typed_error() {
+        let g = cycle(8);
+        for plane in [MessagePlane::Flat, MessagePlane::Naive] {
+            let ckpt: EngineCheckpoint<u64, u64> = EngineCheckpoint {
+                superstep: 1,
+                values: vec![0u64; g.num_vertices()],
+                inbox: vec![Vec::new(); g.num_vertices() - 3],
+                aggregates: Aggregates::new(Vec::new()),
+                metrics: RunMetrics::default(),
+            };
+            let engine = Engine::new(EngineConfig {
+                plane,
+                ..EngineConfig::default()
+            });
+            match engine.resume_from(&MinFlood, &g, ckpt) {
+                Err(EngineError::InboxMismatch {
+                    snapshot_inboxes,
+                    graph_vertices,
+                }) => {
+                    assert_eq!((snapshot_inboxes, graph_vertices), (5, 8), "{plane:?}");
+                }
+                other => panic!("{plane:?}: expected InboxMismatch, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!
 //! ariadne-cli scrub --spool DIR [--repair] [--json]
 //! ariadne-cli compact --spool DIR [--json]
+//! ariadne-cli serve --spool DIR (--graph FILE | --generate SPEC) [--listen ADDR]
 //! ```
 //!
 //! Analytic values are printed for the first vertices; every query IDB
@@ -27,6 +28,12 @@
 //! generation file (see [`ariadne_provenance::compact_spool`]): small
 //! records merge, v1 records upgrade to columnar/compressed frames, and
 //! replay reads seek extents instead of scanning files.
+//!
+//! The `serve` subcommand starts the long-lived query daemon
+//! ([`ariadne_serve`]): the spool and graph are opened once, compiled
+//! PQL programs and replayed results stay resident, and clients iterate
+//! paginated lineage queries over `GET /query` without paying a process
+//! start per question.
 
 use ariadne::queries;
 use ariadne::session::Ariadne;
@@ -52,6 +59,7 @@ struct Options {
     supersteps: u32,
     explain: bool,
     obs_listen: Option<String>,
+    spool: Option<String>,
 }
 
 fn usage() -> ! {
@@ -60,6 +68,7 @@ fn usage() -> ! {
          \x20       --analytic (pagerank|sssp|wcc) [--source ID] [--supersteps N] \\\n\
          \x20       (--query FILE | --builtin NAME) [--param k=v]... \\\n\
          \x20       [--mode online|layered|naive] [--threads N] [--obs-listen ADDR]\n\
+         \x20       [--spool DIR  persist the capture spool for `serve`]\n\
          \n\
          --obs-listen ADDR  serve live telemetry over HTTP while the run\n\
          \x20                  executes: GET /metrics (Prometheus text),\n\
@@ -78,7 +87,16 @@ fn usage() -> ! {
          \x20      losslessly / 4 irrecoverable damage\n\
          or:    ariadne-cli compact --spool DIR [--json]\n\
          \x20      rewrite the spool into one indexed generation file\n\
-         \x20      (merge small records, upgrade v1, compress, index)"
+         \x20      (merge small records, upgrade v1, compress, index)\n\
+         or:    ariadne-cli serve --spool DIR (--graph FILE | --generate SPEC)\n\
+         \x20      [--listen ADDR] [--threads N] [--cache-bytes N]\n\
+         \x20      [--max-inflight N] [--quota-burst F] [--quota-per-sec F]\n\
+         \x20      [--duration SECS]\n\
+         \x20      long-lived query service over a captured spool:\n\
+         \x20      GET /query?pql=...&cursor=...&limit=N&layers=LO..HI\n\
+         \x20      (paginated, LRU replay cache, per-tenant quotas via\n\
+         \x20      the X-Ariadne-Tenant header) plus the observability\n\
+         \x20      routes on one listener; --duration 0 serves forever"
     );
     exit(2)
 }
@@ -164,6 +182,103 @@ fn run_scrub(args: &[String]) -> ! {
     exit(code)
 }
 
+/// `ariadne-cli serve --spool DIR (--graph FILE | --generate SPEC)
+/// [--listen ADDR] [...]`: the long-lived query service. Opens the
+/// captured spool and the graph once, then serves `GET /query`
+/// (paginated PQL over layered replay, LRU-cached, admission-controlled)
+/// and the whole observability surface on one listener until killed (or
+/// for `--duration` seconds, for scripted smoke tests).
+fn run_serve(args: &[String]) -> ! {
+    let mut spool: Option<String> = None;
+    let mut graph_file: Option<String> = None;
+    let mut generate: Option<String> = None;
+    let mut listen = String::from("127.0.0.1:0");
+    let mut config = ariadne_serve::ServeConfig::default();
+    let mut duration: u64 = 0;
+    let mut it = args.iter();
+    let next = |it: &mut std::slice::Iter<String>, what: &str| {
+        it.next().cloned().unwrap_or_else(|| {
+            eprintln!("{what} needs a value");
+            usage()
+        })
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spool" => spool = Some(next(&mut it, "--spool")),
+            "--graph" => graph_file = Some(next(&mut it, "--graph")),
+            "--generate" => generate = Some(next(&mut it, "--generate")),
+            "--listen" => listen = next(&mut it, "--listen"),
+            "--threads" => {
+                config.threads = next(&mut it, "--threads").parse().unwrap_or_else(|_| usage())
+            }
+            "--cache-bytes" => {
+                config.cache_budget_bytes =
+                    next(&mut it, "--cache-bytes").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-inflight" => {
+                config.admission.max_in_flight =
+                    next(&mut it, "--max-inflight").parse().unwrap_or_else(|_| usage())
+            }
+            "--quota-burst" => {
+                config.admission.quota_burst =
+                    next(&mut it, "--quota-burst").parse().unwrap_or_else(|_| usage())
+            }
+            "--quota-per-sec" => {
+                config.admission.quota_per_sec =
+                    next(&mut it, "--quota-per-sec").parse().unwrap_or_else(|_| usage())
+            }
+            "--duration" => {
+                duration = next(&mut it, "--duration").parse().unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown serve argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(dir) = spool else {
+        eprintln!("serve requires --spool DIR");
+        usage()
+    };
+    if !std::path::Path::new(&dir).is_dir() {
+        eprintln!("serve failed: {dir} is not a directory");
+        exit(1)
+    }
+    let graph = graph_from(graph_file.as_deref(), generate.as_deref());
+    let store = ariadne_provenance::ProvStore::resume_from_spool(ariadne::StoreConfig {
+        spool_dir: Some(std::path::PathBuf::from(&dir)),
+        ..ariadne::StoreConfig::in_memory()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot open spool {dir}: {e}");
+        exit(1)
+    });
+    println!(
+        "serve: spool {dir}: {} tuples ({} bytes), layers 0..={}",
+        store.tuple_count(),
+        store.byte_size(),
+        store.max_superstep().map_or_else(|| "-".into(), |s| s.to_string())
+    );
+    let service = std::sync::Arc::new(ariadne_serve::QueryService::new(graph, store, config));
+    let server = ariadne_serve::serve(service, &listen).unwrap_or_else(|e| {
+        eprintln!("cannot bind --listen {listen}: {e}");
+        exit(1)
+    });
+    println!(
+        "serve: GET /query (+ /metrics /trace /report /healthz) on http://{}",
+        server.local_addr()
+    );
+    if duration > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(duration));
+        server.shutdown();
+        exit(0)
+    }
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 /// `ariadne-cli compact --spool DIR [--json]`: rewrite a provenance
 /// spool into a single indexed generation file. Exit 0 on success, 1 on
 /// failure (a corrupt spool refuses to compact — scrub it first).
@@ -229,6 +344,7 @@ fn parse_args() -> Options {
         supersteps: 20,
         explain: false,
         obs_listen: None,
+        spool: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -250,6 +366,7 @@ fn parse_args() -> Options {
                 o.supersteps = next("--supersteps").parse().unwrap_or_else(|_| usage())
             }
             "--obs-listen" => o.obs_listen = Some(next("--obs-listen")),
+            "--spool" => o.spool = Some(next("--spool")),
             "--param" => {
                 let kv = next("--param");
                 match kv.split_once('=') {
@@ -283,13 +400,19 @@ fn parse_param_value(s: &str) -> Value {
 }
 
 fn load_graph(o: &Options) -> Csr {
-    if let Some(path) = &o.graph {
+    graph_from(o.graph.as_deref(), o.generate.as_deref())
+}
+
+/// Shared graph loading for the run and serve entry points: an edge-list
+/// file, or a deterministic `rmat:SCALE:DEG` generator spec.
+fn graph_from(graph: Option<&str>, generate: Option<&str>) -> Csr {
+    if let Some(path) = graph {
         return io::load_edge_list(path).unwrap_or_else(|e| {
             eprintln!("cannot load {path}: {e}");
             exit(1)
         });
     }
-    if let Some(spec) = &o.generate {
+    if let Some(spec) = generate {
         let parts: Vec<&str> = spec.split(':').collect();
         if parts.len() == 3 && parts[0] == "rmat" {
             let scale: u32 = parts[1].parse().unwrap_or_else(|_| usage());
@@ -428,6 +551,9 @@ fn main() {
     if argv.get(1).map(String::as_str) == Some("compact") {
         run_compact(&argv[2..]);
     }
+    if argv.get(1).map(String::as_str) == Some("serve") {
+        run_serve(&argv[2..]);
+    }
     let o = parse_args();
     // Bind the telemetry endpoint before any work happens, so /metrics
     // and /trace are curl-able for the whole run. Shut down gracefully
@@ -457,6 +583,12 @@ fn main() {
     }
     let mut ariadne = Ariadne::with_threads(o.threads);
     ariadne.engine.max_supersteps = 10_000;
+    // --spool: persist the capture to disk (budget 0 spills every
+    // segment immediately), so a later `ariadne-cli serve --spool DIR`
+    // can open the same capture.
+    if let Some(dir) = &o.spool {
+        ariadne.store = ariadne::StoreConfig::spilling(0, std::path::PathBuf::from(dir));
+    }
 
     match o.analytic.as_str() {
         "pagerank" => {

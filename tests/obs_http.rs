@@ -5,8 +5,9 @@
 //! JSONL trace key order, and that a malformed request cannot wedge the
 //! listener.
 //!
-//! One test function on purpose: the metric registry and trace rings
-//! are process-global, and parallel test threads would race the drain.
+//! Tests serialize on a file-level mutex: the metric registry and trace
+//! rings are process-global, and parallel test threads would race the
+//! drain-accounting assertions.
 
 use ariadne::session::Ariadne;
 use ariadne::{compile, CaptureSpec};
@@ -16,7 +17,15 @@ use ariadne_obs::trace;
 use ariadne_pql::Params;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
+
+fn serialize() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// One parsed HTTP response: status code, raw header block, body.
 struct Response {
@@ -142,6 +151,7 @@ fn validate_prometheus(text: &str) {
 
 #[test]
 fn obs_http_plane_end_to_end() {
+    let _gate = serialize();
     // Trace-level filter so the full span tree (run -> layer -> chunk
     // -> eval, store reads, merge) lands in the rings.
     trace::set_filter("trace");
@@ -293,5 +303,113 @@ fn obs_http_plane_end_to_end() {
     let still_up = get(addr, "/healthz");
     assert_eq!(still_up.status, 200, "listener wedged after bad request");
 
+    server.shutdown();
+}
+
+/// Regression: a request head that arrives across several TCP writes —
+/// including a split in the middle of the `\r\n\r\n` terminator — must
+/// be read to completion, not treated as a whole (malformed) request.
+#[test]
+fn split_write_request_head_is_reassembled() {
+    let _gate = serialize();
+    let server = ariadne_obs::ObsServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let request = "GET /healthz HTTP/1.1\r\nHost: split\r\nConnection: close\r\n\r\n";
+    // Split points chosen to break inside the method, inside a header,
+    // and inside the blank-line terminator itself.
+    for splits in [
+        vec!["GE", "T /healthz HTTP/1.1\r\nHost: split\r\nConnection: close\r\n\r\n"],
+        vec!["GET /healthz HTTP/1.1\r\nHo", "st: split\r\nConnection: close\r\n\r\n"],
+        vec!["GET /healthz HTTP/1.1\r\nHost: split\r\nConnection: close\r\n\r", "\n"],
+        request.split_inclusive(|_| true).collect::<Vec<_>>(), // byte at a time
+    ] {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        for chunk in &splits {
+            stream.write_all(chunk.as_bytes()).expect("write chunk");
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        assert!(
+            raw.starts_with("HTTP/1.1 200"),
+            "split request ({} chunks) not reassembled: {raw:?}",
+            splits.len()
+        );
+        assert!(raw.ends_with("ok\n"), "wrong body: {raw:?}");
+    }
+    server.shutdown();
+}
+
+/// Regression: two clients draining `/trace` concurrently must
+/// partition the events and the drop count exactly — every event and
+/// every drop in exactly one response, none double-reported, none lost.
+#[test]
+fn concurrent_trace_drains_partition_exactly() {
+    let _gate = serialize();
+    trace::set_filter("info");
+    let server = ariadne_obs::ObsServer::bind("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // Prime: drain whatever earlier work left in the rings so the
+    // ledger below starts from zero.
+    get(addr, "/trace");
+
+    // Overflow this thread's ring by exactly `extra`: the ring keeps
+    // the newest RING_CAPACITY events and counts `extra` drops.
+    let extra = 123u64;
+    let total = trace::RING_CAPACITY as u64 + extra;
+    for i in 0..total {
+        trace::event(
+            trace::Level::Info,
+            "drainrace",
+            "tick",
+            &[("i", i.into())],
+        );
+    }
+
+    let (first, second) = std::thread::scope(|s| {
+        let a = s.spawn(|| get(addr, "/trace"));
+        let b = s.spawn(|| get(addr, "/trace"));
+        (a.join().expect("client a"), b.join().expect("client b"))
+    });
+
+    let dropped_of = |resp: &Response| -> u64 {
+        resp.headers
+            .lines()
+            .find_map(|l| l.strip_prefix("X-Ariadne-Dropped-Events: "))
+            .unwrap_or_else(|| panic!("no drop header in {}", resp.headers))
+            .trim()
+            .parse()
+            .expect("drop count parses")
+    };
+    let events_of = |resp: &Response| -> usize {
+        resp.body
+            .lines()
+            .filter(|l| l.contains("\"target\":\"drainrace\""))
+            .count()
+    };
+
+    assert_eq!(first.status, 200);
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        dropped_of(&first) + dropped_of(&second),
+        extra,
+        "drop count must partition exactly across concurrent drains"
+    );
+    assert_eq!(
+        events_of(&first) + events_of(&second),
+        trace::RING_CAPACITY,
+        "every retained event must drain exactly once"
+    );
+
+    // A follow-up drain sees a quiet ring: nothing double-reported.
+    let third = get(addr, "/trace");
+    assert_eq!(dropped_of(&third), 0);
+    assert_eq!(events_of(&third), 0);
     server.shutdown();
 }
