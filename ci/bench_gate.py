@@ -34,6 +34,9 @@ HIGHER_IS_WORSE = {
     "segments": ["store_bytes", "replay_bytes_read"],
     "spool": ["spool_bytes", "replay_bytes_read"],
     "serve": ["replay_bytes_read"],
+    # An epoch append growing means the layer diff got worse at folding
+    # the same mutation batch into the same store.
+    "mutations": ["bytes_appended"],
 }
 LOWER_IS_WORSE = {
     "runs": [],
@@ -41,6 +44,9 @@ LOWER_IS_WORSE = {
     "segments": ["replay_cols_skipped", "replay_col_bytes_skipped"],
     "spool": [],
     "serve": ["cache_hits"],
+    # Carried pairs shrinking means the diff stopped recognizing
+    # unchanged layers (it rewrote content it used to skip).
+    "mutations": ["carried"],
 }
 EXACT = {
     "runs": ["supersteps", "messages", "messages_delivered"],
@@ -55,6 +61,19 @@ EXACT = {
     "segments": ["store_tuples", "segments"],
     "spool": [],
     "serve": ["queries", "rows"],
+    # The frontier and diff classification are deterministic functions
+    # of (graph, batch, analytic): any drift is a semantics change.
+    "mutations": [
+        "mode",
+        "reset_vertices",
+        "activated_vertices",
+        "inc_supersteps",
+        "cold_supersteps",
+        "appended",
+        "replaced",
+        "tombstoned",
+        "cold_bytes",
+    ],
 }
 
 # What identifies a comparable cell within each section.
@@ -64,6 +83,7 @@ CELL_KEY = {
     "segments": ("analytic", "format"),
     "spool": ("format", "backend"),
     "serve": ("phase",),
+    "mutations": ("analytic", "batch"),
 }
 
 
@@ -119,6 +139,14 @@ def main():
                 compared += 1
                 old, new = b[col], c[col]
                 if old == new:
+                    continue
+                if isinstance(old, str) or isinstance(new, str):
+                    # Categorical column (e.g. mutations mode): any
+                    # change is a semantics change, no threshold.
+                    failures.append(
+                        f"  {section}{list(key)}.{col}: {old!r} -> {new!r} "
+                        f"(categorical, exact-gated)"
+                    )
                     continue
                 rel = (new - old) / old if old else float("inf")
                 bad = (

@@ -19,7 +19,10 @@
 //! (ε = 0.01) are meaningful.
 
 use ariadne_graph::{Csr, VertexId};
-use ariadne_vc::{AggOp, AggValue, Aggregates, Combiner, Context, Envelope, SumCombiner, VertexProgram};
+use ariadne_vc::{
+    AggOp, AggValue, Aggregates, Combiner, Context, Envelope, Incrementality, SumCombiner,
+    VertexProgram,
+};
 
 /// Name of the aggregator tracking the L1 change per superstep.
 pub const DELTA_AGG: &str = "pagerank.delta";
@@ -94,6 +97,15 @@ impl VertexProgram for PageRank {
                 .unwrap_or(false),
             _ => false,
         }
+    }
+
+    /// PageRank is not a monotone fixpoint: any edge change shifts the
+    /// stationary distribution at *every* vertex (mass is conserved
+    /// globally), so previous-epoch ranks cannot seed a bit-identical
+    /// run. Mutations restart the analytic. This is the trait default —
+    /// stated explicitly here because PageRank is the canonical example.
+    fn incrementality(&self) -> Incrementality {
+        Incrementality::Restart
     }
 }
 

@@ -1,7 +1,7 @@
 //! Single-source shortest paths — Algorithm 2 in the paper's appendix.
 
 use ariadne_graph::{Csr, VertexId};
-use ariadne_vc::{Combiner, Context, Envelope, MinCombiner, VertexProgram};
+use ariadne_vc::{Combiner, Context, Envelope, Incrementality, MinCombiner, VertexProgram};
 
 /// SSSP vertex program: vertices carry their best-known distance to the
 /// source and relax it as smaller distances arrive; on improvement they
@@ -48,6 +48,29 @@ impl VertexProgram for Sssp {
 
     fn combiner(&self) -> Option<Box<dyn Combiner<f64>>> {
         Some(Box::new(MinCombiner))
+    }
+
+    /// SSSP distances are the least fixpoint of edge relaxation, a
+    /// monotone operator, and invalidated distances are recomputable from
+    /// a reset frontier even after deletions (the taint closure resets
+    /// every vertex whose shortest path could have used a removed edge).
+    fn incrementality(&self) -> Incrementality {
+        Incrementality::Monotone {
+            deletion_safe: true,
+        }
+    }
+
+    fn reseed(&self, ctx: &mut dyn Context<f64>, value: &mut f64) {
+        // The source repairs its own distance if the taint reset hit it.
+        if ctx.vertex() == self.source {
+            *value = 0.0;
+        }
+        if value.is_finite() {
+            let d = *value;
+            for edge in ctx.out_edges() {
+                ctx.send(edge.neighbor, d + edge.weight);
+            }
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! union-find oracle in [`crate::reference`].
 
 use ariadne_graph::{Csr, VertexId};
-use ariadne_vc::{Combiner, Context, Envelope, MinCombiner, VertexProgram};
+use ariadne_vc::{Combiner, Context, Envelope, Incrementality, MinCombiner, VertexProgram};
 
 /// WCC vertex program.
 #[derive(Clone, Debug, Default)]
@@ -48,6 +48,21 @@ impl VertexProgram for Wcc {
 
     fn combiner(&self) -> Option<Box<dyn Combiner<u64>>> {
         Some(Box::new(MinCombiner))
+    }
+
+    /// Min-label flood is a monotone (greatest-lower-bound) fixpoint, so
+    /// insert-only batches can seed from previous labels. It is **not**
+    /// deletion-safe: removing a bridge edge splits a component and
+    /// *raises* labels across half of it, a change no forward frontier
+    /// from the deleted edge can bound.
+    fn incrementality(&self) -> Incrementality {
+        Incrementality::Monotone {
+            deletion_safe: false,
+        }
+    }
+
+    fn reseed(&self, ctx: &mut dyn Context<u64>, value: &mut u64) {
+        send_both_ways(ctx, *value);
     }
 }
 

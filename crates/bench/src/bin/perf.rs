@@ -52,25 +52,42 @@
 //! a paginated cursor chain reproduces the un-paged row sequence
 //! bit-for-bit.
 //!
+//! **Mutations section.** Chains three mutation barriers (insert-only,
+//! delete-heavy, mixed) through a [`MutableSession`] per analytic and
+//! measures both re-execution paths against their cold baselines: the
+//! result-only frontier re-run ([`MutableSession::rerun_incremental`])
+//! vs a cold run — values asserted bit-identical first — and the
+//! capture-grade epoch append ([`MutableSession::capture_epoch`]) vs
+//! the bytes a full re-capture would have written
+//! ([`EpochStats::cold_bytes`]). After the final epoch the live store's
+//! logical database is asserted equal, predicate by predicate in sorted
+//! order, to a cold capture of the mutated graph — the published JSON
+//! is itself evidence of the no-ghost-provenance contract.
+//!
 //! ```text
 //! cargo run --release -p ariadne-bench --bin perf -- \
-//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr9.json] [--quick]
+//!     [--scale N] [--threads 1,2,4,8] [--reps R] [--out BENCH_pr10.json] [--quick]
 //! ```
 //!
-//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr9.json").
+//! The output schema is documented in `EXPERIMENTS.md` ("BENCH_pr10.json").
+//!
+//! [`MutableSession`]: ariadne::MutableSession
+//! [`MutableSession::rerun_incremental`]: ariadne::MutableSession::rerun_incremental
+//! [`MutableSession::capture_epoch`]: ariadne::MutableSession::capture_epoch
+//! [`EpochStats::cold_bytes`]: ariadne_provenance::EpochStats::cold_bytes
 //!
 //! [`QueryService`]: ariadne_serve::QueryService
 //!
 //! [`HistogramSnapshot::quantile`]: ariadne_obs::metrics::HistogramSnapshot::quantile
 
 use ariadne::session::Ariadne;
-use ariadne::{queries, CaptureSpec, CompiledQuery, LayeredConfig, LayeredRun};
+use ariadne::{queries, CaptureSpec, CompiledQuery, LayeredConfig, LayeredRun, MutableSession};
 use ariadne_analytics::{PageRank, Sssp, Wcc};
 use ariadne_graph::generators::rmat::{rmat, RmatConfig};
-use ariadne_graph::{Csr, VertexId};
+use ariadne_graph::{Csr, GraphDelta, VertexId};
 use ariadne_pql::Value;
-use ariadne_provenance::ProvStore;
-use ariadne_vc::{Engine, EngineConfig, MessagePlane, RunMetrics, VertexProgram};
+use ariadne_provenance::{ProvEncode, ProvStore};
+use ariadne_vc::{Engine, EngineConfig, IncrementalMode, MessagePlane, RunMetrics, VertexProgram};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -367,6 +384,229 @@ fn serve_json(r: &ServeRow) -> String {
     s
 }
 
+// ---------------------------------------------------------------------
+// Mutation measurement (incremental re-execution + epoch deltas)
+// ---------------------------------------------------------------------
+
+/// One (analytic, batch kind) cell of the mutations section: a mutation
+/// barrier committed through a [`MutableSession`], then both
+/// re-execution paths measured against their cold baselines.
+struct MutationRow {
+    analytic: &'static str,
+    /// Batch shape: "insert" | "delete" | "mixed".
+    batch: &'static str,
+    threads: usize,
+    /// Which path [`ariadne_vc::Engine::run_incremental`] actually took.
+    mode: &'static str, // "frontier" | "full_rerun"
+    /// Vertices the taint closure reset to `init`.
+    reset_vertices: usize,
+    /// Vertices in the superstep-0 reseed frontier.
+    activated_vertices: usize,
+    inc_supersteps: u32,
+    cold_supersteps: u32,
+    /// Best-of-reps wall time of the incremental re-run, seconds.
+    inc_secs: f64,
+    /// Best-of-reps wall time of the cold re-run, seconds.
+    cold_secs: f64,
+    /// The store's mutation epoch after the append.
+    epoch: u64,
+    /// (layer, predicate) pairs carried forward without writing a byte.
+    carried: usize,
+    /// Pairs whose sorted suffix was appended (`~add~pred`).
+    appended: usize,
+    /// Pairs rewritten in full.
+    replaced: usize,
+    /// Pairs tombstoned (`~del~pred`).
+    tombstoned: usize,
+    /// Encoded bytes the epoch appended to the live store.
+    bytes_appended: usize,
+    /// Encoded bytes a full re-capture would have written.
+    cold_bytes: usize,
+}
+
+impl MutationRow {
+    fn speedup(&self) -> f64 {
+        self.cold_secs / self.inc_secs.max(1e-9)
+    }
+    fn bytes_ratio(&self) -> f64 {
+        self.bytes_appended as f64 / self.cold_bytes.max(1) as f64
+    }
+}
+
+fn mutation_json(r: &MutationRow) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"analytic\":\"{}\",\"batch\":\"{}\",\"threads\":{},\"mode\":\"{}\",\
+         \"reset_vertices\":{},\"activated_vertices\":{},\
+         \"inc_supersteps\":{},\"cold_supersteps\":{},\
+         \"inc_secs\":{},\"cold_secs\":{},\"speedup\":{},\
+         \"epoch\":{},\"carried\":{},\"appended\":{},\"replaced\":{},\"tombstoned\":{},\
+         \"bytes_appended\":{},\"cold_bytes\":{},\"bytes_ratio\":{}}}",
+        r.analytic,
+        r.batch,
+        r.threads,
+        r.mode,
+        r.reset_vertices,
+        r.activated_vertices,
+        r.inc_supersteps,
+        r.cold_supersteps,
+        json_f64(r.inc_secs),
+        json_f64(r.cold_secs),
+        json_f64(r.speedup()),
+        r.epoch,
+        r.carried,
+        r.appended,
+        r.replaced,
+        r.tombstoned,
+        r.bytes_appended,
+        r.cold_bytes,
+        json_f64(r.bytes_ratio()),
+    );
+    s
+}
+
+const MUTATION_BATCHES: [&str; 3] = ["insert", "delete", "mixed"];
+
+/// A deterministic mutation batch of `kind` against `csr`, sized to the
+/// graph (~1% of edges inserted, half that removed) so the frontier is
+/// a real but small fraction of the graph at every scale.
+fn mutation_batch(csr: &Csr, kind: &str, seed: u64) -> GraphDelta {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = csr.num_vertices() as u64;
+    let adds = (csr.num_edges() / 100).clamp(8, 256);
+    let mut delta = GraphDelta::new();
+    if kind != "delete" {
+        for _ in 0..adds {
+            delta.add_edge(
+                VertexId(rng.gen_range(0..n)),
+                VertexId(rng.gen_range(0..n)),
+                0.001 + rng.gen::<f64>(),
+            );
+        }
+    }
+    if kind != "insert" {
+        let existing: Vec<(VertexId, VertexId, f64)> = csr.edges().collect();
+        for _ in 0..adds / 2 {
+            let (s, d, _) = existing[rng.gen_range(0..existing.len())];
+            delta.remove_edge(s, d);
+        }
+    }
+    delta
+}
+
+/// Chain the three batch kinds as successive mutation barriers over one
+/// [`MutableSession`] + live [`ProvStore`], measuring each barrier's
+/// incremental re-run vs a cold re-run (values asserted bit-identical)
+/// and its epoch-append storage stats. After the final epoch, the live
+/// store's logical database is asserted equal — per predicate, in
+/// sorted order — to a cold capture of the mutated graph.
+fn measure_mutations<P>(
+    analytic: &'static str,
+    program: &P,
+    base: &Csr,
+    threads: usize,
+    reps: usize,
+    rows: &mut Vec<MutationRow>,
+) where
+    P: VertexProgram,
+    P::V: ProvEncode + PartialEq + std::fmt::Debug + Sync,
+    P::M: ProvEncode,
+{
+    let spec = CaptureSpec::full();
+    let session = Ariadne::with_threads(threads);
+    let mut store = session
+        .capture(program, base, &spec)
+        .expect("mutations: base capture")
+        .store;
+    let mut s = MutableSession::new(session, base.clone());
+    for (i, batch) in MUTATION_BATCHES.into_iter().enumerate() {
+        let prev = s.baseline(program);
+        s.mutate(mutation_batch(s.csr(), batch, 0xA51A + i as u64));
+        s.commit();
+
+        let mut inc_secs = f64::INFINITY;
+        let mut inc = None;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let run = s
+                .rerun_incremental(program, &prev.values)
+                .expect("mutations: incremental re-run");
+            inc_secs = inc_secs.min(start.elapsed().as_secs_f64());
+            inc = Some(run);
+        }
+        let inc = inc.expect("at least one repetition");
+        let mut cold_secs = f64::INFINITY;
+        let mut cold = None;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let run = s.baseline(program);
+            cold_secs = cold_secs.min(start.elapsed().as_secs_f64());
+            cold = Some(run);
+        }
+        let cold = cold.expect("at least one repetition");
+        assert_eq!(
+            inc.result.values, cold.values,
+            "mutations {analytic} {batch}: incremental values diverge from cold"
+        );
+
+        let (_, stats) = s
+            .capture_epoch(program, &spec, &mut store)
+            .expect("mutations: epoch capture");
+        assert_eq!(stats.epoch, (i + 1) as u64, "mutations {analytic} {batch}");
+        rows.push(MutationRow {
+            analytic,
+            batch,
+            threads,
+            mode: match inc.mode {
+                IncrementalMode::Frontier => "frontier",
+                IncrementalMode::FullRerun => "full_rerun",
+            },
+            reset_vertices: inc.reset_vertices,
+            activated_vertices: inc.activated_vertices,
+            inc_supersteps: inc.result.metrics.num_supersteps(),
+            cold_supersteps: cold.metrics.num_supersteps(),
+            inc_secs,
+            cold_secs,
+            epoch: stats.epoch,
+            carried: stats.carried,
+            appended: stats.appended,
+            replaced: stats.replaced,
+            tombstoned: stats.tombstoned,
+            bytes_appended: stats.bytes_appended,
+            cold_bytes: stats.cold_bytes,
+        });
+    }
+    // No-ghost check: after three epochs the live store reads exactly
+    // like a cold capture of the final graph. Sorted per predicate —
+    // multi-threaded captures ingest per-chunk buffers in arrival
+    // order, so equivalence is over canonical layer content.
+    let cold_db = Ariadne::with_threads(threads)
+        .capture(program, s.csr(), &spec)
+        .expect("mutations: cold reference capture")
+        .store
+        .to_database()
+        .expect("mutations: cold database");
+    let live_db = store.to_database().expect("mutations: live database");
+    let names = |db: &ariadne_pql::Database| {
+        let mut v: Vec<String> = db.iter().map(|(n, _)| n.to_string()).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        names(&live_db),
+        names(&cold_db),
+        "mutations {analytic}: predicate sets diverge from cold capture"
+    );
+    for name in names(&cold_db) {
+        assert_eq!(
+            live_db.sorted(&name),
+            cold_db.sorted(&name),
+            "mutations {analytic}: ghost or missing provenance in {name:?}"
+        );
+    }
+}
+
 /// Assert two layered runs agree on everything pruning is allowed to
 /// leave unchanged: sorted result sets per IDB predicate and the round
 /// structure. (Injection/evaluation volume legitimately shrinks when
@@ -570,7 +810,7 @@ fn parse_cli() -> Cli {
         edge_factor: 16,
         threads: vec![1, 2, 4, 8],
         reps: 3,
-        out: "BENCH_pr9.json".to_string(),
+        out: "BENCH_pr10.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -1177,6 +1417,45 @@ back_lineage(x, d) :- back_trace(x, i), value(x, d, i), i = 0.";
         paged.len()
     };
 
+    // -----------------------------------------------------------------
+    // Mutations: three successive mutation barriers (insert / delete /
+    // mixed) per analytic through a MutableSession, measuring the
+    // frontier re-run vs a cold re-run (values asserted bit-identical)
+    // and the epoch-append storage delta vs a full re-capture. The
+    // final store is asserted ghost-free against a cold capture before
+    // anything is written out.
+    // -----------------------------------------------------------------
+    let mutation_threads = max_threads;
+    eprintln!("perf: mutations threads={mutation_threads} batches={MUTATION_BATCHES:?}");
+    let mut mutation_rows: Vec<MutationRow> = Vec::new();
+    measure_mutations(
+        "pagerank",
+        &PageRank {
+            supersteps: 10,
+            ..PageRank::default()
+        },
+        &layered_weighted,
+        mutation_threads,
+        cli.reps,
+        &mut mutation_rows,
+    );
+    measure_mutations(
+        "sssp",
+        &Sssp::new(VertexId(0)),
+        &layered_weighted,
+        mutation_threads,
+        cli.reps,
+        &mut mutation_rows,
+    );
+    measure_mutations(
+        "wcc",
+        &Wcc,
+        &layered_weighted,
+        mutation_threads,
+        cli.reps,
+        &mut mutation_rows,
+    );
+
     // Summary: flat-over-naive supersteps/sec speedup per (analytic, threads)
     // in baseline mode, plus the SSSP combiner-path allocation comparison.
     let lookup = |analytic: &str, plane: MessagePlane, mode: &str, threads: usize| {
@@ -1209,7 +1488,7 @@ back_lineage(x, d) :- back_trace(x, i), value(x, d, i), i = 0.";
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr9/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"ariadne-bench-pr10/v1\",");
     let _ = writeln!(
         json,
         "  \"command\": \"cargo run --release -p ariadne-bench --bin perf\","
@@ -1305,6 +1584,20 @@ back_lineage(x, d) :- back_trace(x, i), value(x, d, i), i = 0.";
     for (i, r) in serve_rows_out.iter().enumerate() {
         let sep = if i + 1 < serve_rows_out.len() { "," } else { "" };
         let _ = writeln!(json, "      {}{}", serve_json(r), sep);
+    }
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"mutations\": {{\n    \"graph\": {{\"generator\": \"rmat\", \"scale\": {}, \"edge_factor\": {}, \"vertices\": {}, \"edges\": {}}},\n    \"capture\": \"full\",\n    \"batches\": [\"insert\",\"delete\",\"mixed\"],\n    \"threads\": {mutation_threads},\n    \"reps\": {},\n    \"cases\": [",
+        layered_scale,
+        cli.edge_factor,
+        layered_weighted.num_vertices(),
+        layered_weighted.num_edges(),
+        cli.reps,
+    );
+    for (i, r) in mutation_rows.iter().enumerate() {
+        let sep = if i + 1 < mutation_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "      {}{}", mutation_json(r), sep);
     }
     json.push_str("    ]\n  },\n");
     let _ = writeln!(json, "  \"summary\": {{");
@@ -1478,4 +1771,26 @@ back_lineage(x, d) :- back_trace(x, i), value(x, d, i), i = 0.";
         "serve: cursor walk reproduced {} rows bit-for-bit at page size {}",
         serve_paginated_rows, serve_page_size
     );
+    println!();
+    println!(
+        "{:<9} {:<7} {:<10} {:>7} {:>7} {:>9} {:>9} {:>8} {:>12} {:>12} {:>7}",
+        "mutations", "batch", "mode", "reset", "active", "inc_steps", "speedup", "carried",
+        "bytes_added", "cold_bytes", "ratio"
+    );
+    for r in &mutation_rows {
+        println!(
+            "{:<9} {:<7} {:<10} {:>7} {:>7} {:>9} {:>9.2} {:>8} {:>12} {:>12} {:>7.3}",
+            r.analytic,
+            r.batch,
+            r.mode,
+            r.reset_vertices,
+            r.activated_vertices,
+            r.inc_supersteps,
+            r.speedup(),
+            r.carried,
+            r.bytes_appended,
+            r.cold_bytes,
+            r.bytes_ratio()
+        );
+    }
 }

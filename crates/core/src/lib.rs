@@ -47,6 +47,7 @@ pub mod columns;
 pub mod compile;
 pub mod custom;
 pub mod layered;
+pub mod mutable;
 pub mod naive;
 pub mod online;
 pub mod optimize;
@@ -61,6 +62,7 @@ pub use columns::column_masks;
 pub use compile::{compile, compile_with, CompiledQuery};
 pub use custom::CustomProv;
 pub use layered::{run_layered, run_layered_range, run_layered_with, LayeredConfig, LayeredRun};
+pub use mutable::MutableSession;
 pub use online::{OnlineProgram, OnlineRun, QueryFailure};
 pub use report::{RunReport, StoreReport};
 pub use session::{Ariadne, AriadneError};
@@ -70,7 +72,12 @@ pub use session::{Ariadne, AriadneError};
 // deterministic fault-injection harness, re-exported so users drive
 // everything through this crate.
 pub use ariadne_provenance::{
-    compact_spool, scrub_spool, CompactReport, Degradation, Durability, OnSpillError, ReadBackend,
-    ReadPolicy, ScrubAction, ScrubReport, StoreConfig, StoreError,
+    compact_spool, scrub_spool, CompactReport, Degradation, Durability, EpochInfo, EpochStats,
+    OnSpillError, ReadBackend, ReadPolicy, ScrubAction, ScrubReport, StoreConfig, StoreError,
 };
 pub use ariadne_vc::{CheckpointConfig, EngineConfig, EngineError, FaultPlan, Snapshot};
+
+// Mutation surface: delta batches, the mutable-graph overlay, and the
+// incremental re-execution contract, re-exported for the same reason.
+pub use ariadne_graph::{GraphDelta, MutableGraph, MutationReport};
+pub use ariadne_vc::{IncrementalMode, IncrementalRun, Incrementality};

@@ -41,6 +41,9 @@ pub enum AriadneError {
     /// The engine failed during checkpointed execution or resume
     /// (snapshot IO, corrupt snapshot, or an injected crash).
     Engine(EngineError),
+    /// An incremental re-execution was requested before any mutation
+    /// batch was committed (there is no previous epoch to reuse).
+    NoCommittedMutation,
     /// The online query evaluator failed at a vertex (previously a
     /// panic inside the engine's compute hot path).
     Query {
@@ -67,6 +70,10 @@ impl fmt::Display for AriadneError {
             AriadneError::Pql(e) => write!(f, "{e}"),
             AriadneError::Store(e) => write!(f, "provenance store failure: {e}"),
             AriadneError::Engine(e) => write!(f, "engine failure: {e}"),
+            AriadneError::NoCommittedMutation => write!(
+                f,
+                "incremental re-execution needs a committed mutation batch; call commit() first"
+            ),
             AriadneError::Query {
                 vertex,
                 superstep,

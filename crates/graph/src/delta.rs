@@ -1,0 +1,642 @@
+//! Mutable graph overlay: batched edge/vertex mutations merged into a
+//! fresh CSR at run barriers.
+//!
+//! The engine's CSR stays immutable — every invariant the parallel
+//! superstep relies on (sorted adjacency, dense ids, prefix-sum offsets)
+//! would be violated by in-place edits. Instead, mutations accumulate in
+//! a [`GraphDelta`] and are merged by [`MutableGraph::apply`] at a
+//! *barrier* (between runs, never mid-superstep): the merge walks the old
+//! out-CSR once, copying untouched adjacency runs wholesale and merging
+//! sorted per-source patch lists only for the sources a mutation touched,
+//! then rebuilds the in-CSR by counting sort. The merged CSR is
+//! **bit-identical** to what [`crate::GraphBuilder`] would produce from
+//! the mutated edge list — inserting an existing edge overwrites its
+//! weight (last write wins), exactly matching the builder's dedup rule —
+//! which is what makes "incremental equals cold re-run" testable at the
+//! array level.
+//!
+//! Vertex ids are dense and stable: *removing* a vertex strips its
+//! incident edges and leaves it isolated (ids never shift, so previous
+//! runs' value vectors and provenance stay addressable); *adding* a
+//! vertex grows the id space. See `docs/MUTATIONS.md` for the full
+//! semantics and the barrier-merge protocol.
+
+
+#![warn(missing_docs)]
+use crate::csr::Csr;
+use crate::types::VertexId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A batch of graph mutations, applied atomically at a run barrier.
+///
+/// Order within a batch is normalized at [`MutableGraph::apply`] time:
+/// vertex removals strip *pre-existing* incident edges first, then edge
+/// removals apply, then edge insertions (so a batch may remove a vertex
+/// and immediately re-attach it). Duplicate inserts of the same `(src,
+/// dst)` keep the last weight, matching [`crate::GraphBuilder`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphDelta {
+    add_edges: Vec<(VertexId, VertexId, f64)>,
+    remove_edges: Vec<(VertexId, VertexId)>,
+    add_vertices: Vec<VertexId>,
+    remove_vertices: Vec<VertexId>,
+}
+
+impl GraphDelta {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a directed edge insert (or weight overwrite if present).
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, weight: f64) -> &mut Self {
+        self.add_edges.push((src, dst, weight));
+        self
+    }
+
+    /// Queue a directed edge removal. Removing an absent edge is a no-op.
+    pub fn remove_edge(&mut self, src: VertexId, dst: VertexId) -> &mut Self {
+        self.remove_edges.push((src, dst));
+        self
+    }
+
+    /// Queue a vertex addition (grows the dense id space to cover `v`).
+    pub fn add_vertex(&mut self, v: VertexId) -> &mut Self {
+        self.add_vertices.push(v);
+        self
+    }
+
+    /// Queue a vertex removal: strips all pre-existing incident edges and
+    /// leaves the id isolated (ids are stable, the id space never
+    /// shrinks). Removing an absent vertex is a no-op.
+    pub fn remove_vertex(&mut self, v: VertexId) -> &mut Self {
+        self.remove_vertices.push(v);
+        self
+    }
+
+    /// Whether the batch contains no mutations at all.
+    pub fn is_empty(&self) -> bool {
+        self.add_edges.is_empty()
+            && self.remove_edges.is_empty()
+            && self.add_vertices.is_empty()
+            && self.remove_vertices.is_empty()
+    }
+
+    /// Total queued operations (pre-normalization).
+    pub fn len(&self) -> usize {
+        self.add_edges.len()
+            + self.remove_edges.len()
+            + self.add_vertices.len()
+            + self.remove_vertices.len()
+    }
+
+    /// Fold `other` into this batch, preserving arrival order per
+    /// operation kind (the barrier-merge protocol queues batches in
+    /// arrival order and applies them as one).
+    pub fn merge(&mut self, other: GraphDelta) {
+        self.add_edges.extend(other.add_edges);
+        self.remove_edges.extend(other.remove_edges);
+        self.add_vertices.extend(other.add_vertices);
+        self.remove_vertices.extend(other.remove_vertices);
+    }
+}
+
+/// What one [`MutableGraph::apply`] actually changed — the frontier
+/// seeds the incremental re-execution path plans from.
+#[derive(Clone, Debug, Default)]
+pub struct MutationReport {
+    /// The graph epoch *after* this batch (epoch 0 is the initial load).
+    pub epoch: u64,
+    /// Edges inserted that did not exist before.
+    pub inserted_edges: usize,
+    /// Existing edges whose weight actually changed (an insert of an
+    /// identical `(src, dst, weight)` triple is dropped as a no-op).
+    pub reweighted_edges: usize,
+    /// Edges removed (including those stripped by vertex removals).
+    pub removed_edges: usize,
+    /// Vertices added beyond the old id space.
+    pub added_vertices: usize,
+    /// Pre-existing vertices isolated by removal.
+    pub removed_vertices: Vec<VertexId>,
+    /// Sources that must re-offer state: sources of inserted and
+    /// reweighted edges. Sorted, deduplicated.
+    pub insertion_sources: Vec<VertexId>,
+    /// Destinations of inserted and reweighted edges. Programs that
+    /// propagate against edge direction (WCC label floods) need both
+    /// endpoints in the reseed frontier. Sorted, deduplicated.
+    pub insertion_targets: Vec<VertexId>,
+    /// Seeds whose downstream values may be invalidated: destinations of
+    /// removed/reweighted edges, old out-neighbors of removed vertices,
+    /// and the removed vertices themselves. Sorted, deduplicated.
+    pub invalidation_seeds: Vec<VertexId>,
+}
+
+impl MutationReport {
+    /// Whether the batch deleted or reweighted anything — the condition
+    /// under which non-deletion-safe analytics must restart from scratch.
+    pub fn has_removals(&self) -> bool {
+        self.removed_edges > 0 || !self.removed_vertices.is_empty()
+    }
+
+    /// Whether the batch changed the graph at all.
+    pub fn changed(&self) -> bool {
+        self.inserted_edges > 0
+            || self.reweighted_edges > 0
+            || self.removed_edges > 0
+            || self.added_vertices > 0
+            || !self.removed_vertices.is_empty()
+    }
+}
+
+/// An epoch-versioned graph: the current immutable [`Csr`] plus the
+/// barrier-merge entry point.
+#[derive(Clone, Debug)]
+pub struct MutableGraph {
+    csr: Csr,
+    epoch: u64,
+}
+
+impl MutableGraph {
+    /// Wrap an initial graph as epoch 0.
+    pub fn new(csr: Csr) -> Self {
+        MutableGraph { csr, epoch: 0 }
+    }
+
+    /// The current graph snapshot.
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The current mutation epoch (0 = initial load, +1 per applied
+    /// batch that is allowed to bump it — empty batches still bump, so
+    /// epoch counts barriers, not changes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Merge one mutation batch at a barrier, producing the next epoch's
+    /// CSR and a [`MutationReport`] of what changed.
+    pub fn apply(&mut self, delta: &GraphDelta) -> MutationReport {
+        let old = &self.csr;
+        let old_n = old.num_vertices();
+
+        // Normalize the batch.
+        let removed_vs: BTreeSet<VertexId> = delta
+            .remove_vertices
+            .iter()
+            .copied()
+            .filter(|v| v.index() < old_n)
+            .collect();
+        // (src, dst) -> Some(weight) = insert/overwrite, None = remove.
+        // Later operations win; inserts are applied after removals, so an
+        // insert queued after a remove of the same edge survives (and the
+        // map's last-write-wins matches queue order because apply() folds
+        // removals first, then inserts, per the documented batch order).
+        let mut patch: BTreeMap<(VertexId, VertexId), Option<f64>> = BTreeMap::new();
+        for v in &removed_vs {
+            for e in old.out_edges(*v) {
+                patch.insert((*v, e.neighbor), None);
+            }
+            for e in old.in_edges(*v) {
+                patch.insert((e.neighbor, *v), None);
+            }
+        }
+        for &(s, d) in &delta.remove_edges {
+            patch.insert((s, d), None);
+        }
+        for &(s, d, w) in &delta.add_edges {
+            patch.insert((s, d), Some(w));
+        }
+
+        // New id space: grows to cover added vertices and edge endpoints.
+        let mut max_v = old_n;
+        for v in &delta.add_vertices {
+            max_v = max_v.max(v.index() + 1);
+        }
+        for ((s, d), w) in &patch {
+            if w.is_some() {
+                max_v = max_v.max(s.index() + 1).max(d.index() + 1);
+            }
+        }
+        let n = max_v;
+
+        let mut report = MutationReport {
+            epoch: self.epoch + 1,
+            added_vertices: n - old_n,
+            removed_vertices: removed_vs.iter().copied().collect(),
+            ..MutationReport::default()
+        };
+        let mut insertion_sources: BTreeSet<VertexId> = BTreeSet::new();
+        let mut insertion_targets: BTreeSet<VertexId> = BTreeSet::new();
+        let mut invalidation_seeds: BTreeSet<VertexId> = removed_vs.clone();
+
+        // Group the patch by source for the single merge walk.
+        let mut by_src: BTreeMap<VertexId, Vec<(VertexId, Option<f64>)>> = BTreeMap::new();
+        for ((s, d), w) in &patch {
+            by_src.entry(*s).or_default().push((*d, *w));
+        }
+
+        // Merge walk over the out-CSR: untouched runs copy wholesale.
+        let m_hint = old.num_edges() + delta.add_edges.len();
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        out_offsets.push(0usize);
+        let mut out_targets: Vec<VertexId> = Vec::with_capacity(m_hint);
+        let mut out_weights: Vec<f64> = Vec::with_capacity(m_hint);
+        for vi in 0..n {
+            let v = VertexId(vi as u64);
+            match by_src.get(&v) {
+                None => {
+                    // Untouched source: copy the old adjacency run.
+                    if vi < old_n {
+                        for e in old.out_edges(v) {
+                            out_targets.push(e.neighbor);
+                            out_weights.push(e.weight);
+                        }
+                    }
+                }
+                Some(patches) => {
+                    // Merge old sorted run with the sorted patch list.
+                    let mut old_it = if vi < old_n {
+                        old.out_edges(v).collect::<Vec<_>>()
+                    } else {
+                        Vec::new()
+                    }
+                    .into_iter()
+                    .peekable();
+                    let mut patch_it = patches.iter().peekable();
+                    loop {
+                        match (old_it.peek(), patch_it.peek()) {
+                            (None, None) => break,
+                            (Some(e), None) => {
+                                out_targets.push(e.neighbor);
+                                out_weights.push(e.weight);
+                                old_it.next();
+                            }
+                            (None, Some(&&(d, w))) => {
+                                if let Some(w) = w {
+                                    out_targets.push(d);
+                                    out_weights.push(w);
+                                    report.inserted_edges += 1;
+                                    insertion_sources.insert(v);
+                                    insertion_targets.insert(d);
+                                }
+                                patch_it.next();
+                            }
+                            (Some(e), Some(&&(d, w))) => {
+                                if e.neighbor < d {
+                                    out_targets.push(e.neighbor);
+                                    out_weights.push(e.weight);
+                                    old_it.next();
+                                } else if e.neighbor > d {
+                                    if let Some(w) = w {
+                                        out_targets.push(d);
+                                        out_weights.push(w);
+                                        report.inserted_edges += 1;
+                                        insertion_sources.insert(v);
+                                        insertion_targets.insert(d);
+                                    }
+                                    patch_it.next();
+                                } else {
+                                    // Patch hits an existing edge.
+                                    match w {
+                                        Some(w) => {
+                                            out_targets.push(d);
+                                            out_weights.push(w);
+                                            if w != e.weight {
+                                                report.reweighted_edges += 1;
+                                                insertion_sources.insert(v);
+                                                insertion_targets.insert(d);
+                                                invalidation_seeds.insert(d);
+                                            }
+                                        }
+                                        None => {
+                                            report.removed_edges += 1;
+                                            invalidation_seeds.insert(d);
+                                        }
+                                    }
+                                    old_it.next();
+                                    patch_it.next();
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out_offsets.push(out_targets.len());
+        }
+
+        // A removed vertex's old out-neighbors lose an incoming edge.
+        for v in &removed_vs {
+            for e in old.out_edges(*v) {
+                invalidation_seeds.insert(e.neighbor);
+            }
+        }
+
+        // In-CSR by counting sort, identical to GraphBuilder::build.
+        let m = out_targets.len();
+        let mut in_offsets = vec![0usize; n + 1];
+        for d in &out_targets {
+            in_offsets[d.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![VertexId(0); m];
+        let mut in_weights = vec![0.0f64; m];
+        for vi in 0..n {
+            let (s, e) = (out_offsets[vi], out_offsets[vi + 1]);
+            for k in s..e {
+                let d = out_targets[k].index();
+                let pos = cursor[d];
+                in_sources[pos] = VertexId(vi as u64);
+                in_weights[pos] = out_weights[k];
+                cursor[d] += 1;
+            }
+        }
+
+        self.csr = Csr::from_parts(
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        );
+        self.epoch += 1;
+        report.insertion_sources = insertion_sources.into_iter().collect();
+        report.insertion_targets = insertion_targets.into_iter().collect();
+        report.invalidation_seeds = invalidation_seeds.into_iter().collect();
+        report
+    }
+}
+
+/// Forward closure: every vertex reachable from `seeds` along out-edges
+/// (seeds included), as a dense membership bitmap over `graph`'s id
+/// space. Seeds outside the id space are ignored.
+pub fn forward_closure(graph: &Csr, seeds: impl IntoIterator<Item = VertexId>) -> Vec<bool> {
+    let n = graph.num_vertices();
+    let mut seen = vec![false; n];
+    let mut queue: Vec<VertexId> = Vec::new();
+    for s in seeds {
+        if s.index() < n && !seen[s.index()] {
+            seen[s.index()] = true;
+            queue.push(s);
+        }
+    }
+    while let Some(v) = queue.pop() {
+        for &t in graph.out_neighbors(v) {
+            if !seen[t.index()] {
+                seen[t.index()] = true;
+                queue.push(t);
+            }
+        }
+    }
+    seen
+}
+
+/// Undirected closure: reachability from `seeds` following edges in both
+/// directions — the invalidation region of component-style analytics.
+pub fn undirected_closure(graph: &Csr, seeds: impl IntoIterator<Item = VertexId>) -> Vec<bool> {
+    let n = graph.num_vertices();
+    let mut seen = vec![false; n];
+    let mut queue: Vec<VertexId> = Vec::new();
+    for s in seeds {
+        if s.index() < n && !seen[s.index()] {
+            seen[s.index()] = true;
+            queue.push(s);
+        }
+    }
+    while let Some(v) = queue.pop() {
+        for &t in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+            if !seen[t.index()] {
+                seen[t.index()] = true;
+                queue.push(t);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Oracle: the merged CSR must equal a cold GraphBuilder build of the
+    /// mutated edge list, array for array.
+    fn assert_matches_cold(mg: &MutableGraph, edges: &[(u64, u64, f64)], n_min: usize) {
+        let mut b = GraphBuilder::new();
+        for &(s, d, w) in edges {
+            b.add_edge(VertexId(s), VertexId(d), w);
+        }
+        if n_min > 0 {
+            b.ensure_vertex(VertexId(n_min as u64 - 1));
+        }
+        let cold = b.build();
+        assert_eq!(mg.csr().num_vertices(), cold.num_vertices());
+        assert_eq!(mg.csr().num_edges(), cold.num_edges());
+        let got: Vec<_> = mg.csr().edges().collect();
+        let want: Vec<_> = cold.edges().collect();
+        assert_eq!(got, want);
+        for v in cold.vertices() {
+            assert_eq!(mg.csr().in_neighbors(v), cold.in_neighbors(v));
+            let gi: Vec<_> = mg.csr().in_edges(v).collect();
+            let wi: Vec<_> = cold.in_edges(v).collect();
+            assert_eq!(gi, wi);
+        }
+    }
+
+    fn seed_graph() -> MutableGraph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(VertexId(0), VertexId(1), 1.0);
+        b.add_edge(VertexId(0), VertexId(2), 2.0);
+        b.add_edge(VertexId(1), VertexId(3), 1.0);
+        b.add_edge(VertexId(2), VertexId(3), 5.0);
+        b.add_edge(VertexId(3), VertexId(4), 1.0);
+        MutableGraph::new(b.build())
+    }
+
+    #[test]
+    fn insert_matches_cold_rebuild() {
+        let mut g = seed_graph();
+        let mut d = GraphDelta::new();
+        d.add_edge(VertexId(4), VertexId(0), 0.5);
+        d.add_edge(VertexId(1), VertexId(4), 3.0);
+        let r = g.apply(&d);
+        assert_eq!(r.inserted_edges, 2);
+        assert_eq!(r.epoch, 1);
+        assert_eq!(g.epoch(), 1);
+        assert_matches_cold(
+            &g,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 1.0),
+                (2, 3, 5.0),
+                (3, 4, 1.0),
+                (4, 0, 0.5),
+                (1, 4, 3.0),
+            ],
+            5,
+        );
+        assert_eq!(r.insertion_sources, vec![VertexId(1), VertexId(4)]);
+        assert!(r.invalidation_seeds.is_empty());
+    }
+
+    #[test]
+    fn remove_and_reweight_match_cold_rebuild() {
+        let mut g = seed_graph();
+        let mut d = GraphDelta::new();
+        d.remove_edge(VertexId(2), VertexId(3));
+        d.add_edge(VertexId(0), VertexId(1), 9.0); // reweight
+        d.add_edge(VertexId(0), VertexId(2), 2.0); // identical, no-op
+        let r = g.apply(&d);
+        assert_eq!(r.removed_edges, 1);
+        assert_eq!(r.reweighted_edges, 1);
+        assert_eq!(r.inserted_edges, 0);
+        assert_matches_cold(
+            &g,
+            &[(0, 1, 9.0), (0, 2, 2.0), (1, 3, 1.0), (3, 4, 1.0)],
+            5,
+        );
+        // Seeds: dst of removed edge and of the reweighted edge.
+        assert_eq!(r.invalidation_seeds, vec![VertexId(1), VertexId(3)]);
+        assert_eq!(r.insertion_sources, vec![VertexId(0)]);
+    }
+
+    #[test]
+    fn vertex_removal_isolates_and_seeds() {
+        let mut g = seed_graph();
+        let mut d = GraphDelta::new();
+        d.remove_vertex(VertexId(3));
+        let r = g.apply(&d);
+        assert!(r.has_removals());
+        assert_eq!(r.removed_vertices, vec![VertexId(3)]);
+        // 1->3, 2->3, 3->4 all stripped.
+        assert_eq!(r.removed_edges, 3);
+        assert_matches_cold(&g, &[(0, 1, 1.0), (0, 2, 2.0)], 5);
+        assert_eq!(g.csr().num_vertices(), 5, "ids are stable");
+        // Seeds: the vertex itself and its old out-neighbor 4.
+        assert_eq!(r.invalidation_seeds, vec![VertexId(3), VertexId(4)]);
+    }
+
+    #[test]
+    fn vertex_addition_grows_id_space() {
+        let mut g = seed_graph();
+        let mut d = GraphDelta::new();
+        d.add_vertex(VertexId(7));
+        let r = g.apply(&d);
+        assert_eq!(r.added_vertices, 3);
+        assert_eq!(g.csr().num_vertices(), 8);
+        assert_eq!(g.csr().out_degree(VertexId(7)), 0);
+    }
+
+    #[test]
+    fn remove_then_readd_in_one_batch_keeps_edge() {
+        let mut g = seed_graph();
+        let mut d = GraphDelta::new();
+        d.remove_edge(VertexId(0), VertexId(1));
+        d.add_edge(VertexId(0), VertexId(1), 4.0);
+        g.apply(&d);
+        assert_eq!(g.csr().edge_weight(VertexId(0), VertexId(1)), Some(4.0));
+    }
+
+    #[test]
+    fn removing_absent_things_is_noop() {
+        let mut g = seed_graph();
+        let before: Vec<_> = g.csr().edges().collect();
+        let mut d = GraphDelta::new();
+        d.remove_edge(VertexId(0), VertexId(4));
+        d.remove_vertex(VertexId(99));
+        let r = g.apply(&d);
+        assert!(!r.changed());
+        assert_eq!(g.csr().edges().collect::<Vec<_>>(), before);
+    }
+
+    #[test]
+    fn merged_batches_apply_in_order() {
+        let mut g = seed_graph();
+        let mut d1 = GraphDelta::new();
+        d1.add_edge(VertexId(0), VertexId(3), 1.0);
+        let mut d2 = GraphDelta::new();
+        d2.add_edge(VertexId(0), VertexId(3), 8.0);
+        let mut merged = d1;
+        merged.merge(d2);
+        g.apply(&merged);
+        assert_eq!(g.csr().edge_weight(VertexId(0), VertexId(3)), Some(8.0));
+    }
+
+    #[test]
+    fn random_batches_match_cold_rebuild() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 40u64;
+        let mut edges: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+        let mut b = GraphBuilder::new();
+        b.ensure_vertex(VertexId(n - 1));
+        for _ in 0..160 {
+            let (s, d) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            let w = (rng.gen_range(1..100) as f64) / 10.0;
+            edges.insert((s, d), w);
+            b.add_edge(VertexId(s), VertexId(d), w);
+        }
+        // The builder dedups keep-last; the map mirrors it.
+        let mut g = MutableGraph::new(b.build());
+        for round in 0..10 {
+            let mut delta = GraphDelta::new();
+            // Mirror the batch normalization: vertex strips and edge
+            // removals apply against the pre-batch state, then inserts.
+            let mut adds: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+            let mut removed_edges: Vec<(u64, u64)> = Vec::new();
+            let mut removed_vs: Vec<u64> = Vec::new();
+            for _ in 0..12 {
+                match rng.gen_range(0..3) {
+                    0 => {
+                        let (s, d) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                        let w = (rng.gen_range(1..100) as f64) / 10.0;
+                        delta.add_edge(VertexId(s), VertexId(d), w);
+                        adds.insert((s, d), w);
+                    }
+                    1 => {
+                        let (s, d) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                        delta.remove_edge(VertexId(s), VertexId(d));
+                        removed_edges.push((s, d));
+                    }
+                    _ => {
+                        let v = rng.gen_range(0..n);
+                        delta.remove_vertex(VertexId(v));
+                        removed_vs.push(v);
+                    }
+                }
+            }
+            for &v in &removed_vs {
+                edges.retain(|&(s, d), _| s != v && d != v);
+            }
+            for e in &removed_edges {
+                edges.remove(e);
+            }
+            for (e, w) in adds {
+                edges.insert(e, w);
+            }
+            let r = g.apply(&delta);
+            assert_eq!(r.epoch, round + 1);
+            let flat: Vec<(u64, u64, f64)> =
+                edges.iter().map(|(&(s, d), &w)| (s, d, w)).collect();
+            assert_matches_cold(&g, &flat, n as usize);
+        }
+    }
+
+    #[test]
+    fn closures_cover_reachable_sets() {
+        let g = seed_graph();
+        let fwd = forward_closure(g.csr(), [VertexId(1)]);
+        assert_eq!(fwd, vec![false, true, false, true, true]);
+        let und = undirected_closure(g.csr(), [VertexId(4)]);
+        assert!(und.iter().all(|&x| x), "everything weakly connected");
+        // Out-of-range seeds are ignored.
+        let none = forward_closure(g.csr(), [VertexId(99)]);
+        assert!(none.iter().all(|&x| !x));
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod partition;
@@ -32,5 +33,6 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::{Csr, EdgeRef};
+pub use delta::{forward_closure, undirected_closure, GraphDelta, MutableGraph, MutationReport};
 pub use partition::{ChunkTable, HashPartitioner};
 pub use types::{Direction, VertexId};

@@ -67,6 +67,30 @@ impl Database {
         out
     }
 
+    /// Remove tuples failing `keep` from relation `name` (no-op if the
+    /// relation is absent). Returns the number of tuples removed. See
+    /// [`Relation::retain`] for the frontier-invalidation caveat.
+    pub fn retain(&mut self, name: &str, keep: impl FnMut(&Tuple) -> bool) -> usize {
+        self.relations
+            .get_mut(name)
+            .map(|r| r.retain(keep))
+            .unwrap_or(0)
+    }
+
+    /// Drop every tuple of relation `name`, keeping its arity (no-op if
+    /// absent).
+    pub fn clear(&mut self, name: &str) {
+        if let Some(r) = self.relations.get_mut(name) {
+            r.clear();
+        }
+    }
+
+    /// Remove relation `name` entirely (the maintenance path uses this to
+    /// drop its transient `~del~` shadow relations when done).
+    pub fn remove_relation(&mut self, name: &str) -> bool {
+        self.relations.remove(name).is_some()
+    }
+
     /// Total payload bytes across all relations (Tables 3–4 accounting).
     pub fn byte_size(&self) -> usize {
         self.relations.values().map(Relation::byte_size).sum()

@@ -3,6 +3,7 @@
 
 pub mod binding;
 pub mod database;
+pub mod maintain;
 pub mod relation;
 pub mod seminaive;
 pub mod udf;

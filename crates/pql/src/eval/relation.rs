@@ -162,6 +162,32 @@ impl Relation {
         &self.tuples[idx]
     }
 
+    /// Remove every tuple for which `keep` returns false, preserving the
+    /// insertion order of the survivors. Indexes are dropped (rebuilt
+    /// lazily on next probe). Returns the number of tuples removed.
+    ///
+    /// Removal compacts tuple indices, so any frontier or delta window a
+    /// caller holds over this relation is invalidated — the maintenance
+    /// path ([`crate::eval::maintain::EdbDelta`]) resets frontiers to zero for
+    /// exactly this reason.
+    pub fn retain(&mut self, mut keep: impl FnMut(&Tuple) -> bool) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| keep(t));
+        let removed = before - self.tuples.len();
+        if removed > 0 {
+            self.seen = self.tuples.iter().cloned().collect();
+            self.indexes.borrow_mut().clear();
+        }
+        removed
+    }
+
+    /// Drop every tuple, keeping the arity. Indexes are dropped too.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.seen.clear();
+        self.indexes.borrow_mut().clear();
+    }
+
     /// Approximate heap footprint of the stored tuples in bytes (index
     /// and dedup-set overhead excluded; this measures provenance payload,
     /// the quantity Tables 3 and 4 report).

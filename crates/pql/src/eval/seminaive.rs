@@ -187,6 +187,12 @@ impl Evaluator {
         &self.query
     }
 
+    /// The UDF registry (the maintenance path evaluates rewritten rule
+    /// variants itself and needs the same bindings).
+    pub(crate) fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
     /// Evaluate to fixpoint over `db` from scratch (centralized mode).
     pub fn run(&self, db: &mut Database) -> Result<(), PqlError> {
         let mut state = EvalState::default();
@@ -541,7 +547,7 @@ impl Evaluator {
     }
 }
 
-fn seed_env<'r>(rule: &'r AnalyzedRule, loc: Option<&Value>) -> Env<'r> {
+pub(crate) fn seed_env<'r>(rule: &'r AnalyzedRule, loc: Option<&Value>) -> Env<'r> {
     let mut env = Env::new();
     if let Some(v) = loc {
         env.insert(rule.head_loc.as_str(), v.clone());
@@ -550,7 +556,7 @@ fn seed_env<'r>(rule: &'r AnalyzedRule, loc: Option<&Value>) -> Env<'r> {
 }
 
 /// Build the head tuple for a non-aggregate rule under `env`.
-fn head_tuple(rule: &AnalyzedRule, env: &Env<'_>) -> Option<Vec<Value>> {
+pub(crate) fn head_tuple(rule: &AnalyzedRule, env: &Env<'_>) -> Option<Vec<Value>> {
     rule.head_args
         .iter()
         .map(|arg| match arg {

@@ -50,6 +50,7 @@ pub use explain::explain;
 pub use eval::database::Database;
 pub use eval::relation::{Relation, Tuple};
 pub use eval::binding::ScanStats;
+pub use eval::maintain::{EdbDelta, MaintainMode, MaintainReport};
 pub use eval::seminaive::{EvalState, EvalStats, Evaluator};
 pub use eval::udf::UdfRegistry;
 pub use eval::value::Value;

@@ -1,0 +1,111 @@
+//! Epoch layering: provenance *deltas* appended to a live store after a
+//! graph mutation, instead of a full re-capture.
+//!
+//! A [`crate::ProvStore`] captured for graph epoch 0 holds one physical
+//! layer per superstep, `0..=max`. When the graph mutates and the
+//! analytic is re-captured, most layers are unchanged — re-writing them
+//! all would make every mutation cost a full capture in storage. Instead
+//! [`crate::ProvStore::append_epoch`] diffs the fresh capture against
+//! the store's current *logical* content layer by layer and appends only
+//! the differences as new **physical** layers:
+//!
+//! ```text
+//! physical layer = epoch.base + superstep
+//! ```
+//!
+//! where `base` is one past the store's previous physical maximum. Three
+//! reserved predicate spellings encode the diff (the PQL parser rejects
+//! `~` in identifiers, so no captured predicate can collide):
+//!
+//! * `pred`        — full replacement: this layer's logical content for
+//!   `pred` is exactly these tuples;
+//! * `~add~pred`   — append: the previous epoch's content, extended by
+//!   these tuples (the common case for monotone analytics whose layers
+//!   only grow);
+//! * `~del~pred`   — tombstone: `pred` vanishes from this layer;
+//! * `~epoch~`     — one marker record per epoch,
+//!   `[epoch_index, base, supersteps]`, written at the epoch's base
+//!   layer so a spool resume can rebuild the epoch table.
+//!
+//! Logical reads ([`crate::ProvStore::layer_read_with`],
+//! [`crate::ProvStore::to_database`], [`crate::ProvStore::max_superstep`])
+//! materialize superstep `s` by folding the epoch chain in order; a
+//! store with no epochs reads its physical layers directly, byte for
+//! byte the pre-epoch behaviour. Column masks apply *after*
+//! materialization (the chain must see raw tuples to diff them).
+//!
+//! The diff runs in **canonical (sorted) tuple order**: multi-threaded
+//! captures ingest per-chunk buffers in arrival order, so the physical
+//! order inside a layer is not deterministic run to run, and a raw
+//! comparison would misclassify pure reorderings as replacements.
+//! Equivalence between an epoch-folded read and a cold capture is
+//! therefore a statement about sorted layer content — the same form
+//! the rest of the system compares stores in. See `docs/MUTATIONS.md`
+//! for the numbering walkthrough.
+
+/// One epoch's slice of the physical layer space.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// First physical layer of this epoch: superstep `s` lives at
+    /// `base + s`.
+    pub base: u32,
+    /// Number of logical supersteps this epoch's run produced. Reads of
+    /// `s >= supersteps` see an empty layer.
+    pub supersteps: u32,
+}
+
+/// What one [`crate::ProvStore::append_epoch`] call wrote — the storage
+/// side of the incremental-vs-cold bench comparison.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// The mutation epoch the store is now at.
+    pub epoch: u64,
+    /// (layer, predicate) pairs identical to the previous epoch —
+    /// carried forward without writing a byte.
+    pub carried: usize,
+    /// Pairs whose new content extended the old: only the suffix was
+    /// appended (`~add~pred`).
+    pub appended: usize,
+    /// Pairs rewritten in full (diverged or new).
+    pub replaced: usize,
+    /// Pairs tombstoned (`~del~pred`).
+    pub tombstoned: usize,
+    /// Encoded bytes this epoch added to the store.
+    pub bytes_appended: usize,
+    /// Encoded bytes a full re-capture of the new run would have
+    /// written (the cold baseline for the delta win).
+    pub cold_bytes: usize,
+}
+
+/// The reserved predicate carrying epoch marker records.
+pub const EPOCH_MARKER: &str = "~epoch~";
+
+/// The append-shadow spelling for `pred`.
+pub fn shadow_add(pred: &str) -> String {
+    format!("~add~{pred}")
+}
+
+/// The tombstone spelling for `pred`.
+pub fn shadow_del(pred: &str) -> String {
+    format!("~del~{pred}")
+}
+
+/// Whether `pred` is one of the reserved epoch-encoding spellings.
+pub fn is_reserved(pred: &str) -> bool {
+    pred == EPOCH_MARKER || pred.starts_with("~add~") || pred.starts_with("~del~")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_spellings() {
+        assert!(is_reserved(EPOCH_MARKER));
+        assert!(is_reserved(&shadow_add("send_message")));
+        assert!(is_reserved(&shadow_del("value")));
+        assert!(!is_reserved("send_message"));
+        assert_eq!(shadow_add("p"), "~add~p");
+        assert_eq!(shadow_del("p"), "~del~p");
+    }
+}

@@ -30,6 +30,7 @@
 pub mod codec;
 pub mod columnar;
 pub mod edb;
+pub mod epoch;
 pub mod encode;
 pub mod reader;
 pub mod store;
@@ -38,6 +39,7 @@ pub mod v3;
 
 pub use columnar::{ColumnStat, Encoding};
 pub use edb::{static_graph_edbs, EdbTracker, VertexStepRecord};
+pub use epoch::{EpochInfo, EpochStats};
 pub use encode::ProvEncode;
 pub use reader::{ReadBackend, SegmentSlice};
 pub use store::{

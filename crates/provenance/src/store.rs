@@ -119,6 +119,7 @@
 //! are made from.
 
 use crate::codec::{decode_tuples_masked, encode_tuples, CodecError};
+use crate::epoch::{self, EpochInfo, EpochStats};
 use crate::columnar::{decode_columnar, encode_columnar, v1_batch_size, ColumnStat, MAX_DECODE_CELLS};
 use crate::reader::{read_extent, ReadBackend, SegmentSlice};
 use crate::v3::{self, FooterEntry, GenFileInfo, LostKey, Manifest};
@@ -1093,6 +1094,13 @@ pub struct ProvStore {
     generation: u64,
     /// Compaction passes performed by this incarnation.
     compactions: usize,
+    /// The epoch table: empty for a store that has never absorbed a
+    /// graph mutation (every read is physical, the pre-epoch fast
+    /// path). Non-empty after the first [`ProvStore::append_epoch`]:
+    /// entry 0 describes the original capture, each later entry one
+    /// appended delta epoch. Rebuilt from `~epoch~` marker segments on
+    /// spool resume.
+    epochs: Vec<EpochInfo>,
 }
 
 /// One row of the per-(superstep, predicate) segment index: the counts a
@@ -2367,6 +2375,7 @@ impl ProvStore {
                 }
             }
         }
+        store.rebuild_epochs()?;
         obs_handles::resumes().inc();
         obs_handles::sealed_segments().add(store.segments.len() as u64);
         trace::event(
@@ -3230,6 +3239,24 @@ impl ProvStore {
         filter: &LayerFilter,
         policy: ReadPolicy,
     ) -> Result<LayerRead, StoreError> {
+        if self.epochs.is_empty() {
+            self.physical_layer_read_with(superstep, filter, policy)
+        } else {
+            self.logical_layer_read(superstep, filter, policy)
+        }
+    }
+
+    /// Read one **physical** layer, ignoring the epoch table. This is
+    /// the storage-level view: after [`ProvStore::append_epoch`], a
+    /// physical layer of a delta epoch holds diff segments
+    /// (`~add~pred` / `~del~pred` / replacements), not materialized
+    /// logical content — use [`ProvStore::layer_read_with`] for that.
+    pub fn physical_layer_read_with(
+        &self,
+        superstep: u32,
+        filter: &LayerFilter,
+        policy: ReadPolicy,
+    ) -> Result<LayerRead, StoreError> {
         let _read_span = trace::span(
             Level::Trace,
             "store",
@@ -3297,11 +3324,263 @@ impl ProvStore {
         Ok(out)
     }
 
-    /// The largest captured superstep, if any. O(1): the value is
-    /// maintained on ingest and spool resume, so per-layer replay loops
-    /// and [`ProvStore::to_database`] never rescan the segment index.
+    /// The largest **logical** superstep, if any. For a store with no
+    /// epochs this is the largest captured physical layer, maintained
+    /// O(1) on ingest and spool resume; after
+    /// [`ProvStore::append_epoch`] it is the current epoch's last
+    /// superstep (older epochs' layers remain stored but are history,
+    /// not current state).
     pub fn max_superstep(&self) -> Option<u32> {
+        match self.epochs.last() {
+            None => self.max_step,
+            Some(info) => info.supersteps.checked_sub(1),
+        }
+    }
+
+    /// The largest physical layer present, ignoring the epoch table.
+    pub fn physical_max_superstep(&self) -> Option<u32> {
         self.max_step
+    }
+
+    /// The store's mutation epoch: 0 for a plain capture, +1 per
+    /// [`ProvStore::append_epoch`]. Serve-layer caches and cursors key
+    /// on this to detect stale reads across mutations.
+    pub fn mutation_epoch(&self) -> u64 {
+        self.epochs.len().saturating_sub(1) as u64
+    }
+
+    /// The epoch table (empty for a store that never absorbed a
+    /// mutation). Entry 0 is the original capture; each later entry one
+    /// appended delta epoch.
+    pub fn epoch_table(&self) -> &[EpochInfo] {
+        &self.epochs
+    }
+
+    /// Materialize one logical layer of an epoch-layered store by
+    /// folding the epoch chain: start from the base capture's layer,
+    /// then per delta epoch apply full replacements, `~add~` suffixes
+    /// and `~del~` tombstones. Column masks are applied *after*
+    /// materialization (the fold must compare raw tuples), so the
+    /// column-skip byte accounting of the physical fast path does not
+    /// apply here — `cols_skipped` stays 0 on this path.
+    fn logical_layer_read(
+        &self,
+        superstep: u32,
+        filter: &LayerFilter,
+        policy: ReadPolicy,
+    ) -> Result<LayerRead, StoreError> {
+        // Widen the predicate allow-set to the diff spellings.
+        let chain_filter = match &filter.preds {
+            None => LayerFilter::all(),
+            Some(set) => {
+                let mut wide = set.clone();
+                for p in set {
+                    wide.insert(epoch::shadow_add(p));
+                    wide.insert(epoch::shadow_del(p));
+                }
+                LayerFilter::for_preds(wide)
+            }
+        };
+        let mut out = LayerRead::default();
+        let mut acc: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+        for info in &self.epochs {
+            if superstep >= info.supersteps {
+                // This epoch's run stopped earlier: the logical layer
+                // does not exist here. It may reappear in a later epoch
+                // (written as a full replacement, since it was diffed
+                // against empty content).
+                acc.clear();
+                continue;
+            }
+            let phys = info.base + superstep;
+            let read = self.physical_layer_read_with(phys, &chain_filter, policy)?;
+            out.segments_read += read.segments_read;
+            out.segments_skipped += read.segments_skipped;
+            out.bytes_read += read.bytes_read;
+            out.bytes_skipped += read.bytes_skipped;
+            out.degradation.absorb(&read.degradation);
+            for (pred, tuples) in read.tuples {
+                if pred == epoch::EPOCH_MARKER {
+                    continue;
+                }
+                if let Some(base) = pred.strip_prefix("~add~") {
+                    acc.entry(base.to_string()).or_default().extend(tuples);
+                } else if let Some(base) = pred.strip_prefix("~del~") {
+                    acc.remove(base);
+                } else {
+                    acc.insert(pred, tuples);
+                }
+            }
+        }
+        for (pred, mut tuples) in acc {
+            if let Some(mask) = filter.mask(&pred) {
+                for t in &mut tuples {
+                    for (i, v) in t.iter_mut().enumerate() {
+                        if !mask.get(i).copied().unwrap_or(true) {
+                            *v = Value::Unit;
+                        }
+                    }
+                }
+            }
+            out.tuples.push((pred, tuples));
+        }
+        Ok(out)
+    }
+
+    /// Absorb a fresh capture of the mutated graph as a **delta
+    /// epoch**: diff `next`'s logical layers against this store's
+    /// current logical content and append only the differences as new
+    /// physical layers at `base = physical_max + 1` (see
+    /// [`crate::epoch`] for the encoding). After this call, logical
+    /// reads of this store are bit-identical to reads of `next`, while
+    /// storage grew only by the diff — the paper's online story
+    /// extended to mutable graphs.
+    ///
+    /// `next` is usually an in-memory scratch capture; predicates with
+    /// reserved `~`-spellings in it are ignored. The returned
+    /// [`EpochStats`] reports the carried/appended/replaced split and
+    /// the byte win against `next`'s full size.
+    pub fn append_epoch(&mut self, next: &ProvStore) -> Result<EpochStats, StoreError> {
+        let new_sup = next.max_superstep().map_or(0, |m| m + 1);
+        let old_sup = self.max_superstep().map_or(0, |m| m + 1);
+        let base = self.max_step.map_or(0, |m| m + 1);
+        if self.epochs.is_empty() {
+            // First mutation: register the original capture as epoch 0.
+            self.epochs.push(EpochInfo {
+                base: 0,
+                supersteps: old_sup,
+            });
+        }
+        let epoch_index = self.epochs.len() as u32;
+        self.pack_all();
+        let bytes_before = self.byte_size();
+        let mut stats = EpochStats {
+            epoch: u64::from(epoch_index),
+            cold_bytes: next.byte_size(),
+            ..EpochStats::default()
+        };
+        for s in 0..new_sup {
+            let new_layer = next.layer(s)?;
+            let old_layer: BTreeMap<String, Vec<Tuple>> = if s < old_sup {
+                self.layer(s)?.into_iter().collect()
+            } else {
+                BTreeMap::new()
+            };
+            let mut new_preds: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+            for (pred, mut new_tuples) in new_layer {
+                if epoch::is_reserved(&pred) {
+                    continue;
+                }
+                new_preds.insert(pred.clone());
+                // Diff in canonical (sorted) order: multi-threaded
+                // captures ingest per-chunk buffers in arrival order,
+                // so the physical tuple order inside a layer is not
+                // deterministic run to run. Comparing raw order would
+                // misclassify pure reorderings as full replacements;
+                // layer equivalence is a statement about content, and
+                // content is compared sorted everywhere else too.
+                new_tuples.sort();
+                let old_sorted = old_layer.get(&pred).map(|o| {
+                    let mut o = o.clone();
+                    o.sort();
+                    o
+                });
+                match &old_sorted {
+                    Some(old) if *old == new_tuples => stats.carried += 1,
+                    Some(old)
+                        if !old.is_empty()
+                            && new_tuples.len() > old.len()
+                            && new_tuples[..old.len()] == old[..] =>
+                    {
+                        self.ingest(
+                            base + s,
+                            &epoch::shadow_add(&pred),
+                            new_tuples[old.len()..].to_vec(),
+                        )?;
+                        stats.appended += 1;
+                    }
+                    _ if new_tuples.is_empty() => {
+                        if old_layer.get(&pred).is_some_and(|o| !o.is_empty()) {
+                            self.ingest(
+                                base + s,
+                                &epoch::shadow_del(&pred),
+                                vec![vec![Value::Int(0)]],
+                            )?;
+                            stats.tombstoned += 1;
+                        }
+                    }
+                    _ => {
+                        self.ingest(base + s, &pred, new_tuples)?;
+                        stats.replaced += 1;
+                    }
+                }
+            }
+            for (pred, old) in &old_layer {
+                if !old.is_empty() && !new_preds.contains(pred) {
+                    self.ingest(base + s, &epoch::shadow_del(pred), vec![vec![Value::Int(0)]])?;
+                    stats.tombstoned += 1;
+                }
+            }
+        }
+        self.ingest(
+            base,
+            epoch::EPOCH_MARKER,
+            vec![vec![
+                Value::Int(i64::from(epoch_index)),
+                Value::Int(i64::from(base)),
+                Value::Int(i64::from(new_sup)),
+            ]],
+        )?;
+        self.epochs.push(EpochInfo {
+            base,
+            supersteps: new_sup,
+        });
+        self.pack_all();
+        stats.bytes_appended = self.byte_size().saturating_sub(bytes_before);
+        Ok(stats)
+    }
+
+    /// Rebuild the epoch table from `~epoch~` marker segments — called
+    /// by spool resume, where the in-memory table of the previous
+    /// incarnation is gone.
+    fn rebuild_epochs(&mut self) -> Result<(), StoreError> {
+        let mut markers: Vec<(i64, i64, i64)> = Vec::new();
+        for ((_, pred), seg) in &self.segments {
+            if pred != epoch::EPOCH_MARKER {
+                continue;
+            }
+            let mut tuples = Vec::new();
+            seg.decode_into(
+                self.config.read_backend,
+                None,
+                &mut tuples,
+                None,
+                ReadPolicy::Strict,
+            )?;
+            for t in tuples {
+                if let [Value::Int(idx), Value::Int(mbase), Value::Int(sup)] = t.as_slice() {
+                    markers.push((*idx, *mbase, *sup));
+                }
+            }
+        }
+        if markers.is_empty() {
+            return Ok(());
+        }
+        markers.sort_unstable();
+        // Epoch 0's superstep count is the first delta epoch's base:
+        // physical layers 0..base were exactly the original capture.
+        let mut epochs = vec![EpochInfo {
+            base: 0,
+            supersteps: markers[0].1 as u32,
+        }];
+        for (_, mbase, sup) in markers {
+            epochs.push(EpochInfo {
+                base: mbase as u32,
+                supersteps: sup as u32,
+            });
+        }
+        self.epochs = epochs;
+        Ok(())
     }
 
     /// The per-(superstep, predicate) segment index: tuple and byte
@@ -3336,6 +3615,22 @@ impl ProvStore {
                 path: path.clone(),
                 source: None,
             });
+        }
+        if !self.epochs.is_empty() {
+            // Epoch-layered store: materialize each logical layer (the
+            // physical index interleaves diff segments with history).
+            let mut db = Database::new();
+            if let Some(max) = self.max_superstep() {
+                for s in 0..=max {
+                    let read = self.layer_read_with(s, &LayerFilter::all(), ReadPolicy::Strict)?;
+                    for (pred, tuples) in read.tuples {
+                        for t in tuples {
+                            db.insert(&pred, t);
+                        }
+                    }
+                }
+            }
+            return Ok(db);
         }
         let mut db = Database::new();
         for ((_, pred), seg) in &self.segments {

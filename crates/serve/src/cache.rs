@@ -14,19 +14,26 @@
 //!   stored columns are decoded — and the intermediate stats a client
 //!   may inspect — so they are distinct entries),
 //! * the read policy (a degraded replay's partial results must never
-//!   satisfy a strict request).
+//!   satisfy a strict request),
+//! * the store's **mutation epoch**: a graph mutation appends a new
+//!   provenance epoch and supersedes every materialized sequence, so
+//!   pre-mutation entries must never answer post-mutation requests.
 //!
 //! Eviction is LRU by byte budget: entries are charged their
 //! materialized size and the least-recently-used entries are dropped
 //! until the budget holds. `serve_cache_{hits,misses,evicted_bytes}_total`
 //! plus entry/byte gauges make the hit rate scrapeable on `/metrics`.
 //!
-//! Invalidation: a store opened by the daemon is immutable (capture
-//! appends land in new spool generations opened as new stores), so
-//! entries never go stale within a service instance. A service that
-//! reopens its store must start a fresh cache — `ReplayCache` is owned
-//! by the [`crate::QueryService`] that owns the store, which enforces
-//! exactly that.
+//! Invalidation: within one mutation epoch the served store is
+//! immutable, so entries never go stale. When the service appends a
+//! mutation epoch ([`crate::QueryService::append_epoch`]) the epoch in
+//! every live key stops matching — stale entries become unreachable by
+//! construction — and the service additionally calls
+//! [`ReplayCache::clear`] so their bytes are freed immediately instead
+//! of waiting for LRU pressure. A service that reopens its store must
+//! start a fresh cache — `ReplayCache` is owned by the
+//! [`crate::QueryService`] that owns the store, which enforces exactly
+//! that.
 
 use ariadne_pql::Tuple;
 use std::collections::HashMap;
@@ -92,6 +99,8 @@ pub struct CacheKey {
     pub mask_sig: u64,
     /// Read-policy discriminant (0 = strict, 1 = degraded).
     pub read_policy: u8,
+    /// The store's mutation epoch the sequence was materialized at.
+    pub epoch: u64,
 }
 
 /// Replay counters a response reports alongside cached rows, so a
@@ -213,6 +222,16 @@ impl ReplayCache {
         obs_handles::entries().set(self.entries.len() as i64);
     }
 
+    /// Drop every entry (mutation-epoch invalidation): stale keys are
+    /// already unreachable, this frees their bytes immediately.
+    pub fn clear(&mut self) {
+        obs_handles::evicted_bytes().add(self.used as u64);
+        self.entries.clear();
+        self.used = 0;
+        obs_handles::bytes().set(0);
+        obs_handles::entries().set(0);
+    }
+
     /// Materialized bytes currently held.
     pub fn used_bytes(&self) -> usize {
         self.used
@@ -254,6 +273,7 @@ mod tests {
             layer_range: (0, 3),
             mask_sig: 7,
             read_policy: 0,
+            epoch: 0,
         }
     }
 
@@ -268,6 +288,19 @@ mod tests {
         assert!(c.get(&CacheKey { mask_sig: 8, ..key(1) }).is_none());
         assert!(c.get(&CacheKey { read_policy: 1, ..key(1) }).is_none());
         assert!(c.get(&CacheKey { layer_range: (0, 2), ..key(1) }).is_none());
+        assert!(c.get(&CacheKey { epoch: 1, ..key(1) }).is_none());
+    }
+
+    #[test]
+    fn clear_frees_everything() {
+        let mut c = ReplayCache::new(1 << 20);
+        c.insert(key(1), result(4, "x"));
+        c.insert(key(2), result(4, "y"));
+        assert!(c.used_bytes() > 0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert!(c.get(&key(1)).is_none());
     }
 
     #[test]

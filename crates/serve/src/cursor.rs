@@ -8,15 +8,19 @@
 //! stable address — the token handed to a client today resumes at the
 //! same row tomorrow, on any worker, warm or cold cache.
 //!
-//! The wire form is hex over a fixed 28-byte layout:
+//! The wire form is hex over a fixed 36-byte layout:
 //!
 //! ```text
-//! fingerprint (8 BE) | layer_lo (4 BE) | layer_hi (4 BE) | offset (8 BE) | fnv1a64 >> 32 (4 BE)
+//! fingerprint (8 BE) | layer_lo (4 BE) | layer_hi (4 BE) | offset (8 BE) | epoch (8 BE) | fnv1a64 >> 32 (4 BE)
 //! ```
 //!
 //! The trailing checksum makes truncation/corruption a typed 400, not a
 //! silently wrong page; the embedded fingerprint makes a token minted
-//! for one query a typed 400 against another ("foreign cursor").
+//! for one query a typed 400 against another ("foreign cursor"); the
+//! embedded store mutation epoch makes a token minted before a graph
+//! mutation a typed 410 afterwards ("stale cursor") — offsets address a
+//! result sequence that no longer exists, so resuming one must fail
+//! loudly, never return rows from the superseded epoch.
 
 use std::fmt;
 
@@ -43,6 +47,10 @@ pub struct Cursor {
     pub layer_hi: u32,
     /// Row offset into the flattened result sequence.
     pub offset: u64,
+    /// The store's mutation epoch when the token was minted. A token
+    /// from an earlier epoch is stale: the result sequence it addresses
+    /// was superseded by a graph mutation.
+    pub epoch: u64,
 }
 
 /// Why a cursor token failed to decode.
@@ -65,7 +73,7 @@ impl fmt::Display for CursorError {
 
 impl std::error::Error for CursorError {}
 
-const RAW_LEN: usize = 8 + 4 + 4 + 8;
+const RAW_LEN: usize = 8 + 4 + 4 + 8 + 8;
 const TOKEN_LEN: usize = (RAW_LEN + 4) * 2;
 
 impl Cursor {
@@ -76,6 +84,7 @@ impl Cursor {
         raw.extend_from_slice(&self.layer_lo.to_be_bytes());
         raw.extend_from_slice(&self.layer_hi.to_be_bytes());
         raw.extend_from_slice(&self.offset.to_be_bytes());
+        raw.extend_from_slice(&self.epoch.to_be_bytes());
         let check = (fnv1a64(&raw) >> 32) as u32;
         raw.extend_from_slice(&check.to_be_bytes());
         let mut out = String::with_capacity(TOKEN_LEN);
@@ -105,6 +114,7 @@ impl Cursor {
             layer_lo: u32::from_be_bytes(raw[8..12].try_into().unwrap()),
             layer_hi: u32::from_be_bytes(raw[12..16].try_into().unwrap()),
             offset: u64::from_be_bytes(raw[16..24].try_into().unwrap()),
+            epoch: u64::from_be_bytes(raw[24..32].try_into().unwrap()),
         })
     }
 }
@@ -120,6 +130,7 @@ mod tests {
             layer_lo: 3,
             layer_hi: 17,
             offset: 123_456,
+            epoch: 42,
         };
         let token = c.encode();
         assert_eq!(token.len(), TOKEN_LEN);
@@ -133,6 +144,7 @@ mod tests {
             layer_lo: 0,
             layer_hi: 4,
             offset: 9,
+            epoch: 0,
         }
         .encode();
         assert_eq!(Cursor::decode(&token[..10]), Err(CursorError::Malformed));

@@ -36,10 +36,10 @@ use ariadne::{
 };
 use ariadne_graph::Csr;
 use ariadne_pql::{Params, Tuple, Value};
-use ariadne_provenance::ProvStore;
+use ariadne_provenance::{EpochStats, ProvStore};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Cached handles for service-level metrics.
 mod obs_handles {
@@ -141,6 +141,15 @@ pub enum ServeError {
     /// program under its fingerprint (e.g. the daemon restarted).
     /// Re-send the PQL with the cursor to resume.
     UnknownCursorQuery,
+    /// The cursor was minted before a graph mutation: the result
+    /// sequence its offset addresses was superseded. HTTP 410 — the
+    /// client must re-issue the query from page one at the new epoch.
+    StaleCursor {
+        /// The epoch embedded in the token.
+        cursor_epoch: u64,
+        /// The store's current mutation epoch.
+        store_epoch: u64,
+    },
     /// The PQL source failed to compile.
     Compile(String),
     /// The query's direction cannot run layered (forward-only modes).
@@ -169,6 +178,7 @@ impl ServeError {
             | ServeError::UnknownCursorQuery
             | ServeError::Compile(_)
             | ServeError::Unsupported(_) => 400,
+            ServeError::StaleCursor { .. } => 410,
             ServeError::Throttled { .. } => 429,
             ServeError::Replay(_) => 500,
             ServeError::Busy { .. } => 503,
@@ -187,6 +197,14 @@ impl fmt::Display for ServeError {
             ServeError::UnknownCursorQuery => write!(
                 f,
                 "cursor's query is not resident; re-send pql= alongside the cursor"
+            ),
+            ServeError::StaleCursor {
+                cursor_epoch,
+                store_epoch,
+            } => write!(
+                f,
+                "cursor was minted at mutation epoch {cursor_epoch} but the store is at epoch \
+                 {store_epoch}; re-issue the query from the first page"
             ),
             ServeError::Compile(e) => write!(f, "compile error: {e}"),
             ServeError::Unsupported(e) => write!(f, "{e}"),
@@ -238,7 +256,10 @@ impl QueryPage {
 /// compiled programs, replay cache, and admission gate.
 pub struct QueryService {
     graph: Csr,
-    store: ProvStore,
+    /// RwLock, not Mutex: queries are concurrent readers within one
+    /// mutation epoch; [`QueryService::append_epoch`] is the only
+    /// writer and runs at a barrier between query batches.
+    store: RwLock<ProvStore>,
     config: ServeConfig,
     compiled: Mutex<HashMap<u64, Arc<CompiledQuery>>>,
     cache: Mutex<ReplayCache>,
@@ -252,7 +273,7 @@ impl QueryService {
         let admission = Admission::new(config.admission);
         QueryService {
             graph,
-            store,
+            store: RwLock::new(store),
             config,
             compiled: Mutex::new(HashMap::new()),
             cache: Mutex::new(cache),
@@ -265,9 +286,33 @@ impl QueryService {
         &self.config
     }
 
-    /// The store being served (for reporting).
-    pub fn store(&self) -> &ProvStore {
-        &self.store
+    /// Read-access to the store being served (for reporting).
+    pub fn with_store<R>(&self, f: impl FnOnce(&ProvStore) -> R) -> R {
+        f(&self.store.read().unwrap())
+    }
+
+    /// The store's current mutation epoch. Tokens minted before the
+    /// current epoch are refused with a 410.
+    pub fn store_epoch(&self) -> u64 {
+        self.store.read().unwrap().mutation_epoch()
+    }
+
+    /// Append a post-mutation capture to the served store as a delta
+    /// epoch and invalidate every cursor and cached result minted
+    /// before it. In-flight queries finish against the old epoch (the
+    /// write lock waits for their read locks); everything after sees
+    /// the new epoch only.
+    pub fn append_epoch(&self, next: &ProvStore) -> Result<EpochStats, ServeError> {
+        let stats = self
+            .store
+            .write()
+            .unwrap()
+            .append_epoch(next)
+            .map_err(|e| ServeError::Replay(e.to_string()))?;
+        // Stale keys are already unreachable (the epoch is in the key);
+        // clearing frees their bytes now rather than under LRU pressure.
+        self.cache.lock().unwrap().clear();
+        Ok(stats)
     }
 
     /// Execute one request end to end: admission, cursor resolution,
@@ -283,9 +328,26 @@ impl QueryService {
             }
         };
 
-        // Resolve the cursor first: it pins fingerprint, range, offset.
+        // One read lock for the whole request: every decision below
+        // (epoch check, clamp, replay) sees one consistent store state.
+        let store = self.store.read().unwrap();
+        let epoch = store.mutation_epoch();
+
+        // Resolve the cursor first: it pins fingerprint, range, offset,
+        // and the mutation epoch it was minted at. A pre-mutation token
+        // addresses a superseded sequence — refuse it (410), never
+        // serve rows from the old epoch at its offsets.
         let cursor = match req.cursor {
-            Some(token) => Some(Cursor::decode(token).map_err(ServeError::Cursor)?),
+            Some(token) => {
+                let c = Cursor::decode(token).map_err(ServeError::Cursor)?;
+                if c.epoch != epoch {
+                    return Err(ServeError::StaleCursor {
+                        cursor_epoch: c.epoch,
+                        store_epoch: epoch,
+                    });
+                }
+                Some(c)
+            }
             None => None,
         };
 
@@ -318,7 +380,7 @@ impl QueryService {
             Some(c) => Some((c.layer_lo, c.layer_hi)),
             None => req.layers,
         };
-        let max_step = self.store.max_superstep();
+        let max_step = store.max_superstep();
         let effective = match (requested, max_step) {
             (_, None) => (0, 0),
             (None, Some(max)) => (0, max),
@@ -338,6 +400,7 @@ impl QueryService {
                 ReadPolicy::Strict => 0,
                 ReadPolicy::Degraded => 1,
             },
+            epoch,
         };
 
         let cached = self.cache.lock().unwrap().get(&key);
@@ -346,7 +409,7 @@ impl QueryService {
             None => {
                 let run = run_layered_range(
                     &self.graph,
-                    &self.store,
+                    &store,
                     &query,
                     &layered,
                     requested,
@@ -396,6 +459,7 @@ impl QueryService {
                     layer_lo: effective.0,
                     layer_hi: effective.1,
                     offset: (offset + page_len) as u64,
+                    epoch,
                 }
                 .encode(),
             )
@@ -628,6 +692,7 @@ mod tests {
             layer_lo: 0,
             layer_hi: 2,
             offset: 1,
+            epoch: 0,
         }
         .encode();
         let err = svc
@@ -649,6 +714,77 @@ mod tests {
             svc.execute(&QueryRequest::default()).unwrap_err(),
             ServeError::MissingQuery
         );
+    }
+
+    #[test]
+    fn mutation_invalidates_cursors_and_cache() {
+        let svc = service(4, ServeConfig::default());
+        let first = svc
+            .execute(&QueryRequest {
+                pql: Some(PQL),
+                limit: Some(2),
+                ..Default::default()
+            })
+            .unwrap();
+        let pre_mutation_rows: Vec<_> = first.rows().to_vec();
+        let token = first.next_cursor.expect("more pages");
+
+        // A post-mutation capture: same predicate, different content.
+        let mut next = ProvStore::new(StoreConfig::in_memory());
+        for s in 0..4u32 {
+            next.ingest(
+                s,
+                "superstep",
+                vec![vec![Value::Id(2), Value::Int(i64::from(s) * 10)]],
+            )
+            .unwrap();
+        }
+        let stats = svc.append_epoch(&next).expect("epoch append");
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(svc.store_epoch(), 1);
+
+        // The old cursor is a typed 410, with or without the PQL.
+        for req in [
+            QueryRequest { cursor: Some(&token), ..Default::default() },
+            QueryRequest {
+                pql: Some(PQL),
+                cursor: Some(&token),
+                ..Default::default()
+            },
+        ] {
+            let err = svc.execute(&req).unwrap_err();
+            assert_eq!(
+                err,
+                ServeError::StaleCursor { cursor_epoch: 0, store_epoch: 1 }
+            );
+            assert_eq!(err.status(), 410);
+        }
+
+        // A fresh query sees only the new epoch: no stale rows, no
+        // stale cache entry (the replay must re-read the store).
+        let fresh = svc
+            .execute(&QueryRequest { pql: Some(PQL), ..Default::default() })
+            .unwrap();
+        assert!(!fresh.cache_hit, "pre-mutation cache must not answer");
+        assert!(fresh.replay.bytes_read > 0);
+        for row in fresh.rows() {
+            assert!(
+                !pre_mutation_rows.contains(row),
+                "stale pre-mutation row {row:?} served after the epoch bump"
+            );
+        }
+        // And its continuation tokens carry the new epoch.
+        let paged = svc
+            .execute(&QueryRequest {
+                pql: Some(PQL),
+                limit: Some(2),
+                ..Default::default()
+            })
+            .unwrap();
+        let token = paged.next_cursor.expect("more pages");
+        assert_eq!(Cursor::decode(&token).unwrap().epoch, 1);
+        svc.execute(&QueryRequest { cursor: Some(&token), ..Default::default() })
+            .expect("current-epoch cursor resumes fine");
     }
 
     #[test]

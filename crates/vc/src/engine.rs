@@ -192,6 +192,15 @@ pub struct EngineConfig {
     /// Scripted fault injection; honoured by the fallible entry points
     /// only. `None` costs one branch per superstep.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Optional pre-built chunk table for the flat plane. Callers that
+    /// run the same (or an incrementally mutated) graph repeatedly — the
+    /// mutable session re-running after a mutation batch — pass the
+    /// previous epoch's table here, rebalanced only when a batch skewed
+    /// it (see `ChunkTable::rebalance`). The hint is used only when its
+    /// vertex count matches the graph; chunk layout never affects
+    /// results, so a stale-but-covering table costs balance, not
+    /// correctness.
+    pub chunk_hint: Option<Arc<ChunkTable>>,
 }
 
 impl Default for EngineConfig {
@@ -203,6 +212,7 @@ impl Default for EngineConfig {
             plane: MessagePlane::Flat,
             checkpoint: None,
             fault: None,
+            chunk_hint: None,
         }
     }
 }
@@ -519,7 +529,21 @@ impl Engine {
         // thread count; chunk boundaries snap to it so blocks nest in
         // chunks and the barrier merge happens in global block order.
         let block = sender_block_size(n);
-        let table = ChunkTable::degree_weighted(graph, threads, block);
+        // A hint is usable only if it covers this graph's id space and
+        // keeps every interior boundary block-aligned — blocks must nest
+        // in chunks for the barrier merge's global block order (and hence
+        // float combining) to stay bit-identical.
+        let hint_ok = |t: &ChunkTable| {
+            t.num_vertices() == n
+                && t.num_chunks() <= n.max(1)
+                && t.starts()[1..t.starts().len().saturating_sub(1)]
+                    .iter()
+                    .all(|s| s % block == 0)
+        };
+        let table = match &self.config.chunk_hint {
+            Some(hint) if hint_ok(hint) => (**hint).clone(),
+            _ => ChunkTable::degree_weighted(graph, threads, block),
+        };
         let num_chunks = table.num_chunks();
         debug_assert_eq!(table.num_vertices(), n);
         let max_supersteps = self.config.max_supersteps.min(program.max_supersteps());
@@ -1197,6 +1221,15 @@ fn fresh_state<P: VertexProgram>(program: &P, graph: &Csr) -> LoopState<P> {
 /// function of the graph (never the thread count), so per-block aggregate
 /// folds are identical at every parallelism level. ~128 blocks keeps the
 /// barrier merge negligible while bounding partial-flush overhead.
+/// The chunk-boundary alignment quantum the flat plane requires for a
+/// graph of `n` vertices: chunk tables passed via
+/// [`EngineConfig::chunk_hint`] must align interior boundaries to this
+/// (pass it as the `align` argument of `ChunkTable::degree_weighted` /
+/// `ChunkTable::rebalance`), or the hint is ignored.
+pub fn chunk_align(n: usize) -> usize {
+    sender_block_size(n)
+}
+
 fn sender_block_size(n: usize) -> usize {
     (n / 128).max(16)
 }

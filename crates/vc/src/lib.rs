@@ -65,6 +65,7 @@ pub mod checkpoint;
 pub mod context;
 pub mod engine;
 pub mod fault;
+pub mod incremental;
 pub mod message;
 pub mod metrics;
 pub mod program;
@@ -75,8 +76,9 @@ pub use checkpoint::{
     Snapshot, SNAPSHOT_VERSION,
 };
 pub use context::Context;
-pub use engine::{Engine, EngineConfig, MessagePlane, RunResult};
+pub use engine::{chunk_align, Engine, EngineConfig, MessagePlane, RunResult};
+pub use incremental::{IncrementalMode, IncrementalRun};
 pub use fault::FaultPlan;
 pub use message::{Combiner, Envelope, MaxCombiner, MinCombiner, SumCombiner};
 pub use metrics::{PhaseTimes, RunMetrics, SuperstepMetrics};
-pub use program::VertexProgram;
+pub use program::{Incrementality, VertexProgram};

@@ -5,6 +5,31 @@ use crate::context::Context;
 use crate::message::{Combiner, Envelope};
 use ariadne_graph::{Csr, VertexId};
 
+/// How a program's fixpoint behaves under graph mutations — what the
+/// incremental re-execution path ([`crate::incremental`]) is allowed to
+/// reuse from the previous epoch's values.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Incrementality {
+    /// No reuse: any mutation re-runs the analytic from scratch. The
+    /// safe default, and the right answer for non-monotone fixpoints
+    /// (PageRank, ALS) whose values all shift under any edge change.
+    Restart,
+    /// The fixpoint is the unique least (or greatest) solution of a
+    /// monotone operator, so previous-epoch values outside the mutation's
+    /// invalidation closure are still exact and can seed the next run
+    /// (SSSP distances, WCC min-labels). `deletion_safe` says whether
+    /// that still holds when edges are *removed*: true when invalidated
+    /// values can be recomputed from a reset frontier (SSSP — reset the
+    /// forward closure of each deleted edge's head), false when a
+    /// deletion can raise values globally within a region the frontier
+    /// cannot bound (WCC — a component split re-labels half the
+    /// component, so deletion batches restart).
+    Monotone {
+        /// Whether seeding remains exact under edge/vertex removals.
+        deletion_safe: bool,
+    },
+}
+
 /// A vertex-centric program: the single function executed by every vertex
 /// at every superstep, plus its configuration (initial values, combiner,
 /// aggregators, termination).
@@ -65,6 +90,23 @@ pub trait VertexProgram: Send + Sync {
     fn message_bytes(&self, _msg: &Self::M) -> usize {
         std::mem::size_of::<Self::M>()
     }
+
+    /// How this program's fixpoint behaves under graph mutations. The
+    /// default, [`Incrementality::Restart`], disables value reuse;
+    /// programs returning [`Incrementality::Monotone`] must also
+    /// implement [`VertexProgram::reseed`].
+    fn incrementality(&self) -> Incrementality {
+        Incrementality::Restart
+    }
+
+    /// Re-emit the messages that re-establish this vertex's contribution
+    /// to the fixpoint, given its (seeded) `value` — called instead of
+    /// [`VertexProgram::compute`] at superstep 0 of an incremental run,
+    /// and only for vertices in the activation frontier. The vertex may
+    /// repair its own value here (e.g. SSSP's source restores distance 0
+    /// after a taint reset). Programs declaring
+    /// [`Incrementality::Restart`] never have this called.
+    fn reseed(&self, _ctx: &mut dyn Context<Self::M>, _value: &mut Self::V) {}
 }
 
 #[cfg(test)]
